@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of the building blocks every experiment
+//! leans on: the game solver (eq. 15), Algorithm 1 channel allocation,
+//! radio-medium slot resolution and the per-slot MAC planner.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gt_tsch::{ChannelAllocator, GameInputs, GameWeights};
+use gtt_mac::{Asn, ChannelOffset, HoppingSequence};
+use gtt_net::{
+    Dest, Frame, LinkModel, Listener, NodeId, PacketId, PhysicalChannel, Position, RadioMedium,
+    Topology, TopologyBuilder, Transmission,
+};
+use gtt_sim::{Pcg32, SimTime};
+
+fn game_solver(c: &mut Criterion) {
+    let weights = GameWeights::default();
+    c.bench_function("game/eq15_best_response", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let inputs = GameInputs {
+                rank_weight: 1.0 / (1.0 + (i % 4) as f64),
+                etx: 1.0 + (i % 10) as f64 * 0.2,
+                queue_avg: (i % 8) as f64,
+                queue_max: 8.0,
+                l_tx_min: 1 + (i % 3) as u16,
+                l_rx_parent: 8,
+            };
+            std::hint::black_box(inputs.best_response(&weights))
+        })
+    });
+}
+
+fn channel_allocation(c: &mut Criterion) {
+    c.bench_function("channel/algorithm1_allocate_5_children", |b| {
+        b.iter_batched(
+            || ChannelAllocator::new(8, 0),
+            |mut alloc| {
+                for i in 0..5u16 {
+                    std::hint::black_box(alloc.allocate(NodeId::new(i), Some(1), Some(2)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn dense_topology(n: usize) -> Topology {
+    let mut b = TopologyBuilder::new(60.0).link_model(LinkModel::Fixed(0.95));
+    for i in 0..n {
+        let angle = i as f64 * 0.7;
+        let radius = 10.0 + (i % 5) as f64 * 10.0;
+        b = b.node(Position::new(radius * angle.cos(), radius * angle.sin()));
+    }
+    b.build()
+}
+
+fn medium_resolution(c: &mut Criterion) {
+    let topo = dense_topology(14);
+    let hopping = HoppingSequence::paper_default();
+    c.bench_function("medium/resolve_slot_14_nodes", |b| {
+        let mut medium = RadioMedium::new(topo.clone(), Pcg32::new(1));
+        let mut asn = 0u64;
+        b.iter(|| {
+            asn += 1;
+            let ch = |off: u8| hopping.channel(Asn::new(asn), ChannelOffset::new(off));
+            // Half the nodes transmit, half listen — a busy slot.
+            let transmissions: Vec<Transmission<u32>> = (0..7u16)
+                .map(|i| Transmission {
+                    channel: ch((i % 4) as u8),
+                    frame: Frame::new(
+                        PacketId::new(asn),
+                        NodeId::new(i),
+                        Dest::Unicast(NodeId::new(i + 7)),
+                        SimTime::ZERO,
+                        0,
+                    ),
+                })
+                .collect();
+            let listeners: Vec<Listener> = (7..14u16)
+                .map(|i| Listener {
+                    node: NodeId::new(i),
+                    channel: ch(((i - 7) % 4) as u8),
+                })
+                .collect();
+            std::hint::black_box(medium.resolve_slot(transmissions, listeners))
+        })
+    });
+
+    c.bench_function("medium/prr_lookup", |b| {
+        let mut i = 0u16;
+        b.iter(|| {
+            i = (i + 1) % 14;
+            std::hint::black_box(topo.prr(NodeId::new(i), NodeId::new((i + 1) % 14)))
+        })
+    });
+}
+
+fn prng(c: &mut Criterion) {
+    c.bench_function("sim/pcg32_next_u32", |b| {
+        let mut rng = Pcg32::new(42);
+        b.iter(|| std::hint::black_box(rng.next_u32()))
+    });
+    c.bench_function("sim/pcg32_gen_range", |b| {
+        let mut rng = Pcg32::new(42);
+        b.iter(|| std::hint::black_box(rng.gen_range_u32(0, 97)))
+    });
+    c.bench_function("sim/channel_hop", |b| {
+        let hop = PhysicalChannel::new(17);
+        let seq = HoppingSequence::paper_default();
+        let mut asn = 0u64;
+        b.iter(|| {
+            asn += 1;
+            let c = seq.channel(Asn::new(asn), ChannelOffset::new(3));
+            std::hint::black_box(c == hop)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    game_solver,
+    channel_allocation,
+    medium_resolution,
+    prng
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion benchmarks of the figure experiments themselves: one short
+//! simulation per (figure, scheduler) configuration, so `cargo bench`
+//! exercises every code path the paper's evaluation runs, end to end.
+//!
+//! These measure *simulator throughput* (wall time per simulated run);
+//! the paper's own metrics are produced by the `fig8`/`fig9`/`fig10`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gtt_sim::SimDuration;
+use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+
+/// A short (20 s warm-up + 20 s measured) run of a figure configuration.
+fn short_run(scenario: &Scenario, scheduler: &SchedulerKind, seed: u64) -> f64 {
+    let spec = RunSpec {
+        traffic_ppm: 120.0,
+        warmup_secs: 20,
+        measure_secs: 20,
+        seed,
+    };
+    let mut net = build_network(scenario, scheduler, &spec);
+    net.run_for(SimDuration::from_secs(spec.warmup_secs));
+    net.start_measurement();
+    net.run_for(SimDuration::from_secs(spec.measure_secs));
+    net.finish_measurement();
+    net.report().row.pdr_percent
+}
+
+fn fig8_configs(c: &mut Criterion) {
+    let scenario = Scenario::two_dodag(7);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("gt_tsch_14_nodes_120ppm", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(short_run(
+                &scenario,
+                &SchedulerKind::gt_tsch_default(),
+                seed,
+            ))
+        })
+    });
+    group.bench_function("orchestra_14_nodes_120ppm", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(short_run(
+                &scenario,
+                &SchedulerKind::orchestra_default(),
+                seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn fig9_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for n in [6usize, 9] {
+        let scenario = Scenario::two_dodag(n);
+        group.bench_function(format!("gt_tsch_{n}_per_dodag"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(short_run(
+                    &scenario,
+                    &SchedulerKind::gt_tsch_default(),
+                    seed,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig10_configs(c: &mut Criterion) {
+    let scenario = Scenario::two_dodag(7);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for len in [8u16, 20] {
+        group.bench_function(format!("gt_tsch_slotframe_{}", len * 4), |b| {
+            let sched = SchedulerKind::GtTsch(gt_tsch::GtTschConfig::with_slotframe_len(len * 4));
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(short_run(&scenario, &sched, seed))
+            })
+        });
+        group.bench_function(format!("orchestra_unicast_{len}"), |b| {
+            let sched =
+                SchedulerKind::Orchestra(gtt_orchestra::OrchestraConfig::with_unicast_len(len));
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(short_run(&scenario, &sched, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8_configs, fig9_configs, fig10_configs);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Ablation of Algorithm 1's channel allocation vs. hash-based channels
+//! (paper §III strategies).
+
+use gtt_bench::{ablation_channel, render_figure_tables, SweepConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    eprintln!("running channel ablation ({} seeds/point)…", config.seeds.len());
+    let results = ablation_channel(&config);
+    print!("{}", render_figure_tables("C", &results));
+}

@@ -1,0 +1,50 @@
+//! Ablation: Orchestra's receiver-based vs sender-based unicast cells.
+//!
+//! The paper evaluates the receiver-based mode (all children share the
+//! parent's Rx slot — the §VIII bottleneck). Sender-based cells give
+//! every sender its own slot at the cost of the receiver listening in
+//! every sender's slot; this ablation quantifies that trade-off on the
+//! Fig. 8 network.
+
+use gtt_bench::{render_figure_tables, SweepConfig, SweepPoint};
+use gtt_orchestra::OrchestraConfig;
+use gtt_workload::{RunSpec, Scenario, SchedulerKind};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let scenario = Scenario::two_dodag(7);
+    let mut points = Vec::new();
+    for &ppm in &[30.0, 75.0, 120.0, 165.0] {
+        for sender_based in [false, true] {
+            points.push(SweepPoint {
+                x_label: format!("{ppm:.0}"),
+                scheduler: SchedulerKind::Orchestra(OrchestraConfig {
+                    sender_based,
+                    ..OrchestraConfig::paper_default()
+                }),
+                scenario: scenario.clone(),
+                spec: RunSpec {
+                    traffic_ppm: ppm,
+                    warmup_secs: 120,
+                    measure_secs: 300,
+                    seed: 0,
+                },
+            });
+        }
+    }
+    eprintln!("running orchestra RB-vs-SB ablation ({} seeds/point)…", config.seeds.len());
+    let mut results = gtt_bench::sweep::run_sweep("ppm/node", points, &config);
+    // Points alternate RB / SB per x; rename the second of each pair.
+    let mut seen = std::collections::BTreeSet::new();
+    for p in &mut results.points {
+        if !seen.insert(p.x_label.clone()) {
+            p.scheduler = "orchestra-sb";
+        }
+    }
+    print!("{}", render_figure_tables("O", &results));
+}

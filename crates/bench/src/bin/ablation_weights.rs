@@ -1,0 +1,15 @@
+//! Ablation of the payoff weights α/β/γ (paper §VII-D) at 120 ppm.
+
+use gtt_bench::{ablation_weights, render_figure_tables, SweepConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    eprintln!("running weight ablation ({} seeds/point)…", config.seeds.len());
+    let results = ablation_weights(&config);
+    print!("{}", render_figure_tables("W", &results));
+}

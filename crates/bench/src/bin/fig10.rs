@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 10 (all six sub-figures).
+//!
+//! Usage: `fig10 [--quick]` — `--quick` averages 2 seeds instead of 5.
+
+use gtt_bench::{fig10, render_figure_tables, SweepConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    eprintln!(
+        "running fig10 sweep ({} seeds/point)…",
+        config.seeds.len()
+    );
+    let results = fig10(&config);
+    print!("{}", render_figure_tables("10", &results));
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's Fig. 8 (all six sub-figures).
+//!
+//! Usage: `fig8 [--quick]` — `--quick` averages 2 seeds instead of 5.
+
+use gtt_bench::{fig8, render_figure_tables, SweepConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    eprintln!(
+        "running fig8 sweep ({} seeds/point)…",
+        config.seeds.len()
+    );
+    let results = fig8(&config);
+    print!("{}", render_figure_tables("8", &results));
+}

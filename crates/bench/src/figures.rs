@@ -1,0 +1,217 @@
+//! The figure sweeps of the paper's evaluation (§VIII).
+//!
+//! Every function returns the raw [`SweepResults`] so both the binaries
+//! (printing tables) and the integration tests (asserting the paper's
+//! qualitative claims) share one code path.
+
+use gt_tsch::{GameWeights, GtTschConfig};
+use gtt_orchestra::OrchestraConfig;
+use gtt_workload::{RunSpec, Scenario, SchedulerKind};
+
+use crate::sweep::{run_sweep, SweepConfig, SweepPoint, SweepResults};
+
+/// Warm-up before measurement (network formation + schedule
+/// convergence), seconds.
+const WARMUP_SECS: u64 = 120;
+/// Measurement window, seconds (the paper measures steady state; five
+/// minutes keeps rate metrics stable).
+const MEASURE_SECS: u64 = 300;
+
+fn spec(ppm: f64) -> RunSpec {
+    RunSpec {
+        traffic_ppm: ppm,
+        warmup_secs: WARMUP_SECS,
+        measure_secs: MEASURE_SECS,
+        seed: 0,
+    }
+}
+
+/// **Fig. 8** — performance vs. traffic load (30/75/120/165 ppm per
+/// node) on the two-DODAG, 14-node network.
+pub fn fig8(config: &SweepConfig) -> SweepResults {
+    let scenario = Scenario::two_dodag(7);
+    let mut points = Vec::new();
+    for &ppm in &[30.0, 75.0, 120.0, 165.0] {
+        for sched in [
+            SchedulerKind::gt_tsch_default(),
+            SchedulerKind::orchestra_default(),
+        ] {
+            points.push(SweepPoint {
+                x_label: format!("{ppm:.0}"),
+                scheduler: sched,
+                scenario: scenario.clone(),
+                spec: spec(ppm),
+            });
+        }
+    }
+    run_sweep("ppm/node", points, config)
+}
+
+/// **Fig. 9** — performance vs. DODAG size (6–9 nodes per DODAG, two
+/// DODAGs) at 120 ppm per node.
+pub fn fig9(config: &SweepConfig) -> SweepResults {
+    let mut points = Vec::new();
+    for n in [6usize, 7, 8, 9] {
+        let scenario = Scenario::two_dodag(n);
+        for sched in [
+            SchedulerKind::gt_tsch_default(),
+            SchedulerKind::orchestra_default(),
+        ] {
+            points.push(SweepPoint {
+                x_label: n.to_string(),
+                scheduler: sched,
+                scenario: scenario.clone(),
+                spec: spec(120.0),
+            });
+        }
+    }
+    run_sweep("nodes/DODAG", points, config)
+}
+
+/// **Fig. 10** — performance vs. unicast slotframe length: Orchestra at
+/// 8/12/16/20 slots, GT-TSCH with its single slotframe at 4× that
+/// (§VIII: "we set the size of the GT-TSCH's slotframe equal to four
+/// times of the unicast slotframe size of Orchestra"), 120 ppm.
+pub fn fig10(config: &SweepConfig) -> SweepResults {
+    let scenario = Scenario::two_dodag(7);
+    let mut points = Vec::new();
+    for len in [8u16, 12, 16, 20] {
+        points.push(SweepPoint {
+            x_label: len.to_string(),
+            scheduler: SchedulerKind::GtTsch(GtTschConfig::with_slotframe_len(len * 4)),
+            scenario: scenario.clone(),
+            spec: spec(120.0),
+        });
+        points.push(SweepPoint {
+            x_label: len.to_string(),
+            scheduler: SchedulerKind::Orchestra(OrchestraConfig::with_unicast_len(len)),
+            scenario: scenario.clone(),
+            spec: spec(120.0),
+        });
+    }
+    run_sweep("unicast slotframe", points, config)
+}
+
+/// **Ablation (§VII-D)** — the α/β/γ preference weights of the payoff
+/// function, on the Fig. 8 network at 120 ppm. Includes γ=0 (no queue
+/// cost) and β=0 (no link cost) corners the paper discusses.
+pub fn ablation_weights(config: &SweepConfig) -> SweepResults {
+    let scenario = Scenario::two_dodag(7);
+    let variants: [(&str, GameWeights); 4] = [
+        (
+            "paper",
+            GameWeights {
+                alpha: 1.0,
+                beta: 0.5,
+                gamma: 1.0,
+            },
+        ),
+        (
+            "no-queue",
+            GameWeights {
+                alpha: 1.0,
+                beta: 0.5,
+                gamma: 0.0,
+            },
+        ),
+        (
+            "no-link",
+            GameWeights {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 1.0,
+            },
+        ),
+        (
+            "link-heavy",
+            GameWeights {
+                alpha: 1.0,
+                beta: 2.0,
+                gamma: 0.5,
+            },
+        ),
+    ];
+    let mut points = Vec::new();
+    for (label, weights) in variants {
+        let cfg = GtTschConfig {
+            weights,
+            ..GtTschConfig::paper_default()
+        };
+        points.push(SweepPoint {
+            x_label: label.to_string(),
+            scheduler: SchedulerKind::GtTsch(cfg),
+            scenario: scenario.clone(),
+            spec: spec(120.0),
+        });
+    }
+    run_sweep("weights", points, config)
+}
+
+/// **Ablation (§III)** — Algorithm 1's coordinated channel allocation
+/// vs. the hash-based strawman, on the Fig. 8 network across loads.
+pub fn ablation_channel(config: &SweepConfig) -> SweepResults {
+    let scenario = Scenario::two_dodag(7);
+    let mut points = Vec::new();
+    for &ppm in &[75.0, 165.0] {
+        points.push(SweepPoint {
+            x_label: format!("{ppm:.0}"),
+            scheduler: SchedulerKind::GtTsch(GtTschConfig::paper_default()),
+            scenario: scenario.clone(),
+            spec: spec(ppm),
+        });
+        points.push(SweepPoint {
+            x_label: format!("{ppm:.0}"),
+            scheduler: SchedulerKind::GtTsch(GtTschConfig {
+                hash_channels: true,
+                ..GtTschConfig::paper_default()
+            }),
+            scenario: scenario.clone(),
+            spec: spec(ppm),
+        });
+    }
+    // Distinguish the two variants by name for the table.
+    let mut results = run_sweep("ppm/node", points, config);
+    let mut algo1_seen = std::collections::BTreeSet::new();
+    for p in &mut results.points {
+        // Points alternate algorithm-1 / hash per x; rename the second.
+        if !algo1_seen.insert(p.x_label.clone()) {
+            p.scheduler = "gt-tsch-hash";
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One fast end-to-end pass of the fig8 machinery (1 seed, light
+    /// load only) — the full run is exercised by the `fig8` binary.
+    #[test]
+    fn fig8_machinery_smoke() {
+        let scenario = Scenario::two_dodag(6);
+        let points = vec![SweepPoint {
+            x_label: "30".into(),
+            scheduler: SchedulerKind::gt_tsch_default(),
+            scenario,
+            spec: RunSpec {
+                traffic_ppm: 30.0,
+                warmup_secs: 60,
+                measure_secs: 60,
+                seed: 0,
+            },
+        }];
+        let results = run_sweep(
+            "ppm/node",
+            points,
+            &SweepConfig {
+                seeds: vec![1],
+                threads: 1,
+            },
+        );
+        let p = &results.points[0];
+        assert_eq!(p.scheduler, "gt-tsch");
+        assert!(p.join_ratio > 0.9, "network must form");
+        assert!(p.mean.pdr_percent > 80.0, "PDR {}", p.mean.pdr_percent);
+    }
+}

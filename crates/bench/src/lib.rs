@@ -1,0 +1,28 @@
+//! # gtt-bench — the experiment harness
+//!
+//! Regenerates every figure of the GT-TSCH paper's evaluation (§VIII):
+//!
+//! | Binary | Paper figure | Sweep |
+//! |---|---|---|
+//! | `fig8`  | Fig. 8a–f  | traffic 30/75/120/165 ppm per node |
+//! | `fig9`  | Fig. 9a–f  | DODAG size 6/7/8/9 nodes (× 2 DODAGs) |
+//! | `fig10` | Fig. 10a–f | Orchestra unicast slotframe 8/12/16/20, GT-TSCH at 4× |
+//! | `ablation_weights` | §VII-D discussion | α/β/γ settings of the payoff |
+//! | `ablation_channel` | §III strategies | Algorithm 1 vs hash-based channels |
+//! | `diagnose` | — | one verbose run with per-node breakdown |
+//!
+//! Each binary prints the paper's six series (PDR, end-to-end delay,
+//! packet loss, radio duty cycle, queue loss, received packets/minute) as
+//! one table per sub-figure, averaged over seeds, ready to paste into
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod sweep;
+pub mod table;
+
+pub use figures::{ablation_channel, ablation_weights, fig10, fig8, fig9};
+pub use sweep::{PointResult, SweepConfig, SweepPoint, SweepResults};
+pub use table::render_figure_tables;

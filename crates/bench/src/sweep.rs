@@ -1,0 +1,265 @@
+//! Parallel sweep execution.
+
+use crossbeam::thread;
+use gtt_metrics::{FigureRow, Summary};
+use gtt_workload::{run, RunSpec, Scenario, SchedulerKind};
+
+/// One (x-value, scheduler) point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The sweep coordinate ("30", "75", … — the figure's x axis).
+    pub x_label: String,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Topology.
+    pub scenario: Scenario,
+    /// Traffic + timing (seed field is overwritten per repetition).
+    pub spec: RunSpec,
+}
+
+/// Sweep-wide settings.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Worker threads (`0` = one per available core, capped at the
+    /// number of runs).
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seeds: vec![1, 2, 3, 4, 5],
+            threads: 0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A fast configuration for smoke tests (2 seeds).
+    pub fn quick() -> Self {
+        SweepConfig {
+            seeds: vec![1, 2],
+            threads: 0,
+        }
+    }
+}
+
+/// Result of one sweep point, averaged over seeds.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The sweep coordinate.
+    pub x_label: String,
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Seed-averaged six-series row.
+    pub mean: FigureRow,
+    /// Per-seed rows (for dispersion).
+    pub rows: Vec<FigureRow>,
+    /// Mean join ratio across seeds (sanity signal).
+    pub join_ratio: f64,
+    /// Mean packets generated.
+    pub generated: f64,
+}
+
+impl PointResult {
+    /// 95% confidence half-width of the PDR across seeds.
+    pub fn pdr_ci95(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.pdr_percent)
+            .collect::<Summary>()
+            .ci95_half_width()
+    }
+}
+
+/// All results of a figure sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// Human-readable name of the x axis ("traffic (ppm/node)", …).
+    pub x_axis: String,
+    /// Results in input order.
+    pub points: Vec<PointResult>,
+}
+
+impl SweepResults {
+    /// The distinct x labels in first-appearance order.
+    pub fn x_labels(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.x_label) {
+                seen.push(p.x_label.clone());
+            }
+        }
+        seen
+    }
+
+    /// The distinct scheduler names in first-appearance order.
+    pub fn schedulers(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.scheduler) {
+                seen.push(p.scheduler);
+            }
+        }
+        seen
+    }
+
+    /// The point for (scheduler, x), if present.
+    pub fn get(&self, scheduler: &str, x: &str) -> Option<&PointResult> {
+        self.points
+            .iter()
+            .find(|p| p.scheduler == scheduler && p.x_label == x)
+    }
+}
+
+/// Runs every `(point, seed)` combination, in parallel, and averages per
+/// point.
+///
+/// # Panics
+///
+/// Panics if `points` or `config.seeds` is empty, or if a worker thread
+/// panics (experiment bugs should abort the harness loudly).
+pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) -> SweepResults {
+    assert!(!points.is_empty(), "sweep needs at least one point");
+    assert!(!config.seeds.is_empty(), "sweep needs at least one seed");
+
+    // Flatten into (point index, seed) jobs.
+    let jobs: Vec<(usize, u64)> = (0..points.len())
+        .flat_map(|i| config.seeds.iter().map(move |&s| (i, s)))
+        .collect();
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(jobs.len())
+    } else {
+        config.threads.min(jobs.len())
+    };
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Vec<(u64, FigureRow, f64, u64)>>> =
+        (0..points.len()).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let (i, seed) = jobs[j];
+                let point = &points[i];
+                let spec = RunSpec { seed, ..point.spec };
+                let report = run(&point.scenario, &point.scheduler, &spec);
+                results[i].lock().expect("no poisoned result lock").push((
+                    seed,
+                    report.row,
+                    report.join_ratio,
+                    report.generated,
+                ));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let point_results = points
+        .iter()
+        .zip(results)
+        .map(|(point, cell)| {
+            let mut runs = cell.into_inner().expect("no poisoned result lock");
+            runs.sort_by_key(|(seed, ..)| *seed); // deterministic order
+            let rows: Vec<FigureRow> = runs.iter().map(|(_, r, ..)| *r).collect();
+            PointResult {
+                x_label: point.x_label.clone(),
+                scheduler: point.scheduler.name(),
+                mean: FigureRow::mean(rows.iter()),
+                join_ratio: runs.iter().map(|(_, _, j, _)| j).sum::<f64>() / runs.len() as f64,
+                generated: runs.iter().map(|(_, _, _, g)| *g as f64).sum::<f64>()
+                    / runs.len() as f64,
+                rows,
+            }
+        })
+        .collect();
+
+    SweepResults {
+        x_axis: x_axis.to_string(),
+        points: point_results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_points() -> Vec<SweepPoint> {
+        let scenario = Scenario::star(2);
+        vec![
+            SweepPoint {
+                x_label: "10".into(),
+                scheduler: SchedulerKind::minimal(8),
+                scenario: scenario.clone(),
+                spec: RunSpec {
+                    traffic_ppm: 10.0,
+                    warmup_secs: 20,
+                    measure_secs: 30,
+                    seed: 0,
+                },
+            },
+            SweepPoint {
+                x_label: "20".into(),
+                scheduler: SchedulerKind::minimal(8),
+                scenario,
+                spec: RunSpec {
+                    traffic_ppm: 20.0,
+                    warmup_secs: 20,
+                    measure_secs: 30,
+                    seed: 0,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn sweep_runs_and_averages() {
+        let cfg = SweepConfig {
+            seeds: vec![1, 2],
+            threads: 2,
+        };
+        let results = run_sweep("traffic", tiny_points(), &cfg);
+        assert_eq!(results.points.len(), 2);
+        assert_eq!(results.x_labels(), vec!["10", "20"]);
+        assert_eq!(results.schedulers(), vec!["minimal"]);
+        for p in &results.points {
+            assert_eq!(p.rows.len(), 2, "one row per seed");
+            assert!(p.generated > 0.0);
+            assert!(p.join_ratio > 0.0);
+        }
+        assert!(results.get("minimal", "10").is_some());
+        assert!(results.get("minimal", "99").is_none());
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let one = SweepConfig {
+            seeds: vec![7],
+            threads: 1,
+        };
+        let many = SweepConfig {
+            seeds: vec![7],
+            threads: 4,
+        };
+        let a = run_sweep("x", tiny_points(), &one);
+        let b = run_sweep("x", tiny_points(), &many);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.mean, pb.mean, "thread count must not affect results");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_sweep_rejected() {
+        let _ = run_sweep("x", vec![], &SweepConfig::default());
+    }
+}

@@ -1,0 +1,119 @@
+//! GT-TSCH configuration.
+
+use crate::game::GameWeights;
+
+/// Parameters of the GT-TSCH scheduling function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GtTschConfig {
+    /// Slotframe size `m` (§IV rule 1; Table II: 32). GT-TSCH uses a
+    /// single slotframe for all traffic planes.
+    pub slotframe_len: u16,
+    /// Number of broadcast timeslots `k`, uniformly spread (§IV rule 1).
+    pub broadcast_slots: u16,
+    /// Number of shared timeslots (§IV rule 4: half the maximum number
+    /// of children, each shared by two children).
+    pub shared_slots: u16,
+    /// Game weights α, β, γ (eq. 8).
+    pub weights: GameWeights,
+    /// Queue-metric smoothing factor ζ (eq. 6).
+    pub zeta: f64,
+    /// The broadcast channel offset `f_bcast`.
+    pub fbcast: u8,
+    /// Cap on the Rx capacity a node advertises in its DIO `l_rx` option;
+    /// bounds the per-transaction grant so one greedy child cannot claim
+    /// the parent's whole slotframe in one round.
+    pub rx_advertise_cap: u16,
+    /// Tx cells beyond demand tolerated before a DELETE is issued (§IV
+    /// rule 3: release cells under light load).
+    pub delete_slack: u16,
+    /// **Ablation switch**: replace Algorithm 1 with hash-based channel
+    /// selection (`hash(node) mod |F|`), the strawman the paper's §III
+    /// analyses. Disables `ASK-CHANNEL`; used by the `ablation_channel`
+    /// experiment to quantify what the channel-allocation strategies buy.
+    pub hash_channels: bool,
+}
+
+impl GtTschConfig {
+    /// The configuration used in the paper's evaluation (slotframe 32).
+    pub fn paper_default() -> Self {
+        GtTschConfig {
+            slotframe_len: 32,
+            broadcast_slots: 4,
+            // Paper: max children = 8 channels − 3 = 5; shared slots =
+            // ⌈5/2⌉.
+            shared_slots: 3,
+            weights: GameWeights::default(),
+            zeta: 0.3,
+            fbcast: 0,
+            rx_advertise_cap: 8,
+            delete_slack: 1,
+            hash_channels: false,
+        }
+    }
+
+    /// Same proportions, different slotframe length — used by the Fig. 10
+    /// sweep where GT-TSCH runs at 4× Orchestra's unicast slotframe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 8` (no room for broadcast + shared + data slots).
+    pub fn with_slotframe_len(m: u16) -> Self {
+        assert!(m >= 8, "GT-TSCH needs at least 8 slots, got {m}");
+        GtTschConfig {
+            slotframe_len: m,
+            broadcast_slots: (m / 8).max(2),
+            ..GtTschConfig::paper_default()
+        }
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid values.
+    pub fn validate(&self) {
+        assert!(self.slotframe_len >= 8, "slotframe too short");
+        assert!(
+            self.broadcast_slots >= 1 && self.broadcast_slots < self.slotframe_len,
+            "broadcast slot count out of range"
+        );
+        assert!(
+            self.broadcast_slots + self.shared_slots < self.slotframe_len,
+            "no slots left for data"
+        );
+        assert!((0.0..1.0).contains(&self.zeta), "ζ must be in [0,1)");
+        self.weights.validate();
+    }
+}
+
+impl Default for GtTschConfig {
+    fn default() -> Self {
+        GtTschConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        GtTschConfig::paper_default().validate();
+    }
+
+    #[test]
+    fn scaled_slotframes_are_valid() {
+        for m in [32, 48, 64, 80] {
+            let cfg = GtTschConfig::with_slotframe_len(m);
+            cfg.validate();
+            assert_eq!(cfg.slotframe_len, m);
+            assert!(cfg.broadcast_slots >= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 slots")]
+    fn tiny_slotframe_rejected() {
+        let _ = GtTschConfig::with_slotframe_len(4);
+    }
+}

@@ -1,0 +1,305 @@
+//! Slotframe layout: §IV timeslot placement and §V data-cell rules.
+
+use gtt_mac::{CellClass, Slotframe};
+
+/// Broadcast timeslot offsets (§IV rule 1): uniformly distributed as
+/// `{x | x < m, x mod ⌊m/k⌋ = 0}`.
+///
+/// # Example
+///
+/// The paper's own example: `m = 20, k = 5 → {0, 4, 8, 12, 16}`.
+///
+/// ```
+/// use gt_tsch::layout::broadcast_offsets;
+/// assert_eq!(broadcast_offsets(20, 5), vec![0, 4, 8, 12, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is zero or `k > m`.
+pub fn broadcast_offsets(m: u16, k: u16) -> Vec<u16> {
+    assert!(k >= 1 && k <= m, "need 1 ≤ k ≤ m (got k={k}, m={m})");
+    let step = m / k;
+    (0..m).filter(|x| x % step == 0).collect()
+}
+
+/// Shared timeslot offsets (§IV rule 4): the slots immediately after the
+/// first `count` broadcast slots, so they are uniformly spread too and
+/// never collide with broadcast offsets.
+///
+/// # Panics
+///
+/// Panics if the layout cannot fit (`count` larger than the number of
+/// broadcast slots or `m` too small).
+pub fn shared_offsets(m: u16, k: u16, count: u16) -> Vec<u16> {
+    let bcast = broadcast_offsets(m, k);
+    assert!(
+        (count as usize) <= bcast.len(),
+        "cannot place {count} shared slots next to {} broadcast slots",
+        bcast.len()
+    );
+    bcast
+        .iter()
+        .take(count as usize)
+        .map(|&b| (b + 1) % m)
+        .collect()
+}
+
+/// The slot offsets of `sf` with no scheduled cell (candidate slots for
+/// 6P negotiation), in increasing order.
+pub fn free_slots(sf: &Slotframe) -> Vec<u16> {
+    let mut occupied = vec![false; sf.length() as usize];
+    for cell in sf.cells() {
+        occupied[cell.slot.index()] = true;
+    }
+    (0..sf.length()).filter(|&s| !occupied[s as usize]).collect()
+}
+
+/// The §V interleaving check: would adding a *data Rx* cell at `slot`
+/// leave two consecutive data-Rx cells with no data-Tx cell between them
+/// (cyclically)?
+///
+/// "GT-TSCH allocates at least one TSCH Tx timeslot between two
+/// consecutive TSCH Rx timeslots" — Fig. 5's congestion example. Nodes
+/// with no Tx cells at all (roots) are exempt: the rule exists to bound a
+/// *forwarder's* queue.
+pub fn rx_placement_ok(sf: &Slotframe, slot: u16) -> bool {
+    // Collect data cells as (slot, is_tx), plus the prospective Rx.
+    let mut cells: Vec<(u16, bool)> = sf
+        .cells()
+        .iter()
+        .filter(|c| c.class == CellClass::Data)
+        .map(|c| (c.slot.raw(), c.options.tx))
+        .collect();
+    let has_tx = cells.iter().any(|&(_, tx)| tx);
+    if !has_tx {
+        // Root-style node: the interleave rule is vacuous.
+        return true;
+    }
+    cells.push((slot, false));
+    cells.sort_unstable();
+    // Cyclic scan: between any two consecutive Rx entries there must be
+    // a Tx entry.
+    let n = cells.len();
+    for i in 0..n {
+        let (_, tx_here) = cells[i];
+        if tx_here {
+            continue;
+        }
+        // The next data cell cyclically must not be another Rx…
+        let (_, tx_next) = cells[(i + 1) % n];
+        if !tx_next {
+            return false;
+        }
+    }
+    true
+}
+
+/// Orders a child's candidate Tx slots for an ADD proposal (§V): prefer
+/// slots that break up consecutive-Rx runs in this node's own schedule,
+/// then the remaining free slots rotated by `salt` (callers pass the
+/// node id). The rotation keeps siblings from proposing identical
+/// lowest-first lists — without it, two children whose low slots are
+/// already taken at the parent would deterministically collide on the
+/// same doomed proposal forever. Returns at most `limit` slots.
+pub fn candidate_tx_slots(sf: &Slotframe, limit: usize, salt: u64) -> Vec<u16> {
+    let free = free_slots(sf);
+    if free.is_empty() || limit == 0 {
+        return Vec::new();
+    }
+
+    // Data-Rx slots of this node (cells from its children).
+    let rx_slots: Vec<u16> = sf
+        .cells()
+        .iter()
+        .filter(|c| c.class == CellClass::Data && c.options.rx && !c.options.tx)
+        .map(|c| c.slot.raw())
+        .collect();
+
+    // Score: 1 if the free slot falls cyclically between two Rx slots
+    // with no Tx between (placing a Tx there enforces the §V rule).
+    let tx_slots: Vec<u16> = sf
+        .cells()
+        .iter()
+        .filter(|c| c.class == CellClass::Data && c.options.tx)
+        .map(|c| c.slot.raw())
+        .collect();
+    let breaks_rx_run = |slot: u16| -> bool {
+        if rx_slots.len() < 2 {
+            return false;
+        }
+        let mut events: Vec<(u16, u8)> = Vec::new(); // 0 = rx, 1 = tx, 2 = candidate
+        events.extend(rx_slots.iter().map(|&s| (s, 0u8)));
+        events.extend(tx_slots.iter().map(|&s| (s, 1u8)));
+        events.push((slot, 2));
+        events.sort_unstable();
+        let n = events.len();
+        for i in 0..n {
+            if events[i].1 == 2 {
+                let prev = events[(i + n - 1) % n].1;
+                let next = events[(i + 1) % n].1;
+                return prev == 0 && next == 0;
+            }
+        }
+        false
+    };
+
+    let mut breakers: Vec<u16> = Vec::new();
+    let mut rest: Vec<u16> = Vec::new();
+    for &s in &free {
+        if breaks_rx_run(s) {
+            breakers.push(s);
+        } else {
+            rest.push(s);
+        }
+    }
+    // Rotate the plain free slots by the salt (deterministic per node).
+    if !rest.is_empty() {
+        let k = (salt as usize) % rest.len();
+        rest.rotate_left(k);
+    }
+    breakers
+        .into_iter()
+        .chain(rest)
+        .take(limit)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtt_mac::{Cell, ChannelOffset, SlotOffset};
+    use gtt_net::{Dest, NodeId};
+
+    fn data_tx(sf: &mut Slotframe, slot: u16) {
+        sf.add(Cell::data_tx(
+            SlotOffset::new(slot),
+            ChannelOffset::new(1),
+            NodeId::new(0),
+        ));
+    }
+
+    fn data_rx(sf: &mut Slotframe, slot: u16) {
+        sf.add(Cell::data_rx(
+            SlotOffset::new(slot),
+            ChannelOffset::new(2),
+            NodeId::new(9),
+        ));
+    }
+
+    #[test]
+    fn paper_example_m20_k5() {
+        assert_eq!(broadcast_offsets(20, 5), vec![0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn m32_k4_spreads_every_8() {
+        assert_eq!(broadcast_offsets(32, 4), vec![0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn non_divisible_k_still_covers() {
+        // m=20, k=6: step 3 → 0,3,6,9,12,15,18 (7 slots ≥ k).
+        let offs = broadcast_offsets(20, 6);
+        assert!(offs.len() >= 6);
+        assert!(offs.iter().all(|&x| x < 20));
+    }
+
+    #[test]
+    fn shared_slots_follow_broadcast_slots() {
+        assert_eq!(shared_offsets(32, 4, 3), vec![1, 9, 17]);
+        // Never overlapping the broadcast offsets themselves.
+        let b = broadcast_offsets(32, 4);
+        for s in shared_offsets(32, 4, 3) {
+            assert!(!b.contains(&s));
+        }
+    }
+
+    #[test]
+    fn free_slots_excludes_occupied() {
+        let mut sf = Slotframe::new(8);
+        data_tx(&mut sf, 2);
+        data_rx(&mut sf, 5);
+        assert_eq!(free_slots(&sf), vec![0, 1, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn rx_placement_rule_fig5() {
+        // Fig. 5's rule, cyclic version: every Rx must be followed by a
+        // Tx before the next Rx. With Tx at 5 and 8 and Rx at 0:
+        let mut sf = Slotframe::new(10);
+        data_rx(&mut sf, 0);
+        data_tx(&mut sf, 5);
+        data_tx(&mut sf, 8);
+        assert!(rx_placement_ok(&sf, 6), "Rx at 6 is drained by Tx at 8");
+        assert!(!rx_placement_ok(&sf, 1), "Rx at 1 back-to-back with Rx at 0");
+        // Wrap-around: Rx at 9 is followed (cyclically) by Rx at 0 with
+        // no Tx in slot 9→0; Fig. 5a's queue build-up — rejected.
+        assert!(!rx_placement_ok(&sf, 9));
+    }
+
+    #[test]
+    fn one_tx_supports_exactly_one_rx() {
+        // Corollary of the cyclic rule: a forwarder with a single Tx cell
+        // can host at most one Rx cell — mirroring the §V "Tx > Rx"
+        // capacity rule.
+        let mut sf = Slotframe::new(10);
+        data_tx(&mut sf, 5);
+        assert!(rx_placement_ok(&sf, 2));
+        data_rx(&mut sf, 2);
+        for cand in [0, 1, 3, 4, 6, 7, 8, 9] {
+            assert!(!rx_placement_ok(&sf, cand), "slot {cand} must be rejected");
+        }
+    }
+
+    #[test]
+    fn rx_placement_vacuous_for_roots() {
+        let mut sf = Slotframe::new(10);
+        data_rx(&mut sf, 0);
+        data_rx(&mut sf, 1);
+        // No Tx cells at all: a root may pack Rx cells densely.
+        assert!(rx_placement_ok(&sf, 2));
+    }
+
+    #[test]
+    fn candidates_prefer_breaking_rx_runs() {
+        let mut sf = Slotframe::new(12);
+        data_rx(&mut sf, 2);
+        data_rx(&mut sf, 4);
+        data_tx(&mut sf, 8);
+        // Slot 3 sits between the two Rx cells → highest priority.
+        let cands = candidate_tx_slots(&sf, 4, 0);
+        assert_eq!(cands[0], 3, "run-breaking slot first, got {cands:?}");
+        // The salt rotates only the non-breaking remainder.
+        let salted = candidate_tx_slots(&sf, 4, 5);
+        assert_eq!(salted[0], 3, "breakers stay first under salt");
+        assert_ne!(cands[1..], salted[1..], "salt must rotate the rest");
+    }
+
+    #[test]
+    fn candidates_respect_limit_and_emptiness() {
+        let mut sf = Slotframe::new(6);
+        for s in 0..6 {
+            data_tx(&mut sf, s);
+        }
+        assert!(candidate_tx_slots(&sf, 4, 0).is_empty(), "no free slots");
+        let sf2 = Slotframe::new(6);
+        assert_eq!(candidate_tx_slots(&sf2, 3, 0).len(), 3);
+        // Different salts cover different starting points of the space.
+        let a = candidate_tx_slots(&sf2, 3, 0);
+        let b = candidate_tx_slots(&sf2, 3, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ k ≤ m")]
+    fn zero_k_rejected() {
+        let _ = broadcast_offsets(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared slots")]
+    fn too_many_shared_rejected() {
+        let _ = shared_offsets(32, 2, 5);
+    }
+}

@@ -1,0 +1,108 @@
+//! The EWMA queue metric of eq. 6.
+
+/// Exponentially weighted moving average of the queue length:
+/// `Q̄(t) = ζ·Q̄(t−1) + (1−ζ)·q(t)` (paper eq. 6).
+///
+/// "To define a smooth queue metric which is resilient against the sudden
+/// changes" — a transient burst does not immediately change the game's
+/// queue cost, but sustained congestion does.
+///
+/// # Example
+///
+/// ```
+/// use gt_tsch::QueueEwma;
+///
+/// let mut q = QueueEwma::new(0.5);
+/// q.update(4.0);
+/// q.update(4.0);
+/// assert!((q.value() - 3.0).abs() < 1e-12); // 0.5·2 + 0.5·4
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueEwma {
+    zeta: f64,
+    value: f64,
+}
+
+impl QueueEwma {
+    /// Creates the metric with smoothing factor `ζ` (weight of history).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ζ < 1`.
+    pub fn new(zeta: f64) -> Self {
+        assert!((0.0..1.0).contains(&zeta), "ζ must be in [0,1), got {zeta}");
+        QueueEwma { zeta, value: 0.0 }
+    }
+
+    /// Current `Q̄`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Feeds the instantaneous queue length `q(t)` (eq. 6).
+    pub fn update(&mut self, queue_len: f64) -> f64 {
+        self.value = self.zeta * self.value + (1.0 - self.zeta) * queue_len;
+        self.value
+    }
+
+    /// Resets to an empty queue.
+    pub fn reset(&mut self) {
+        self.value = 0.0;
+    }
+}
+
+impl Default for QueueEwma {
+    fn default() -> Self {
+        QueueEwma::new(0.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut q = QueueEwma::new(0.7);
+        for _ in 0..200 {
+            q.update(5.0);
+        }
+        assert!((q.value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zeta_zero_tracks_instantaneously() {
+        let mut q = QueueEwma::new(0.0);
+        q.update(7.0);
+        assert_eq!(q.value(), 7.0);
+        q.update(1.0);
+        assert_eq!(q.value(), 1.0);
+    }
+
+    #[test]
+    fn smooths_bursts() {
+        let mut smooth = QueueEwma::new(0.9);
+        let mut jumpy = QueueEwma::new(0.1);
+        for _ in 0..5 {
+            smooth.update(0.0);
+            jumpy.update(0.0);
+        }
+        smooth.update(8.0);
+        jumpy.update(8.0);
+        assert!(smooth.value() < jumpy.value(), "higher ζ ⇒ slower reaction");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut q = QueueEwma::default();
+        q.update(4.0);
+        q.reset();
+        assert_eq!(q.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ζ must be in [0,1)")]
+    fn unit_zeta_rejected() {
+        let _ = QueueEwma::new(1.0);
+    }
+}

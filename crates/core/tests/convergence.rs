@@ -1,0 +1,161 @@
+//! Convergence dynamics of the GT-TSCH scheduling function on live
+//! networks: how fast the negotiation pipeline (EB channel → 6P cells →
+//! ASK-CHANNEL → data cells) reaches a working schedule, and how the
+//! game adapts allocations when conditions change.
+
+use gtt_mac::CellClass;
+use gtt_net::NodeId;
+use gtt_sim::SimDuration;
+use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+
+fn data_tx_cells(net: &gtt_engine::Network, id: u16) -> usize {
+    net.node(NodeId::new(id))
+        .mac
+        .schedule()
+        .frame(gtt_mac::SlotframeHandle::new(0))
+        .expect("gt-tsch slotframe")
+        .cells()
+        .iter()
+        .filter(|c| c.class == CellClass::Data && c.options.tx)
+        .count()
+}
+
+#[test]
+fn schedule_converges_within_a_minute() {
+    // From cold boot, every node of a 7-mote DODAG should hold at least
+    // one data Tx cell towards its parent within ~60 s of simulated
+    // time — the EB/6P pipeline is a handful of 2 s periods per hop.
+    let scenario = Scenario::single_dodag(7);
+    let spec = RunSpec {
+        traffic_ppm: 60.0,
+        warmup_secs: 0,
+        measure_secs: 0,
+        seed: 8,
+    };
+    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    net.run_for(SimDuration::from_secs(60));
+    assert_eq!(net.join_ratio(), 1.0, "all joined");
+    for id in 1..7u16 {
+        assert!(
+            data_tx_cells(&net, id) >= 1,
+            "n{id} still has no data cell after 60 s"
+        );
+    }
+}
+
+#[test]
+fn allocation_grows_with_rate_increase() {
+    // §VI: raising the generation rate must raise the allocated Tx cell
+    // count at the sources. We emulate a rate change by comparing two
+    // converged networks at different rates (the engine's app rate is
+    // fixed per run).
+    let scenario = Scenario::single_dodag(5);
+    let cells_at_rate = |ppm: f64| {
+        let spec = RunSpec {
+            traffic_ppm: ppm,
+            warmup_secs: 0,
+            measure_secs: 0,
+            seed: 10,
+        };
+        let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+        net.run_for(SimDuration::from_secs(180));
+        (1..5u16).map(|id| data_tx_cells(&net, id)).sum::<usize>()
+    };
+    let light = cells_at_rate(15.0);
+    let heavy = cells_at_rate(165.0);
+    assert!(
+        heavy > light,
+        "heavy load must allocate more cells: {light} vs {heavy}"
+    );
+}
+
+#[test]
+fn excess_cells_are_released_after_a_burst() {
+    // §IV rule 3 via the DELETE path: inflate allocations with a very
+    // lossy phase (queue pressure grants extras), then restore the link
+    // and verify the surplus is released again.
+    let scenario = Scenario::line(3, 30.0);
+    let spec = RunSpec {
+        traffic_ppm: 30.0,
+        warmup_secs: 0,
+        measure_secs: 0,
+        seed: 12,
+    };
+    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    net.run_for(SimDuration::from_secs(120));
+    let baseline = data_tx_cells(&net, 1);
+
+    // Degrade n1's uplink: retransmissions back the queue up, the game
+    // requests more cells (full-queue regime of eq. 15).
+    net.set_link_prr_symmetric(NodeId::new(1), NodeId::new(0), 0.35);
+    net.run_for(SimDuration::from_secs(300));
+    let inflated = data_tx_cells(&net, 1);
+
+    // Restore the link; the load balancer should shed the surplus back
+    // towards demand + slack.
+    net.set_link_prr_symmetric(NodeId::new(1), NodeId::new(0), 1.0);
+    net.run_for(SimDuration::from_secs(300));
+    let settled = data_tx_cells(&net, 1);
+
+    assert!(
+        inflated >= baseline,
+        "pressure must not shrink the allocation ({baseline} → {inflated})"
+    );
+    assert!(
+        settled <= inflated,
+        "restored link must shed surplus cells ({inflated} → {settled})"
+    );
+}
+
+#[test]
+fn control_overhead_is_bounded_in_steady_state() {
+    // After convergence, 6P transaction traffic settles: in steady state
+    // the failed-transaction counter must grow much slower than during
+    // formation (no ADD/DELETE oscillation, no ErrNoCells livelock).
+    let scenario = Scenario::two_dodag(7);
+    let spec = RunSpec {
+        traffic_ppm: 120.0,
+        warmup_secs: 0,
+        measure_secs: 0,
+        seed: 14,
+    };
+    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    net.run_for(SimDuration::from_secs(240));
+    let failures_after_formation: u64 = net
+        .nodes()
+        .iter()
+        .map(|n| n.sixtop.failed_transactions())
+        .sum();
+    net.run_for(SimDuration::from_secs(240));
+    let failures_later: u64 = net
+        .nodes()
+        .iter()
+        .map(|n| n.sixtop.failed_transactions())
+        .sum();
+    let steady_rate = failures_later - failures_after_formation;
+    assert!(
+        steady_rate <= failures_after_formation + 20,
+        "6P failures keep accumulating in steady state: \
+         {failures_after_formation} during formation, +{steady_rate} after"
+    );
+}
+
+#[test]
+fn roots_never_request_cells() {
+    let scenario = Scenario::single_dodag(5);
+    let spec = RunSpec {
+        traffic_ppm: 60.0,
+        warmup_secs: 0,
+        measure_secs: 0,
+        seed: 16,
+    };
+    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    net.run_for(SimDuration::from_secs(120));
+    let root = net.node(NodeId::new(0));
+    assert_eq!(
+        root.sixtop.completed_transactions() + root.sixtop.failed_transactions(),
+        0,
+        "the root initiates no 6P transactions (it has no parent)"
+    );
+    assert_eq!(data_tx_cells(&net, 0), 0, "roots hold no data Tx cells");
+}

@@ -1,0 +1,88 @@
+//! Engine configuration.
+
+use gtt_mac::{HoppingSequence, MacConfig};
+use gtt_rpl::RplConfig;
+use gtt_sim::SimDuration;
+use gtt_sixtop::SixtopConfig;
+
+/// Configuration for a [`Network`](crate::Network) run.
+///
+/// Defaults reproduce the paper's Table II: 15 ms slots, 8-channel hopping
+/// sequence, EB period 2 s, 4 retransmissions, MRHOF.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// MAC parameters.
+    pub mac: MacConfig,
+    /// RPL parameters.
+    pub rpl: RplConfig,
+    /// 6P parameters.
+    pub sixtop: SixtopConfig,
+    /// Channel-hopping sequence (Table II: `17,23,15,25,19,11,13,21`).
+    pub hopping: HoppingSequence,
+    /// EB broadcast period (Table II: 2 s).
+    pub eb_period: SimDuration,
+    /// Cadence of RPL housekeeping polls.
+    pub rpl_poll_period: SimDuration,
+    /// Cadence of the scheduling function's `periodic` hook (GT-TSCH's
+    /// load-balancing / slotframe-update timer, §VI).
+    pub sf_period: SimDuration,
+    /// Root experiment seed; every node and the medium derive their own
+    /// streams from it.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mac: MacConfig::paper_default(),
+            rpl: RplConfig::default(),
+            sixtop: SixtopConfig::default(),
+            hopping: HoppingSequence::paper_default(),
+            eb_period: SimDuration::from_secs(2),
+            rpl_poll_period: SimDuration::from_millis(480), // 32 slots
+            sf_period: SimDuration::from_secs(2),
+            seed: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates nested configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid values.
+    pub fn validate(&self) {
+        self.mac.validate();
+        assert!(!self.eb_period.is_zero(), "EB period must be positive");
+        assert!(
+            !self.rpl_poll_period.is_zero(),
+            "RPL poll period must be positive"
+        );
+        assert!(!self.sf_period.is_zero(), "SF period must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paper_shaped() {
+        let cfg = EngineConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.mac.slot_duration.as_millis(), 15);
+        assert_eq!(cfg.eb_period.as_millis(), 2_000);
+        assert_eq!(cfg.hopping.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "EB period")]
+    fn zero_eb_period_rejected() {
+        let cfg = EngineConfig {
+            eb_period: SimDuration::ZERO,
+            ..EngineConfig::default()
+        };
+        cfg.validate();
+    }
+}

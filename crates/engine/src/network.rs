@@ -1,0 +1,443 @@
+//! The slot-synchronous network engine.
+
+use gtt_mac::{Asn, MacCounters, SlotAction, SlotResult, TschMac};
+use gtt_metrics::PacketTracker;
+use gtt_net::{
+    Dest, Frame, Listener, NodeId, PacketId, RadioMedium, Topology, Transmission,
+};
+use gtt_rpl::{RplConfig, RplNode};
+use gtt_sim::{Pcg32, SimDuration, SimTime};
+use gtt_sixtop::SixtopLayer;
+
+use crate::config::EngineConfig;
+use crate::node::{AppTraffic, Node, UpkeepOutput};
+use crate::payload::Payload;
+use crate::report::NetworkReport;
+use crate::scheduler::SchedulingFunction;
+
+/// Per-node counter snapshot taken when measurement starts, so reports
+/// cover only the measurement window.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Snapshot {
+    pub counters: MacCounters,
+    pub queue_loss: u64,
+    pub routing_drops: u64,
+}
+
+/// A simulated TSCH network.
+///
+/// Construct with [`Network::builder`], drive with [`Network::run_for`] /
+/// [`Network::run_slots`], bracket the steady state with
+/// [`Network::start_measurement`] / [`Network::finish_measurement`], then
+/// read the [`NetworkReport`].
+pub struct Network {
+    pub(crate) config: EngineConfig,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) medium: RadioMedium,
+    pub(crate) tracker: PacketTracker,
+    pub(crate) asn: Asn,
+    packet_counter: u64,
+    pub(crate) measure_start: Option<SimTime>,
+    pub(crate) measure_end: Option<SimTime>,
+    pub(crate) snapshots: Vec<Snapshot>,
+}
+
+/// Builder for [`Network`] (C-BUILDER).
+pub struct NetworkBuilder {
+    topology: Topology,
+    config: EngineConfig,
+    roots: Vec<NodeId>,
+    traffic_ppm: Option<f64>,
+    factory: Option<Box<dyn Fn(NodeId, bool) -> Box<dyn SchedulingFunction>>>,
+}
+
+impl Network {
+    /// Starts building a network over `topology`.
+    pub fn builder(topology: Topology, config: EngineConfig) -> NetworkBuilder {
+        NetworkBuilder {
+            topology,
+            config,
+            roots: Vec::new(),
+            traffic_ppm: None,
+            factory: None,
+        }
+    }
+
+    /// Current simulation time (start of the upcoming slot).
+    pub fn now(&self) -> SimTime {
+        self.asn.start_time(self.config.mac.slot_duration)
+    }
+
+    /// The upcoming absolute slot number.
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (used by tests to inject faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The end-to-end packet tracker.
+    pub fn tracker(&self) -> &PacketTracker {
+        &self.tracker
+    }
+
+    /// Fraction of non-root nodes that joined the DODAG.
+    pub fn join_ratio(&self) -> f64 {
+        let non_roots: Vec<_> = self.nodes.iter().filter(|n| !n.rpl.is_root()).collect();
+        if non_roots.is_empty() {
+            return 1.0;
+        }
+        non_roots.iter().filter(|n| n.rpl.is_joined()).count() as f64 / non_roots.len() as f64
+    }
+
+    /// Simulates one timeslot.
+    pub fn step(&mut self) {
+        let now = self.now();
+
+        // Phase 1: timers, control plane, application.
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            let output = self.nodes[i].upkeep(now);
+            self.apply_upkeep(i, output, now);
+        }
+
+        // Phase 2: every MAC plans its slot.
+        let n = self.nodes.len();
+        let mut transmissions: Vec<Transmission<Payload>> = Vec::new();
+        let mut listeners: Vec<Listener> = Vec::new();
+        let mut tx_of: Vec<Option<usize>> = vec![None; n];
+        let mut listen_of: Vec<Option<usize>> = vec![None; n];
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !node.alive {
+                continue;
+            }
+            match node.mac.plan_slot(self.asn) {
+                SlotAction::Sleep => {}
+                SlotAction::Transmit { channel, frame, .. } => {
+                    tx_of[i] = Some(transmissions.len());
+                    transmissions.push(Transmission { channel, frame });
+                }
+                SlotAction::Listen { channel, .. } => {
+                    listen_of[i] = Some(listeners.len());
+                    listeners.push(Listener {
+                        node: node.mac.id(),
+                        channel,
+                    });
+                }
+            }
+        }
+
+        // Phase 3: the medium resolves all concurrent activity.
+        let outcomes = self.medium.resolve_slot(transmissions, listeners);
+
+        // Phase 4: feed results back; deliver decoded frames upward.
+        for i in 0..n {
+            let result = if let Some(t) = tx_of[i] {
+                SlotResult::Transmitted {
+                    acked: outcomes.acked[t],
+                }
+            } else if let Some(l) = listen_of[i] {
+                SlotResult::Listened(outcomes.rx[l].1.clone())
+            } else {
+                SlotResult::Slept
+            };
+            if let Some(frame) = self.nodes[i].mac.finish_slot(result) {
+                self.deliver(i, frame, now);
+            }
+        }
+
+        self.asn = self.asn.next();
+    }
+
+    /// Runs `slots` timeslots.
+    pub fn run_slots(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+
+    /// Runs for (at least) the given simulated duration.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.now() + duration;
+        while self.now() < end {
+            self.step();
+        }
+    }
+
+    /// Begins the measurement window: packets generated from now on are
+    /// tracked and per-node counters are snapshotted.
+    pub fn start_measurement(&mut self) {
+        let now = self.now();
+        self.measure_start = Some(now);
+        self.measure_end = None;
+        self.tracker.set_window(now, SimTime::MAX);
+        self.snapshots = self
+            .nodes
+            .iter()
+            .map(|node| Snapshot {
+                counters: node.mac.counters(),
+                queue_loss: node.mac.queue_loss(),
+                routing_drops: node.routing_drops,
+            })
+            .collect();
+    }
+
+    /// Ends the measurement window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Network::start_measurement`] was not called.
+    pub fn finish_measurement(&mut self) {
+        let start = self
+            .measure_start
+            .expect("start_measurement must be called first");
+        let now = self.now();
+        self.measure_end = Some(now);
+        self.tracker.set_window(start, now);
+    }
+
+    /// Produces the measurement report.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless measurement was started and finished.
+    pub fn report(&self) -> NetworkReport {
+        NetworkReport::collect(self)
+    }
+
+    /// Fault injection: silences `node` from the next slot on (crash,
+    /// battery death). Dead nodes keep their state for post-mortem
+    /// inspection but neither transmit, listen nor run timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.nodes[node.index()].alive = false;
+    }
+
+    /// Fault injection: overrides the PRR of the directed link `a → b`
+    /// from the next slot on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prr` is outside `[0, 1]`.
+    pub fn set_link_prr(&mut self, a: NodeId, b: NodeId, prr: f64) {
+        self.medium.topology_mut().set_link_prr(a, b, prr);
+    }
+
+    /// Fault injection: symmetric variant of
+    /// [`Network::set_link_prr`].
+    pub fn set_link_prr_symmetric(&mut self, a: NodeId, b: NodeId, prr: f64) {
+        self.set_link_prr(a, b, prr);
+        self.set_link_prr(b, a, prr);
+    }
+
+    fn apply_upkeep(&mut self, i: usize, output: UpkeepOutput, now: SimTime) {
+        // Scheduler reactions to parent changes.
+        for (old, new) in output.parent_changes {
+            self.nodes[i].with_scheduler(now, |sf, ctx| sf.on_parent_changed(ctx, old, new));
+        }
+        // Application packets.
+        for _ in 0..output.generated_packets {
+            let Some(parent) = self.nodes[i].rpl.parent() else {
+                continue;
+            };
+            let id = PacketId::new(self.packet_counter);
+            self.packet_counter += 1;
+            let origin = self.nodes[i].id();
+            self.tracker.record_generated(id, origin, now);
+            self.nodes[i].generated_total += 1;
+            let frame = Frame::new(id, origin, Dest::Unicast(parent), now, Payload::Data);
+            // Overflow is counted by the queue itself (queue loss).
+            let _ = self.nodes[i].mac.enqueue_data(frame);
+        }
+    }
+
+    /// Dispatches a frame the MAC accepted to the right upper layer.
+    fn deliver(&mut self, i: usize, frame: Frame<Payload>, now: SimTime) {
+        match frame.payload.clone() {
+            Payload::Data => {
+                if self.nodes[i].rpl.is_root() {
+                    // +1: `hops` counts completed forwards; this reception
+                    // is one more link-layer hop.
+                    self.tracker
+                        .record_delivered(frame.id, now, frame.hops.saturating_add(1));
+                } else if let Some(parent) = self.nodes[i].rpl.parent() {
+                    let fwd = frame.forwarded(self.nodes[i].id(), Dest::Unicast(parent));
+                    let _ = self.nodes[i].mac.enqueue_data(fwd);
+                } else {
+                    self.nodes[i].routing_drops += 1;
+                }
+            }
+            Payload::Eb(info) => {
+                self.nodes[i].with_scheduler(now, |sf, ctx| sf.on_eb(ctx, frame.src, &info));
+            }
+            Payload::Dio(dio) => {
+                let etx = self.nodes[i].mac.etx(frame.src);
+                let actions = self.nodes[i].rpl.handle_dio(frame.src, dio, etx, now);
+                let mut out = UpkeepOutput::default();
+                self.nodes[i].process_rpl_actions(actions, now, &mut out);
+                for (old, new) in out.parent_changes {
+                    self.nodes[i]
+                        .with_scheduler(now, |sf, ctx| sf.on_parent_changed(ctx, old, new));
+                }
+            }
+            Payload::Dao(dao) => {
+                self.nodes[i].rpl.handle_dao(frame.src, dao, now);
+                self.nodes[i]
+                    .with_scheduler(now, |sf, ctx| sf.on_dao(ctx, dao.child, dao.no_path));
+            }
+            Payload::SixP(msg) => {
+                if let Some(event) = self.nodes[i].sixtop.handle_message(frame.src, msg) {
+                    self.nodes[i].dispatch_sixtop_event(event, now);
+                }
+            }
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// Declares `id` a DODAG root.
+    pub fn root(mut self, id: NodeId) -> Self {
+        self.roots.push(id);
+        self
+    }
+
+    /// Declares several roots.
+    pub fn roots<I: IntoIterator<Item = NodeId>>(mut self, ids: I) -> Self {
+        self.roots.extend(ids);
+        self
+    }
+
+    /// Gives every non-root node a CBR source of `ppm` packets/minute.
+    pub fn traffic_ppm(mut self, ppm: f64) -> Self {
+        self.traffic_ppm = Some(ppm);
+        self
+    }
+
+    /// Sets the scheduling-function factory, called once per node with
+    /// `(id, is_root)`.
+    pub fn scheduler_factory<F>(mut self, f: F) -> Self
+    where
+        F: Fn(NodeId, bool) -> Box<dyn SchedulingFunction> + 'static,
+    {
+        self.factory = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the network and runs every scheduler's `init` hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no roots or no factory were configured, when a root id
+    /// is out of range, or when the configuration is invalid.
+    pub fn build(self) -> Network {
+        self.config.validate();
+        assert!(!self.roots.is_empty(), "a network needs at least one root");
+        assert!(
+            self.factory.is_some(),
+            "a scheduler factory must be configured"
+        );
+        let factory = self.factory.expect("checked above");
+        for r in &self.roots {
+            assert!(
+                r.index() < self.topology.len(),
+                "root {r} outside the topology"
+            );
+        }
+
+        let mut master = Pcg32::new(self.config.seed);
+        let medium_rng = master.split();
+        let n = self.topology.len();
+
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId::from_index(i);
+            let is_root = self.roots.contains(&id);
+            let mut rng = master.split();
+            let mac = TschMac::new(
+                id,
+                self.config.mac.clone(),
+                self.config.hopping.clone(),
+                rng.split(),
+            );
+            let rpl_cfg: RplConfig = self.config.rpl.clone();
+            let rpl = if is_root {
+                RplNode::new_root(id, rpl_cfg, SimTime::ZERO)
+            } else {
+                RplNode::new(id, rpl_cfg)
+            };
+            let sixtop = SixtopLayer::new(id, self.config.sixtop.clone());
+            let scheduler = factory(id, is_root);
+            let mut node = Node::new(mac, rpl, sixtop, scheduler, rng);
+
+            // Stagger periodic timers with per-node phase jitter so the
+            // whole network does not beacon in the same slot.
+            let jitter = |rng: &mut Pcg32, period: SimDuration| {
+                SimDuration::from_micros(
+                    rng.gen_range_u32(0, period.as_micros().max(2) as u32) as u64
+                )
+            };
+            node.eb_period = self.config.eb_period;
+            let eb_phase = jitter(&mut node.rng, self.config.eb_period);
+            node.eb_timer.arm(SimTime::ZERO + eb_phase);
+            let rpl_phase = jitter(&mut node.rng, self.config.rpl_poll_period);
+            node.rpl_poll_timer
+                .arm_periodic(SimTime::ZERO + rpl_phase, self.config.rpl_poll_period);
+            let sf_phase = jitter(&mut node.rng, self.config.sf_period);
+            node.sf_timer
+                .arm_periodic(SimTime::ZERO + sf_phase, self.config.sf_period);
+
+            if let Some(ppm) = self.traffic_ppm {
+                if !is_root {
+                    node.app = Some(AppTraffic::new(ppm, &mut node.rng));
+                }
+            }
+            nodes.push(node);
+        }
+
+        let mut net = Network {
+            config: self.config,
+            nodes,
+            medium: RadioMedium::new(self.topology, medium_rng),
+            tracker: PacketTracker::new(),
+            asn: Asn::ZERO,
+            packet_counter: 0,
+            measure_start: None,
+            measure_end: None,
+            snapshots: Vec::new(),
+        };
+        for i in 0..net.nodes.len() {
+            net.nodes[i].with_scheduler(SimTime::ZERO, |sf, ctx| sf.init(ctx));
+        }
+        net
+    }
+}

@@ -1,0 +1,162 @@
+//! Measurement reports.
+
+use gtt_mac::MacCounters;
+use gtt_metrics::FigureRow;
+use gtt_net::NodeId;
+use gtt_rpl::Rank;
+
+use crate::network::Network;
+
+/// Per-node diagnostics included in a [`NetworkReport`].
+#[derive(Debug, Clone)]
+pub struct NodeSummary {
+    /// The node.
+    pub id: NodeId,
+    /// Whether it is a DODAG root.
+    pub is_root: bool,
+    /// RPL parent at the end of the run.
+    pub parent: Option<NodeId>,
+    /// RPL Rank at the end of the run.
+    pub rank: Rank,
+    /// Radio duty cycle over the measurement window (0..=1).
+    pub duty_cycle: f64,
+    /// Queue losses during the window.
+    pub queue_loss: u64,
+    /// Packets dropped after exhausting retransmissions during the window.
+    pub retry_drops: u64,
+    /// Packets dropped for lack of a route during the window.
+    pub routing_drops: u64,
+    /// Collisions heard during the window.
+    pub collisions_heard: u64,
+    /// Total scheduled cells at the end of the run.
+    pub scheduled_cells: usize,
+    /// MAC counter deltas over the window.
+    pub counters: MacCounters,
+}
+
+/// The outcome of one measured run: the paper's six series plus per-node
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Scheduler name (from the root node's scheduling function).
+    pub scheduler: &'static str,
+    /// The paper's six metrics.
+    pub row: FigureRow,
+    /// Packets generated in the window.
+    pub generated: u64,
+    /// Packets delivered to roots in the window.
+    pub delivered: u64,
+    /// Mean hop count of delivered packets.
+    pub mean_hops: f64,
+    /// Fraction of non-root nodes joined at the end.
+    pub join_ratio: f64,
+    /// Per-node breakdown.
+    pub per_node: Vec<NodeSummary>,
+}
+
+impl NetworkReport {
+    pub(crate) fn collect(net: &Network) -> NetworkReport {
+        let start = net
+            .measure_start
+            .expect("report requires start_measurement()");
+        let end = net
+            .measure_end
+            .expect("report requires finish_measurement()");
+        assert!(end > start, "measurement window is empty");
+
+        let idle_fraction = net.config.mac.idle_listen_fraction;
+        let mut per_node = Vec::with_capacity(net.nodes.len());
+        let mut duty_sum = 0.0;
+        let mut queue_loss_sum = 0.0;
+        let mut non_roots = 0u32;
+
+        for (i, node) in net.nodes.iter().enumerate() {
+            let snap = net.snapshots.get(i).copied().unwrap_or_default();
+            let c = node.mac.counters();
+            let d = MacCounters {
+                slots: c.slots - snap.counters.slots,
+                tx_slots: c.tx_slots - snap.counters.tx_slots,
+                rx_busy_slots: c.rx_busy_slots - snap.counters.rx_busy_slots,
+                rx_idle_slots: c.rx_idle_slots - snap.counters.rx_idle_slots,
+                sleep_slots: c.sleep_slots - snap.counters.sleep_slots,
+                unicast_tx: c.unicast_tx - snap.counters.unicast_tx,
+                unicast_acked: c.unicast_acked - snap.counters.unicast_acked,
+                broadcast_tx: c.broadcast_tx - snap.counters.broadcast_tx,
+                drops_retry_exhausted: c.drops_retry_exhausted
+                    - snap.counters.drops_retry_exhausted,
+                collisions_heard: c.collisions_heard - snap.counters.collisions_heard,
+                rx_accepted: c.rx_accepted - snap.counters.rx_accepted,
+                rx_overheard: c.rx_overheard - snap.counters.rx_overheard,
+            };
+            let duty = if d.slots == 0 {
+                0.0
+            } else {
+                (d.tx_slots as f64
+                    + d.rx_busy_slots as f64
+                    + d.rx_idle_slots as f64 * idle_fraction)
+                    / d.slots as f64
+            };
+            let queue_loss = node.mac.queue_loss() - snap.queue_loss;
+            let is_root = node.rpl.is_root();
+
+            duty_sum += duty;
+            if !is_root {
+                queue_loss_sum += queue_loss as f64;
+                non_roots += 1;
+            }
+
+            per_node.push(NodeSummary {
+                id: node.id(),
+                is_root,
+                parent: node.rpl.parent(),
+                rank: node.rpl.rank(),
+                duty_cycle: duty,
+                queue_loss,
+                retry_drops: d.drops_retry_exhausted,
+                routing_drops: node.routing_drops - snap.routing_drops,
+                collisions_heard: d.collisions_heard,
+                scheduled_cells: node.mac.schedule().total_cells(),
+                counters: d,
+            });
+        }
+
+        let tracker = net.tracker();
+        let row = FigureRow {
+            pdr_percent: tracker.pdr_percent(),
+            delay_ms: tracker.mean_delay_ms(),
+            loss_per_min: tracker.loss_per_minute(),
+            duty_cycle_percent: 100.0 * duty_sum / net.nodes.len().max(1) as f64,
+            queue_loss: if non_roots == 0 {
+                0.0
+            } else {
+                queue_loss_sum / non_roots as f64
+            },
+            received_per_min: tracker.received_per_minute(),
+        };
+
+        NetworkReport {
+            scheduler: net.nodes[0].scheduler.name(),
+            row,
+            generated: tracker.generated(),
+            delivered: tracker.delivered(),
+            mean_hops: tracker.mean_hops(),
+            join_ratio: net.join_ratio(),
+            per_node,
+        }
+    }
+}
+
+impl std::fmt::Display for NetworkReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "[{}] generated={} delivered={} join={:.0}%",
+            self.scheduler,
+            self.generated,
+            self.delivered,
+            self.join_ratio * 100.0
+        )?;
+        writeln!(f, "{}", FigureRow::header())?;
+        write!(f, "{}", self.row)
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end engine tests using the built-in minimal (RFC 8180-style)
+//! scheduling function.
+
+use gtt_engine::{EngineConfig, MinimalSchedule, Network};
+use gtt_net::{LinkModel, NodeId, Position, TopologyBuilder};
+use gtt_sim::SimDuration;
+
+fn line_topology(n: usize, spacing: f64) -> gtt_net::Topology {
+    TopologyBuilder::new(spacing * 1.2)
+        .link_model(LinkModel::Perfect)
+        .nodes((0..n).map(|i| Position::new(i as f64 * spacing, 0.0)))
+        .build()
+}
+
+fn star_topology(leaves: usize) -> gtt_net::Topology {
+    let mut b = TopologyBuilder::new(40.0)
+        .link_model(LinkModel::Perfect)
+        .node(Position::new(0.0, 0.0));
+    for i in 0..leaves {
+        let angle = i as f64 * std::f64::consts::TAU / leaves as f64;
+        b = b.node(Position::new(25.0 * angle.cos(), 25.0 * angle.sin()));
+    }
+    b.build()
+}
+
+fn minimal_net(topo: gtt_net::Topology, seed: u64, ppm: f64) -> Network {
+    let cfg = EngineConfig {
+        seed,
+        ..EngineConfig::default()
+    };
+    Network::builder(topo, cfg)
+        .root(NodeId::new(0))
+        .traffic_ppm(ppm)
+        .scheduler_factory(|_, _| Box::new(MinimalSchedule::new(8)))
+        .build()
+}
+
+#[test]
+fn nodes_join_a_line_dodag() {
+    let mut net = minimal_net(line_topology(4, 30.0), 7, 6.0);
+    net.run_for(SimDuration::from_secs(60));
+    assert_eq!(net.join_ratio(), 1.0, "all three non-roots should join");
+    // Ranks increase along the line.
+    let r1 = net.node(NodeId::new(1)).rpl.rank();
+    let r2 = net.node(NodeId::new(2)).rpl.rank();
+    let r3 = net.node(NodeId::new(3)).rpl.rank();
+    assert!(r1 < r2 && r2 < r3, "ranks must grow with distance: {r1} {r2} {r3}");
+    assert_eq!(net.node(NodeId::new(1)).rpl.parent(), Some(NodeId::new(0)));
+    assert_eq!(net.node(NodeId::new(2)).rpl.parent(), Some(NodeId::new(1)));
+    assert_eq!(net.node(NodeId::new(3)).rpl.parent(), Some(NodeId::new(2)));
+}
+
+#[test]
+fn parents_learn_children_via_dao() {
+    let mut net = minimal_net(line_topology(3, 30.0), 11, 6.0);
+    net.run_for(SimDuration::from_secs(90));
+    assert_eq!(net.node(NodeId::new(0)).rpl.children(), vec![NodeId::new(1)]);
+    assert_eq!(net.node(NodeId::new(1)).rpl.children(), vec![NodeId::new(2)]);
+}
+
+#[test]
+fn data_flows_to_the_root_in_a_star() {
+    let mut net = minimal_net(star_topology(4), 3, 12.0);
+    net.run_for(SimDuration::from_secs(30)); // warm-up
+    net.start_measurement();
+    net.run_for(SimDuration::from_secs(120));
+    net.finish_measurement();
+    let report = net.report();
+    assert!(report.generated > 0, "apps must generate packets");
+    assert!(
+        report.row.pdr_percent > 80.0,
+        "light traffic in a one-hop star should mostly arrive, got {:.1}%",
+        report.row.pdr_percent
+    );
+    assert!(report.row.delay_ms > 0.0);
+    assert!(report.mean_hops >= 1.0);
+}
+
+#[test]
+fn multihop_delivery_works() {
+    let mut net = minimal_net(line_topology(4, 30.0), 5, 4.0);
+    net.run_for(SimDuration::from_secs(60));
+    net.start_measurement();
+    net.run_for(SimDuration::from_secs(180));
+    net.finish_measurement();
+    let report = net.report();
+    assert!(report.generated > 0);
+    assert!(
+        report.row.pdr_percent > 60.0,
+        "line PDR too low: {:.1}%",
+        report.row.pdr_percent
+    );
+    // Deliveries from node 3 take 3 hops; mean across nodes must exceed 1.
+    assert!(
+        report.mean_hops > 1.2,
+        "expected multi-hop deliveries, mean hops {}",
+        report.mean_hops
+    );
+}
+
+#[test]
+fn same_seed_is_deterministic() {
+    let run = |seed| {
+        let mut net = minimal_net(line_topology(4, 30.0), seed, 10.0);
+        net.run_for(SimDuration::from_secs(40));
+        net.start_measurement();
+        net.run_for(SimDuration::from_secs(60));
+        net.finish_measurement();
+        let r = net.report();
+        (
+            r.generated,
+            r.delivered,
+            r.row.pdr_percent,
+            r.row.delay_ms,
+            r.row.duty_cycle_percent,
+        )
+    };
+    assert_eq!(run(42), run(42), "identical seeds must replay identically");
+    assert_ne!(
+        run(42),
+        run(43),
+        "different seeds should explore different schedules"
+    );
+}
+
+#[test]
+fn duty_cycle_is_sane() {
+    let mut net = minimal_net(line_topology(3, 30.0), 9, 6.0);
+    net.run_for(SimDuration::from_secs(30));
+    net.start_measurement();
+    net.run_for(SimDuration::from_secs(60));
+    net.finish_measurement();
+    let report = net.report();
+    assert!(
+        report.row.duty_cycle_percent > 0.0 && report.row.duty_cycle_percent <= 100.0,
+        "duty cycle {:.2}% out of range",
+        report.row.duty_cycle_percent
+    );
+    for node in &report.per_node {
+        assert!(node.duty_cycle >= 0.0 && node.duty_cycle <= 1.0);
+        assert!(node.counters.slots > 0);
+    }
+}
+
+#[test]
+fn lossy_links_still_converge() {
+    let topo = TopologyBuilder::new(36.0)
+        .link_model(LinkModel::Fixed(0.8))
+        .nodes((0..3).map(|i| Position::new(i as f64 * 30.0, 0.0)))
+        .build();
+    let mut net = minimal_net(topo, 21, 6.0);
+    net.run_for(SimDuration::from_secs(120));
+    assert_eq!(net.join_ratio(), 1.0, "80% links must still form a DODAG");
+    // ETX above 1 should be measured on at least one used link.
+    let etx = net.node(NodeId::new(1)).mac.etx(NodeId::new(0));
+    assert!(etx >= 1.0);
+}
+
+#[test]
+fn roots_do_not_generate_traffic() {
+    let mut net = minimal_net(star_topology(2), 13, 30.0);
+    net.run_for(SimDuration::from_secs(60));
+    assert_eq!(net.node(NodeId::new(0)).generated_total(), 0);
+    assert!(net.node(NodeId::new(1)).generated_total() > 0);
+}
+
+#[test]
+#[should_panic(expected = "at least one root")]
+fn builder_requires_a_root() {
+    let _ = Network::builder(line_topology(2, 10.0), EngineConfig::default())
+        .scheduler_factory(|_, _| Box::new(MinimalSchedule::new(4)))
+        .build();
+}
+
+#[test]
+#[should_panic(expected = "scheduler factory")]
+fn builder_requires_a_factory() {
+    let _ = Network::builder(line_topology(2, 10.0), EngineConfig::default())
+        .root(NodeId::new(0))
+        .build();
+}

@@ -1,0 +1,176 @@
+//! TSCH shared-cell backoff (IEEE 802.15.4e §6.2.5.3).
+//!
+//! Dedicated cells never back off — they are contention-free by
+//! construction. Shared cells use a slotted CSMA/CA variant: after a
+//! failed transmission in a shared cell the node skips a random number of
+//! *shared* cells drawn from `[0, 2^BE − 1]`, with the backoff exponent BE
+//! doubling per failure between `min_be` and `max_be`.
+
+use gtt_sim::Pcg32;
+
+/// Exponential backoff state for shared-cell access.
+///
+/// # Example
+///
+/// ```
+/// use gtt_mac::SharedCellBackoff;
+/// use gtt_sim::Pcg32;
+///
+/// let mut bo = SharedCellBackoff::new(1, 5);
+/// let mut rng = Pcg32::new(1);
+/// assert!(bo.may_transmit()); // fresh: no backoff pending
+/// bo.on_failure(&mut rng);    // collision ⇒ draw a window
+/// // …the node now skips up to 2^BE−1 shared cells…
+/// bo.on_success();            // delivery resets BE
+/// assert!(bo.may_transmit());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedCellBackoff {
+    min_be: u8,
+    max_be: u8,
+    be: u8,
+    /// Shared cells still to skip before the next attempt.
+    window: u32,
+}
+
+impl SharedCellBackoff {
+    /// Creates a backoff with the given exponent bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_be > max_be` or `max_be > 16`.
+    pub fn new(min_be: u8, max_be: u8) -> Self {
+        assert!(min_be <= max_be, "min_be must not exceed max_be");
+        assert!(max_be <= 16, "max_be above 16 would overflow the window");
+        SharedCellBackoff {
+            min_be,
+            max_be,
+            be: min_be,
+            window: 0,
+        }
+    }
+
+    /// The 802.15.4 defaults (BE in [1, 5]) used by Contiki-NG's TSCH.
+    pub fn standard() -> Self {
+        SharedCellBackoff::new(1, 5)
+    }
+
+    /// Current backoff exponent.
+    pub fn exponent(&self) -> u8 {
+        self.be
+    }
+
+    /// Shared cells remaining to skip.
+    pub fn pending(&self) -> u32 {
+        self.window
+    }
+
+    /// True if the node may transmit in the next shared cell.
+    pub fn may_transmit(&self) -> bool {
+        self.window == 0
+    }
+
+    /// Called when a shared cell passes without this node transmitting in
+    /// it (the cell "consumed" one unit of the backoff window).
+    pub fn on_shared_cell_skipped(&mut self) {
+        self.window = self.window.saturating_sub(1);
+    }
+
+    /// Called after a successful (acknowledged) shared-cell transmission:
+    /// resets the exponent and clears any pending window.
+    pub fn on_success(&mut self) {
+        self.be = self.min_be;
+        self.window = 0;
+    }
+
+    /// Called after a failed shared-cell transmission: doubles the
+    /// exponent (capped) and draws a fresh window from `[0, 2^BE − 1]`.
+    pub fn on_failure(&mut self, rng: &mut Pcg32) {
+        self.be = (self.be + 1).min(self.max_be);
+        let span = 1u32 << self.be;
+        self.window = rng.gen_range_u32(0, span);
+    }
+
+    /// Resets to the freshly-constructed state.
+    pub fn reset(&mut self) {
+        self.be = self.min_be;
+        self.window = 0;
+    }
+}
+
+impl Default for SharedCellBackoff {
+    fn default() -> Self {
+        SharedCellBackoff::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_backoff_transmits() {
+        let bo = SharedCellBackoff::standard();
+        assert!(bo.may_transmit());
+        assert_eq!(bo.pending(), 0);
+        assert_eq!(bo.exponent(), 1);
+    }
+
+    #[test]
+    fn failures_grow_exponent_to_cap() {
+        let mut bo = SharedCellBackoff::new(1, 3);
+        let mut rng = Pcg32::new(5);
+        for _ in 0..10 {
+            bo.on_failure(&mut rng);
+        }
+        assert_eq!(bo.exponent(), 3, "exponent capped at max_be");
+    }
+
+    #[test]
+    fn window_is_within_bounds() {
+        let mut rng = Pcg32::new(11);
+        for _ in 0..200 {
+            let mut bo = SharedCellBackoff::new(2, 2);
+            bo.on_failure(&mut rng);
+            assert!(bo.pending() < 8, "window must be < 2^3 after one failure");
+        }
+    }
+
+    #[test]
+    fn skipping_cells_drains_window() {
+        let mut bo = SharedCellBackoff::new(4, 5);
+        let mut rng = Pcg32::new(3);
+        // Draw until we get a non-zero window (overwhelmingly likely).
+        while {
+            bo.reset();
+            bo.on_failure(&mut rng);
+            bo.pending() == 0
+        } {}
+        let start = bo.pending();
+        bo.on_shared_cell_skipped();
+        assert_eq!(bo.pending(), start - 1);
+        for _ in 0..start {
+            bo.on_shared_cell_skipped();
+        }
+        assert!(bo.may_transmit());
+        bo.on_shared_cell_skipped(); // extra skips are harmless
+        assert_eq!(bo.pending(), 0);
+    }
+
+    #[test]
+    fn success_resets() {
+        let mut bo = SharedCellBackoff::standard();
+        let mut rng = Pcg32::new(9);
+        bo.on_failure(&mut rng);
+        bo.on_failure(&mut rng);
+        bo.on_success();
+        assert!(bo.may_transmit());
+        assert_eq!(bo.exponent(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_be must not exceed")]
+    fn inverted_bounds_rejected() {
+        let _ = SharedCellBackoff::new(6, 3);
+    }
+}

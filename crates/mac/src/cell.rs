@@ -1,0 +1,261 @@
+//! TSCH cells (scheduled links).
+
+use std::fmt;
+
+use gtt_net::{Dest, NodeId};
+
+use crate::asn::SlotOffset;
+use crate::hopping::ChannelOffset;
+
+/// TSCH link options for a cell (a subset of the standard's bitmap).
+///
+/// `shared` implies contention: several nodes may transmit in the cell and
+/// losses trigger the exponential backoff of
+/// [`SharedCellBackoff`](crate::SharedCellBackoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CellOptions {
+    /// The node may transmit in this cell.
+    pub tx: bool,
+    /// The node must listen in this cell (when not transmitting).
+    pub rx: bool,
+    /// Contention-based access (CSMA/CA backoff on failure).
+    pub shared: bool,
+}
+
+impl CellOptions {
+    /// Transmit-only cell.
+    pub const TX: CellOptions = CellOptions {
+        tx: true,
+        rx: false,
+        shared: false,
+    };
+
+    /// Receive-only cell.
+    pub const RX: CellOptions = CellOptions {
+        tx: false,
+        rx: true,
+        shared: false,
+    };
+
+    /// Shared transmit/receive cell (contention access).
+    pub const TX_RX_SHARED: CellOptions = CellOptions {
+        tx: true,
+        rx: true,
+        shared: true,
+    };
+}
+
+impl fmt::Display for CellOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.tx {
+            parts.push("Tx");
+        }
+        if self.rx {
+            parts.push("Rx");
+        }
+        if self.shared {
+            parts.push("Sh");
+        }
+        if parts.is_empty() {
+            parts.push("none");
+        }
+        f.write_str(&parts.join("|"))
+    }
+}
+
+/// Scheduler-facing classification of a cell.
+///
+/// These are the paper's timeslot types (§IV), minus *Sleep* which is
+/// simply the absence of any cell in a slot. The class selects which queue
+/// the MAC serves in the cell and gives schedulers a handle for priority
+/// rules and accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellClass {
+    /// Cells dedicated to TSCH Enhanced Beacons (Orchestra's sender-based
+    /// EB slotframe). GT-TSCH has no dedicated EB cells: its EBs ride the
+    /// ordinary broadcast timeslots.
+    Eb,
+    /// Broadcast timeslots for RPL/TSCH control traffic (highest priority).
+    Broadcast,
+    /// Unicast-6P timeslots reserved for 6P schedule-update transactions.
+    SixP,
+    /// Unicast-Data timeslots: child → parent data forwarding.
+    Data,
+    /// Shared timeslots absorbing traffic bursts (CSMA/CA contention).
+    Shared,
+}
+
+impl fmt::Display for CellClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellClass::Eb => "eb",
+            CellClass::Broadcast => "broadcast",
+            CellClass::SixP => "6p",
+            CellClass::Data => "data",
+            CellClass::Shared => "shared",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduled cell in the CDU matrix.
+///
+/// # Example
+///
+/// ```
+/// use gtt_mac::{Cell, CellClass, CellOptions, ChannelOffset, SlotOffset};
+/// use gtt_net::{Dest, NodeId};
+///
+/// // Child n2's Tx cell towards its parent n1 at (slot 5, offset 2).
+/// let cell = Cell::new(
+///     SlotOffset::new(5),
+///     ChannelOffset::new(2),
+///     CellOptions::TX,
+///     Dest::Unicast(NodeId::new(1)),
+///     CellClass::Data,
+/// );
+/// assert!(cell.options.tx);
+/// assert_eq!(cell.peer.unicast(), Some(NodeId::new(1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Time coordinate within the owning slotframe.
+    pub slot: SlotOffset,
+    /// Frequency coordinate (logical; hopped each slotframe).
+    pub channel_offset: ChannelOffset,
+    /// Link options.
+    pub options: CellOptions,
+    /// The peer this cell is scheduled with. For Tx cells this is the
+    /// destination; for Rx cells the expected sender ([`Dest::Broadcast`]
+    /// means "any", used by receiver-based Orchestra cells and broadcast
+    /// slots).
+    pub peer: Dest,
+    /// Scheduler-facing class.
+    pub class: CellClass,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub const fn new(
+        slot: SlotOffset,
+        channel_offset: ChannelOffset,
+        options: CellOptions,
+        peer: Dest,
+        class: CellClass,
+    ) -> Self {
+        Cell {
+            slot,
+            channel_offset,
+            options,
+            peer,
+            class,
+        }
+    }
+
+    /// Convenience: a broadcast Tx|Rx|Shared cell for control traffic.
+    pub const fn broadcast(slot: SlotOffset, channel_offset: ChannelOffset) -> Self {
+        Cell::new(
+            slot,
+            channel_offset,
+            CellOptions::TX_RX_SHARED,
+            Dest::Broadcast,
+            CellClass::Broadcast,
+        )
+    }
+
+    /// Convenience: a dedicated data Tx cell towards `parent`.
+    pub const fn data_tx(slot: SlotOffset, channel_offset: ChannelOffset, parent: NodeId) -> Self {
+        Cell::new(
+            slot,
+            channel_offset,
+            CellOptions::TX,
+            Dest::Unicast(parent),
+            CellClass::Data,
+        )
+    }
+
+    /// Convenience: a dedicated data Rx cell from `child`.
+    pub const fn data_rx(slot: SlotOffset, channel_offset: ChannelOffset, child: NodeId) -> Self {
+        Cell::new(
+            slot,
+            channel_offset,
+            CellOptions::RX,
+            Dest::Unicast(child),
+            CellClass::Data,
+        )
+    }
+
+    /// True if this cell can carry a transmission to `dest`.
+    ///
+    /// A Tx cell towards a specific peer carries only frames for that
+    /// peer; broadcast-peer Tx cells (shared/broadcast slots) carry both
+    /// broadcast frames and — in shared slots — unicast frames for any
+    /// neighbor.
+    pub fn matches_tx(&self, dest: Dest) -> bool {
+        if !self.options.tx {
+            return false;
+        }
+        match (self.peer, dest) {
+            (Dest::Broadcast, _) => true,
+            (Dest::Unicast(p), Dest::Unicast(d)) => p == d,
+            (Dest::Unicast(_), Dest::Broadcast) => false,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({},{}) {} {} {}",
+            self.slot, self.channel_offset, self.options, self.class, self.peer
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(s: u16) -> SlotOffset {
+        SlotOffset::new(s)
+    }
+
+    #[test]
+    fn options_display() {
+        assert_eq!(CellOptions::TX.to_string(), "Tx");
+        assert_eq!(CellOptions::TX_RX_SHARED.to_string(), "Tx|Rx|Sh");
+        assert_eq!(CellOptions::default().to_string(), "none");
+    }
+
+    #[test]
+    fn matches_tx_unicast_cell() {
+        let c = Cell::data_tx(slot(1), ChannelOffset::new(0), NodeId::new(5));
+        assert!(c.matches_tx(Dest::Unicast(NodeId::new(5))));
+        assert!(!c.matches_tx(Dest::Unicast(NodeId::new(6))));
+        assert!(!c.matches_tx(Dest::Broadcast));
+    }
+
+    #[test]
+    fn matches_tx_broadcast_cell_carries_anything() {
+        let c = Cell::broadcast(slot(0), ChannelOffset::new(0));
+        assert!(c.matches_tx(Dest::Broadcast));
+        assert!(c.matches_tx(Dest::Unicast(NodeId::new(2))));
+    }
+
+    #[test]
+    fn rx_cell_never_matches_tx() {
+        let c = Cell::data_rx(slot(2), ChannelOffset::new(1), NodeId::new(3));
+        assert!(!c.matches_tx(Dest::Unicast(NodeId::new(3))));
+    }
+
+    #[test]
+    fn class_priority_order() {
+        // Paper §IV: broadcast > 6P > data > shared (sleep = no cell).
+        assert!(CellClass::Eb < CellClass::Broadcast);
+        assert!(CellClass::Broadcast < CellClass::SixP);
+        assert!(CellClass::SixP < CellClass::Data);
+        assert!(CellClass::Data < CellClass::Shared);
+    }
+}

@@ -1,0 +1,124 @@
+//! MAC configuration.
+
+use gtt_sim::SimDuration;
+
+/// Tunable MAC parameters, defaulting to the paper's Table II.
+///
+/// # Example
+///
+/// ```
+/// use gtt_mac::MacConfig;
+/// let cfg = MacConfig::paper_default();
+/// assert_eq!(cfg.slot_duration.as_millis(), 15);
+/// assert_eq!(cfg.max_retries, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacConfig {
+    /// Length of one timeslot (Table II: 15 ms).
+    pub slot_duration: SimDuration,
+    /// Maximum retransmissions of a unicast frame before it is dropped
+    /// (Table II: 4). The frame is transmitted at most `max_retries + 1`
+    /// times in total.
+    pub max_retries: u8,
+    /// Data queue capacity in packets (Contiki-NG `QUEUEBUF_NUM`-style;
+    /// the paper's `Q_Max`).
+    pub data_queue_capacity: usize,
+    /// Control queue capacity (EB/DIO/6P frames).
+    pub control_queue_capacity: usize,
+    /// Minimum backoff exponent for shared cells.
+    pub min_backoff_exponent: u8,
+    /// Maximum backoff exponent for shared cells.
+    pub max_backoff_exponent: u8,
+    /// EWMA weight for new ETX samples.
+    pub etx_alpha: f64,
+    /// Fraction of a slot the radio stays on during an *idle* Rx listen
+    /// (guard time before giving up). Used for duty-cycle accounting; in
+    /// Contiki-NG the guard is ~2.2 ms of a 10–15 ms slot.
+    pub idle_listen_fraction: f64,
+}
+
+impl MacConfig {
+    /// The configuration from the paper's Table II.
+    pub fn paper_default() -> Self {
+        MacConfig {
+            slot_duration: SimDuration::from_millis(15),
+            max_retries: 4,
+            data_queue_capacity: 8,
+            control_queue_capacity: 4,
+            min_backoff_exponent: 1,
+            max_backoff_exponent: 5,
+            etx_alpha: 0.15,
+            // TSCH guard time ≈ 2.2 ms of a 15 ms slot (Contiki-NG's
+            // TSCH_GUARD_TIME): the radio cost of listening into an
+            // empty cell.
+            idle_listen_fraction: 0.147,
+        }
+    }
+
+    /// Validates invariants; called by the MAC constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid values so that an experiment misconfiguration
+    /// fails before any slot is simulated.
+    pub fn validate(&self) {
+        assert!(
+            !self.slot_duration.is_zero(),
+            "slot duration must be positive"
+        );
+        assert!(self.data_queue_capacity > 0, "data queue needs capacity");
+        assert!(
+            self.control_queue_capacity > 0,
+            "control queue needs capacity"
+        );
+        assert!(
+            self.min_backoff_exponent <= self.max_backoff_exponent,
+            "backoff exponents inverted"
+        );
+        assert!(
+            self.etx_alpha > 0.0 && self.etx_alpha <= 1.0,
+            "etx_alpha must be in (0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.idle_listen_fraction),
+            "idle_listen_fraction must be in [0,1]"
+        );
+    }
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        MacConfig::paper_default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slot duration")]
+    fn zero_slot_duration_rejected() {
+        let cfg = MacConfig {
+            slot_duration: SimDuration::ZERO,
+            ..MacConfig::paper_default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff exponents")]
+    fn inverted_backoff_rejected() {
+        let cfg = MacConfig {
+            min_backoff_exponent: 6,
+            max_backoff_exponent: 2,
+            ..MacConfig::paper_default()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,190 @@
+//! TSCH channel hopping.
+
+use std::fmt;
+
+use gtt_net::PhysicalChannel;
+
+use crate::asn::Asn;
+
+/// A channel offset: the frequency coordinate of a cell in the CDU matrix.
+///
+/// Unlike a [`PhysicalChannel`], a channel offset is *logical*: the radio
+/// channel actually used in a slot is
+/// `sequence[(ASN + offset) mod sequence_len]`, so a fixed offset hops
+/// across the whole sequence over time, de-correlating persistent
+/// narrow-band interference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChannelOffset(u8);
+
+impl ChannelOffset {
+    /// Creates a channel offset.
+    pub const fn new(raw: u8) -> Self {
+        ChannelOffset(raw)
+    }
+
+    /// Raw offset value.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for ChannelOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "co{}", self.0)
+    }
+}
+
+impl From<u8> for ChannelOffset {
+    fn from(raw: u8) -> Self {
+        ChannelOffset(raw)
+    }
+}
+
+/// A TSCH hopping sequence: the ordered list of physical channels that
+/// logical channel offsets cycle through.
+///
+/// # Example
+///
+/// ```
+/// use gtt_mac::{Asn, ChannelOffset, HoppingSequence};
+///
+/// let hop = HoppingSequence::paper_default();
+/// assert_eq!(hop.len(), 8);
+/// // Offsets are congruent modulo the sequence length:
+/// let c0 = hop.channel(Asn::new(3), ChannelOffset::new(2));
+/// let c1 = hop.channel(Asn::new(4), ChannelOffset::new(1));
+/// assert_eq!(c0, c1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoppingSequence {
+    channels: Vec<PhysicalChannel>,
+}
+
+impl HoppingSequence {
+    /// The sequence from the paper's Table II:
+    /// `17, 23, 15, 25, 19, 11, 13, 21`.
+    pub fn paper_default() -> Self {
+        HoppingSequence::new([17, 23, 15, 25, 19, 11, 13, 21].map(PhysicalChannel::new))
+    }
+
+    /// A single-channel "sequence" — disables hopping; useful in tests
+    /// where collision structure should not move between slotframes.
+    pub fn fixed(channel: PhysicalChannel) -> Self {
+        HoppingSequence::new([channel])
+    }
+
+    /// Creates a hopping sequence from physical channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    pub fn new<I: IntoIterator<Item = PhysicalChannel>>(channels: I) -> Self {
+        let channels: Vec<_> = channels.into_iter().collect();
+        assert!(!channels.is_empty(), "hopping sequence cannot be empty");
+        HoppingSequence { channels }
+    }
+
+    /// Number of channels in the sequence (= number of usable channel
+    /// offsets).
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Never true: sequences are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The channels in sequence order.
+    pub fn channels(&self) -> &[PhysicalChannel] {
+        &self.channels
+    }
+
+    /// The physical channel used by `offset` at `asn`
+    /// (`sequence[(ASN + offset) mod len]`).
+    pub fn channel(&self, asn: Asn, offset: ChannelOffset) -> PhysicalChannel {
+        let idx = (asn.raw() + offset.raw() as u64) % self.channels.len() as u64;
+        self.channels[idx as usize]
+    }
+
+    /// Number of distinct channel offsets available to a scheduler.
+    pub fn offsets(&self) -> impl Iterator<Item = ChannelOffset> {
+        (0..self.channels.len() as u8).map(ChannelOffset::new)
+    }
+}
+
+impl Default for HoppingSequence {
+    fn default() -> Self {
+        HoppingSequence::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sequence_contents() {
+        let hop = HoppingSequence::paper_default();
+        let nums: Vec<u8> = hop.channels().iter().map(|c| c.number()).collect();
+        assert_eq!(nums, vec![17, 23, 15, 25, 19, 11, 13, 21]);
+    }
+
+    #[test]
+    fn hopping_covers_whole_sequence_for_fixed_offset() {
+        let hop = HoppingSequence::paper_default();
+        let offset = ChannelOffset::new(0);
+        let mut seen: Vec<u8> = (0..8)
+            .map(|asn| hop.channel(Asn::new(asn), offset).number())
+            .collect();
+        seen.sort_unstable();
+        let mut expected = vec![11, 13, 15, 17, 19, 21, 23, 25];
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn equal_offsets_same_slot_share_a_channel() {
+        // The §III collision pre-condition: two cells with equal channel
+        // offsets in the same slot always occupy the same physical channel.
+        let hop = HoppingSequence::paper_default();
+        for asn in 0..32 {
+            let a = hop.channel(Asn::new(asn), ChannelOffset::new(3));
+            let b = hop.channel(Asn::new(asn), ChannelOffset::new(3));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn distinct_offsets_same_slot_differ() {
+        let hop = HoppingSequence::paper_default();
+        for asn in 0..32 {
+            let a = hop.channel(Asn::new(asn), ChannelOffset::new(0));
+            let b = hop.channel(Asn::new(asn), ChannelOffset::new(1));
+            assert_ne!(a, b, "paper sequence has no repeated channels");
+        }
+    }
+
+    #[test]
+    fn fixed_sequence_never_hops() {
+        let hop = HoppingSequence::fixed(PhysicalChannel::new(26));
+        for asn in 0..100 {
+            assert_eq!(
+                hop.channel(Asn::new(asn), ChannelOffset::new(0)).number(),
+                26
+            );
+        }
+    }
+
+    #[test]
+    fn offsets_iterator_matches_len() {
+        let hop = HoppingSequence::paper_default();
+        assert_eq!(hop.offsets().count(), hop.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_sequence_rejected() {
+        let _ = HoppingSequence::new(std::iter::empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Slotframes and per-node schedules.
+
+use std::fmt;
+
+use crate::asn::{Asn, SlotOffset};
+use crate::cell::Cell;
+
+/// Identifier of a slotframe within a node's [`Schedule`].
+///
+/// Lower handles take priority when several slotframes schedule a cell in
+/// the same slot — the rule Contiki-NG uses and that Orchestra's layered
+/// slotframes (EB < common < unicast) rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SlotframeHandle(u8);
+
+impl SlotframeHandle {
+    /// Creates a handle.
+    pub const fn new(raw: u8) -> Self {
+        SlotframeHandle(raw)
+    }
+
+    /// Raw handle value.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for SlotframeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sf{}", self.0)
+    }
+}
+
+/// A slotframe: a cyclic window of `length` timeslots holding cells.
+///
+/// # Example
+///
+/// ```
+/// use gtt_mac::{Cell, ChannelOffset, Slotframe, SlotOffset};
+/// use gtt_net::NodeId;
+///
+/// let mut sf = Slotframe::new(32);
+/// sf.add(Cell::data_tx(SlotOffset::new(4), ChannelOffset::new(1), NodeId::new(0)));
+/// assert_eq!(sf.cells_at(SlotOffset::new(4)).count(), 1);
+/// assert_eq!(sf.cells_at(SlotOffset::new(5)).count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slotframe {
+    length: u16,
+    cells: Vec<Cell>,
+}
+
+impl Slotframe {
+    /// Creates an empty slotframe of `length` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn new(length: u16) -> Self {
+        assert!(length > 0, "slotframe length must be positive");
+        Slotframe {
+            length,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Slotframe length in slots.
+    pub fn length(&self) -> u16 {
+        self.length
+    }
+
+    /// All cells, in insertion order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Adds a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's slot offset is outside the slotframe.
+    pub fn add(&mut self, cell: Cell) {
+        assert!(
+            cell.slot.raw() < self.length,
+            "cell slot {} outside slotframe of length {}",
+            cell.slot,
+            self.length
+        );
+        self.cells.push(cell);
+    }
+
+    /// Removes every cell matching `pred`; returns how many were removed.
+    pub fn remove_where(&mut self, pred: impl Fn(&Cell) -> bool) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|c| !pred(c));
+        before - self.cells.len()
+    }
+
+    /// Cells scheduled at `slot`, in insertion order.
+    pub fn cells_at(&self, slot: SlotOffset) -> impl Iterator<Item = &Cell> {
+        self.cells.iter().filter(move |c| c.slot == slot)
+    }
+
+    /// The slot offset this slotframe assigns to `asn`.
+    pub fn slot_of(&self, asn: Asn) -> SlotOffset {
+        asn.slot_offset(self.length)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the slotframe holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A node's full TSCH schedule: one or more prioritized slotframes.
+///
+/// GT-TSCH uses a single slotframe; Orchestra layers three. The schedule
+/// answers the per-slot question "which cells are candidates right now?"
+/// with slotframe priority preserved (lower handle first, then insertion
+/// order within a slotframe).
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    frames: Vec<(SlotframeHandle, Slotframe)>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule { frames: Vec::new() }
+    }
+
+    /// Adds a slotframe under `handle`, keeping handles sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` is already present.
+    pub fn add_slotframe(&mut self, handle: SlotframeHandle, frame: Slotframe) {
+        assert!(
+            self.frame(handle).is_none(),
+            "slotframe handle {handle} already in use"
+        );
+        self.frames.push((handle, frame));
+        self.frames.sort_by_key(|(h, _)| *h);
+    }
+
+    /// Removes the slotframe under `handle`, returning it if present.
+    pub fn remove_slotframe(&mut self, handle: SlotframeHandle) -> Option<Slotframe> {
+        let idx = self.frames.iter().position(|(h, _)| *h == handle)?;
+        Some(self.frames.remove(idx).1)
+    }
+
+    /// The slotframe under `handle`.
+    pub fn frame(&self, handle: SlotframeHandle) -> Option<&Slotframe> {
+        self.frames
+            .iter()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, f)| f)
+    }
+
+    /// Mutable access to the slotframe under `handle`.
+    pub fn frame_mut(&mut self, handle: SlotframeHandle) -> Option<&mut Slotframe> {
+        self.frames
+            .iter_mut()
+            .find(|(h, _)| *h == handle)
+            .map(|(_, f)| f)
+    }
+
+    /// Iterates over `(handle, slotframe)` pairs in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotframeHandle, &Slotframe)> {
+        self.frames.iter().map(|(h, f)| (*h, f))
+    }
+
+    /// All candidate cells for `asn` in priority order
+    /// (slotframe handle, then insertion order).
+    pub fn cells_at(&self, asn: Asn) -> Vec<(SlotframeHandle, Cell)> {
+        let mut out = Vec::new();
+        for (handle, frame) in &self.frames {
+            let slot = frame.slot_of(asn);
+            out.extend(frame.cells_at(slot).map(|c| (*handle, *c)));
+        }
+        out
+    }
+
+    /// Total number of cells across all slotframes.
+    pub fn total_cells(&self) -> usize {
+        self.frames.iter().map(|(_, f)| f.len()).sum()
+    }
+
+    /// Number of slotframes.
+    pub fn num_slotframes(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellClass, CellOptions};
+    use crate::hopping::ChannelOffset;
+    use gtt_net::{Dest, NodeId};
+
+    fn cell(slot: u16, co: u8) -> Cell {
+        Cell::new(
+            SlotOffset::new(slot),
+            ChannelOffset::new(co),
+            CellOptions::TX,
+            Dest::Unicast(NodeId::new(0)),
+            CellClass::Data,
+        )
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut sf = Slotframe::new(10);
+        sf.add(cell(3, 0));
+        sf.add(cell(3, 1));
+        sf.add(cell(7, 0));
+        assert_eq!(sf.cells_at(SlotOffset::new(3)).count(), 2);
+        assert_eq!(sf.cells_at(SlotOffset::new(7)).count(), 1);
+        assert_eq!(sf.len(), 3);
+        assert!(!sf.is_empty());
+    }
+
+    #[test]
+    fn remove_where_counts() {
+        let mut sf = Slotframe::new(10);
+        sf.add(cell(1, 0));
+        sf.add(cell(2, 0));
+        sf.add(cell(3, 0));
+        let removed = sf.remove_where(|c| c.slot.raw() >= 2);
+        assert_eq!(removed, 2);
+        assert_eq!(sf.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside slotframe")]
+    fn add_rejects_out_of_range_slot() {
+        let mut sf = Slotframe::new(4);
+        sf.add(cell(4, 0));
+    }
+
+    #[test]
+    fn schedule_priority_order() {
+        let mut sched = Schedule::new();
+        let mut hi = Slotframe::new(4);
+        hi.add(cell(0, 1));
+        let mut lo = Slotframe::new(4);
+        lo.add(cell(0, 2));
+        // Insert out of order; iteration must still be handle-sorted.
+        sched.add_slotframe(SlotframeHandle::new(2), lo);
+        sched.add_slotframe(SlotframeHandle::new(1), hi);
+        let cells = sched.cells_at(Asn::new(0));
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].0, SlotframeHandle::new(1));
+        assert_eq!(cells[1].0, SlotframeHandle::new(2));
+    }
+
+    #[test]
+    fn schedule_different_lengths_phase_independently() {
+        let mut sched = Schedule::new();
+        let mut sf3 = Slotframe::new(3);
+        sf3.add(cell(0, 0));
+        let mut sf5 = Slotframe::new(5);
+        sf5.add(cell(0, 1));
+        sched.add_slotframe(SlotframeHandle::new(0), sf3);
+        sched.add_slotframe(SlotframeHandle::new(1), sf5);
+        // ASN 15 is slot 0 of both (lcm(3,5)=15).
+        assert_eq!(sched.cells_at(Asn::new(15)).len(), 2);
+        // ASN 3 is slot 0 of sf3 only.
+        assert_eq!(sched.cells_at(Asn::new(3)).len(), 1);
+        // ASN 5 is slot 0 of sf5 only.
+        assert_eq!(sched.cells_at(Asn::new(5)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn duplicate_handle_rejected() {
+        let mut sched = Schedule::new();
+        sched.add_slotframe(SlotframeHandle::new(0), Slotframe::new(4));
+        sched.add_slotframe(SlotframeHandle::new(0), Slotframe::new(8));
+    }
+
+    #[test]
+    fn remove_slotframe_round_trip() {
+        let mut sched = Schedule::new();
+        sched.add_slotframe(SlotframeHandle::new(3), Slotframe::new(4));
+        assert!(sched.frame(SlotframeHandle::new(3)).is_some());
+        let f = sched.remove_slotframe(SlotframeHandle::new(3)).unwrap();
+        assert_eq!(f.length(), 4);
+        assert!(sched.frame(SlotframeHandle::new(3)).is_none());
+        assert_eq!(sched.num_slotframes(), 0);
+    }
+
+    #[test]
+    fn frame_mut_allows_cell_updates() {
+        let mut sched = Schedule::new();
+        sched.add_slotframe(SlotframeHandle::new(0), Slotframe::new(8));
+        sched
+            .frame_mut(SlotframeHandle::new(0))
+            .unwrap()
+            .add(cell(2, 0));
+        assert_eq!(sched.total_cells(), 1);
+    }
+}

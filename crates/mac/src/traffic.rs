@@ -1,0 +1,43 @@
+//! Traffic classes for control-queue frames.
+
+use std::fmt;
+
+/// What kind of control frame an entry in the control queue is.
+///
+/// Cell matching pairs traffic classes with
+/// [`CellClass`](crate::CellClass)es ([`CellClass::Eb`](crate::CellClass)
+/// cells only serve [`TrafficClass::Eb`] frames, etc.), which is how
+/// Orchestra keeps EBs in its EB slotframe and how GT-TSCH keeps 6P
+/// transactions inside Unicast-6P timeslots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// TSCH Enhanced Beacon (broadcast).
+    Eb,
+    /// Broadcast routing control (DIO).
+    Broadcast,
+    /// Unicast control: DAO and 6P messages.
+    ControlUnicast,
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::Eb => "eb",
+            TrafficClass::Broadcast => "bcast-ctrl",
+            TrafficClass::ControlUnicast => "ucast-ctrl",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TrafficClass::Eb.to_string(), "eb");
+        assert_eq!(TrafficClass::Broadcast.to_string(), "bcast-ctrl");
+        assert_eq!(TrafficClass::ControlUnicast.to_string(), "ucast-ctrl");
+    }
+}

@@ -1,0 +1,317 @@
+//! End-to-end packet tracking.
+
+use std::collections::BTreeMap;
+
+use gtt_net::{NodeId, PacketId};
+use gtt_sim::{SimDuration, SimTime};
+
+/// Follows application packets from generation to delivery at a DODAG
+/// root.
+///
+/// A *measurement window* separates warm-up (network formation, schedule
+/// convergence) from the steady state the paper measures: packets
+/// generated outside the window are still simulated but not counted.
+///
+/// # Example
+///
+/// ```
+/// use gtt_metrics::PacketTracker;
+/// use gtt_net::{NodeId, PacketId};
+/// use gtt_sim::SimTime;
+///
+/// let mut t = PacketTracker::new();
+/// t.set_window(SimTime::ZERO, SimTime::from_secs(60));
+/// t.record_generated(PacketId::new(0), NodeId::new(3), SimTime::from_secs(1));
+/// t.record_delivered(PacketId::new(0), SimTime::from_secs(2), 2);
+/// assert_eq!(t.generated(), 1);
+/// assert_eq!(t.delivered(), 1);
+/// assert!((t.pdr_percent() - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PacketTracker {
+    window_start: Option<SimTime>,
+    window_end: Option<SimTime>,
+    generated: BTreeMap<PacketId, (NodeId, SimTime)>,
+    delivered: BTreeMap<PacketId, (SimTime, u8)>,
+    duplicates: u64,
+    stray_deliveries: u64,
+}
+
+impl PacketTracker {
+    /// Creates a tracker counting everything (no window).
+    pub fn new() -> Self {
+        PacketTracker::default()
+    }
+
+    /// Restricts accounting to packets generated in `[start, end)`.
+    ///
+    /// Packets already recorded outside the window are purged (with
+    /// their deliveries), so the usual warm-up → `set_window` → measure
+    /// sequence never leaks formation-phase traffic into the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn set_window(&mut self, start: SimTime, end: SimTime) {
+        assert!(end > start, "measurement window must be non-empty");
+        self.window_start = Some(start);
+        self.window_end = Some(end);
+        self.generated
+            .retain(|_, (_, t_gen)| *t_gen >= start && *t_gen < end);
+        let generated = &self.generated;
+        self.delivered.retain(|id, _| generated.contains_key(id));
+    }
+
+    /// The measurement window length, if configured.
+    pub fn window(&self) -> Option<SimDuration> {
+        match (self.window_start, self.window_end) {
+            (Some(s), Some(e)) => Some(e - s),
+            _ => None,
+        }
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        match (self.window_start, self.window_end) {
+            (Some(s), Some(e)) => t >= s && t < e,
+            _ => true,
+        }
+    }
+
+    /// Records a packet generated at `origin`.
+    pub fn record_generated(&mut self, id: PacketId, origin: NodeId, now: SimTime) {
+        if !self.in_window(now) {
+            return;
+        }
+        self.generated.insert(id, (origin, now));
+    }
+
+    /// Records a packet delivered to a root after `hops` link-layer hops.
+    ///
+    /// Deliveries of untracked packets (generated outside the window) are
+    /// ignored; duplicate deliveries are counted separately and do not
+    /// inflate PDR.
+    pub fn record_delivered(&mut self, id: PacketId, now: SimTime, hops: u8) {
+        if !self.generated.contains_key(&id) {
+            self.stray_deliveries += 1;
+            return;
+        }
+        if self.delivered.contains_key(&id) {
+            self.duplicates += 1;
+            return;
+        }
+        self.delivered.insert(id, (now, hops));
+    }
+
+    /// Packets generated inside the window.
+    pub fn generated(&self) -> u64 {
+        self.generated.len() as u64
+    }
+
+    /// Tracked packets delivered to a root.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.len() as u64
+    }
+
+    /// Tracked packets never delivered.
+    pub fn lost(&self) -> u64 {
+        self.generated() - self.delivered()
+    }
+
+    /// Duplicate root deliveries observed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Deliveries of packets generated outside the window.
+    pub fn stray_deliveries(&self) -> u64 {
+        self.stray_deliveries
+    }
+
+    /// Packet delivery ratio in percent (100 when nothing was generated).
+    pub fn pdr_percent(&self) -> f64 {
+        if self.generated.is_empty() {
+            return 100.0;
+        }
+        100.0 * self.delivered.len() as f64 / self.generated.len() as f64
+    }
+
+    /// Mean end-to-end delay of delivered packets, in milliseconds.
+    pub fn mean_delay_ms(&self) -> f64 {
+        if self.delivered.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .delivered
+            .iter()
+            .map(|(id, (t_rx, _))| {
+                let (_, t_gen) = self.generated[id];
+                t_rx.saturating_since(t_gen).as_millis_f64()
+            })
+            .sum();
+        total / self.delivered.len() as f64
+    }
+
+    /// Mean hop count of delivered packets.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.delivered.values().map(|(_, h)| *h as u64).sum();
+        total as f64 / self.delivered.len() as f64
+    }
+
+    /// Lost packets per minute of measurement window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window was configured (rate metrics need a duration).
+    pub fn loss_per_minute(&self) -> f64 {
+        let w = self.window().expect("loss_per_minute needs a window");
+        self.lost() as f64 / (w.as_secs_f64() / 60.0)
+    }
+
+    /// Delivered packets per minute of measurement window (throughput).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window was configured.
+    pub fn received_per_minute(&self) -> f64 {
+        let w = self.window().expect("received_per_minute needs a window");
+        self.delivered() as f64 / (w.as_secs_f64() / 60.0)
+    }
+
+    /// Per-origin delivery counts (diagnostics: spotting starved nodes).
+    pub fn delivered_by_origin(&self) -> BTreeMap<NodeId, u64> {
+        let mut map = BTreeMap::new();
+        for (id, _) in self.delivered.iter() {
+            let (origin, _) = self.generated[id];
+            *map.entry(origin).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Per-origin generation counts.
+    pub fn generated_by_origin(&self) -> BTreeMap<NodeId, u64> {
+        let mut map = BTreeMap::new();
+        for (origin, _) in self.generated.values() {
+            *map.entry(*origin).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> PacketId {
+        PacketId::new(n)
+    }
+
+    #[test]
+    fn pdr_and_loss_accounting() {
+        let mut t = PacketTracker::new();
+        t.set_window(SimTime::ZERO, SimTime::from_secs(60));
+        for i in 0..10 {
+            t.record_generated(id(i), NodeId::new(1), SimTime::from_secs(i));
+        }
+        for i in 0..7 {
+            t.record_delivered(id(i), SimTime::from_secs(i + 1), 2);
+        }
+        assert_eq!(t.generated(), 10);
+        assert_eq!(t.delivered(), 7);
+        assert_eq!(t.lost(), 3);
+        assert!((t.pdr_percent() - 70.0).abs() < 1e-9);
+        assert!((t.loss_per_minute() - 3.0).abs() < 1e-9);
+        assert!((t.received_per_minute() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_is_averaged_over_delivered_only() {
+        let mut t = PacketTracker::new();
+        t.record_generated(id(1), NodeId::new(1), SimTime::from_millis(0));
+        t.record_generated(id(2), NodeId::new(1), SimTime::from_millis(0));
+        t.record_generated(id(3), NodeId::new(1), SimTime::from_millis(0));
+        t.record_delivered(id(1), SimTime::from_millis(100), 1);
+        t.record_delivered(id(2), SimTime::from_millis(300), 3);
+        // id 3 lost.
+        assert!((t.mean_delay_ms() - 200.0).abs() < 1e-9);
+        assert!((t.mean_hops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_packets_excluded() {
+        let mut t = PacketTracker::new();
+        t.set_window(SimTime::from_secs(10), SimTime::from_secs(70));
+        t.record_generated(id(1), NodeId::new(1), SimTime::from_secs(5)); // warm-up
+        t.record_generated(id(2), NodeId::new(1), SimTime::from_secs(15));
+        t.record_delivered(id(1), SimTime::from_secs(16), 1); // stray
+        t.record_delivered(id(2), SimTime::from_secs(16), 1);
+        assert_eq!(t.generated(), 1);
+        assert_eq!(t.delivered(), 1);
+        assert_eq!(t.stray_deliveries(), 1);
+    }
+
+    #[test]
+    fn set_window_purges_previously_recorded_warmup() {
+        // The engine records from t=0 and only then brackets the window:
+        // pre-window packets (and their deliveries) must be dropped.
+        let mut t = PacketTracker::new();
+        t.record_generated(id(1), NodeId::new(1), SimTime::from_secs(5));
+        t.record_delivered(id(1), SimTime::from_secs(6), 1);
+        t.record_generated(id(2), NodeId::new(1), SimTime::from_secs(20));
+        t.record_delivered(id(2), SimTime::from_secs(21), 1);
+        t.set_window(SimTime::from_secs(10), SimTime::from_secs(70));
+        assert_eq!(t.generated(), 1, "warm-up packet purged");
+        assert_eq!(t.delivered(), 1, "warm-up delivery purged");
+        // Re-tightening the window later (finish_measurement) keeps
+        // in-window packets.
+        t.set_window(SimTime::from_secs(10), SimTime::from_secs(30));
+        assert_eq!(t.generated(), 1);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_pdr() {
+        let mut t = PacketTracker::new();
+        t.record_generated(id(1), NodeId::new(1), SimTime::ZERO);
+        t.record_delivered(id(1), SimTime::from_secs(1), 1);
+        t.record_delivered(id(1), SimTime::from_secs(2), 1);
+        assert_eq!(t.delivered(), 1);
+        assert_eq!(t.duplicates(), 1);
+        assert!((t.pdr_percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_origin_breakdowns() {
+        let mut t = PacketTracker::new();
+        t.record_generated(id(1), NodeId::new(1), SimTime::ZERO);
+        t.record_generated(id(2), NodeId::new(2), SimTime::ZERO);
+        t.record_generated(id(3), NodeId::new(2), SimTime::ZERO);
+        t.record_delivered(id(3), SimTime::from_secs(1), 1);
+        assert_eq!(t.generated_by_origin()[&NodeId::new(2)], 2);
+        assert_eq!(t.delivered_by_origin()[&NodeId::new(2)], 1);
+        assert!(t.delivered_by_origin().get(&NodeId::new(1)).is_none());
+    }
+
+    #[test]
+    fn empty_tracker_defaults() {
+        let t = PacketTracker::new();
+        assert_eq!(t.pdr_percent(), 100.0);
+        assert_eq!(t.mean_delay_ms(), 0.0);
+        assert_eq!(t.mean_hops(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a window")]
+    fn rate_without_window_panics() {
+        let t = PacketTracker::new();
+        let _ = t.loss_per_minute();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let mut t = PacketTracker::new();
+        t.set_window(SimTime::from_secs(5), SimTime::from_secs(5));
+    }
+}

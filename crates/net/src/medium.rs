@@ -1,0 +1,447 @@
+//! Per-slot radio medium resolution.
+//!
+//! TSCH is TDMA: all interesting radio interactions happen inside one
+//! timeslot. Each slot, the engine hands the medium every transmission and
+//! every listener; the medium answers, per listener, what was heard, and,
+//! per unicast transmission, whether an acknowledgement came back.
+//!
+//! The collision rules implement the paper's §III failure analysis:
+//! concurrent transmissions on the same *physical* channel that are both
+//! audible at a listener destroy each other there (including the
+//! hidden-terminal case where the two senders cannot hear one another).
+
+use gtt_sim::Pcg32;
+
+use crate::channel::PhysicalChannel;
+use crate::frame::{Dest, Frame};
+use crate::id::NodeId;
+use crate::topology::Topology;
+
+/// One node transmitting in the current slot.
+#[derive(Debug, Clone)]
+pub struct Transmission<P> {
+    /// Physical channel the radio is tuned to (post channel-hopping).
+    pub channel: PhysicalChannel,
+    /// The frame on the air. `frame.src` is the transmitter and
+    /// `frame.dst` selects unicast-with-ACK vs broadcast semantics.
+    pub frame: Frame<P>,
+}
+
+/// One node listening in the current slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Listener {
+    /// The listening node.
+    pub node: NodeId,
+    /// Physical channel its radio is tuned to.
+    pub channel: PhysicalChannel,
+}
+
+/// What a listener's radio saw during the slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RxOutcome<P> {
+    /// Nothing audible on the listened channel: idle listen.
+    Idle,
+    /// Exactly one audible transmission, decoded successfully.
+    Received(Frame<P>),
+    /// Exactly one audible transmission, lost to link error
+    /// (Bernoulli `1 − PRR`).
+    Faded,
+    /// Two or more audible transmissions interfered; carries how many.
+    Collision(usize),
+}
+
+impl<P> RxOutcome<P> {
+    /// The received frame, if any.
+    pub fn frame(&self) -> Option<&Frame<P>> {
+        match self {
+            RxOutcome::Received(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// True if the radio heard energy (anything but [`RxOutcome::Idle`]).
+    pub fn heard_energy(&self) -> bool {
+        !matches!(self, RxOutcome::Idle)
+    }
+}
+
+/// Result of resolving one slot.
+#[derive(Debug, Clone)]
+pub struct SlotOutcomes<P> {
+    /// Outcome per listener, in the order listeners were supplied.
+    pub rx: Vec<(NodeId, RxOutcome<P>)>,
+    /// For each transmission (same order as supplied): `Some(true)` if it
+    /// was a unicast whose destination decoded it *and* the ACK survived
+    /// the reverse link; `Some(false)` if unicast and not acknowledged;
+    /// `None` for broadcasts (never acknowledged).
+    pub acked: Vec<Option<bool>>,
+}
+
+/// The shared radio medium.
+///
+/// Owns its own PRNG stream so that link-error draws are independent of
+/// every node's local randomness — adding a node to a scenario does not
+/// perturb the channel noise other nodes experience.
+///
+/// # Example
+///
+/// ```
+/// use gtt_net::*;
+/// use gtt_sim::{Pcg32, SimTime};
+///
+/// let topo = TopologyBuilder::new(50.0)
+///     .link_model(LinkModel::Perfect)
+///     .node(Position::new(0.0, 0.0))
+///     .node(Position::new(30.0, 0.0))
+///     .build();
+/// let mut medium = RadioMedium::new(topo, Pcg32::new(1));
+/// let (a, b) = (NodeId::new(0), NodeId::new(1));
+/// let ch = PhysicalChannel::new(17);
+/// let frame = Frame::new(PacketId::new(0), a, Dest::Unicast(b), SimTime::ZERO, ());
+/// let out = medium.resolve_slot(
+///     vec![Transmission { channel: ch, frame }],
+///     vec![Listener { node: b, channel: ch }],
+/// );
+/// assert!(matches!(out.rx[0].1, RxOutcome::Received(_)));
+/// assert_eq!(out.acked[0], Some(true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadioMedium {
+    topology: Topology,
+    rng: Pcg32,
+    /// When `true`, ACK frames are themselves subject to the reverse
+    /// link's PRR; when `false`, ACKs of decoded frames always arrive.
+    lossy_acks: bool,
+}
+
+impl RadioMedium {
+    /// Creates a medium over `topology` with its own RNG stream.
+    pub fn new(topology: Topology, rng: Pcg32) -> Self {
+        RadioMedium {
+            topology,
+            rng,
+            lossy_acks: true,
+        }
+    }
+
+    /// Enables or disables ACK loss on the reverse link (default: enabled).
+    pub fn set_lossy_acks(&mut self, lossy: bool) {
+        self.lossy_acks = lossy;
+    }
+
+    /// The topology this medium resolves over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access (runtime fault injection).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Resolves one timeslot.
+    ///
+    /// For every listener: collect the transmissions on its channel that
+    /// are audible at its position (interference range). Zero ⇒ idle; two
+    /// or more ⇒ collision; exactly one ⇒ decoded iff it is also within
+    /// *communication* range and the link's Bernoulli(PRR) draw succeeds.
+    ///
+    /// ACKs: a unicast transmission is acknowledged iff its destination
+    /// appears among the listeners on the same channel, decoded the frame,
+    /// and the reverse-link draw succeeds (when ACK loss is enabled).
+    /// A transmitting node never simultaneously listens — TSCH radios are
+    /// half-duplex — so any listener entry with the same id as a
+    /// transmitter is resolved as if deaf (collision-free idle) and
+    /// flagged by a debug assertion.
+    pub fn resolve_slot<P: Clone>(
+        &mut self,
+        transmissions: Vec<Transmission<P>>,
+        listeners: Vec<Listener>,
+    ) -> SlotOutcomes<P> {
+        debug_assert!(
+            listeners
+                .iter()
+                .all(|l| transmissions.iter().all(|t| t.frame.src != l.node)),
+            "a node cannot transmit and listen in the same slot (half-duplex)"
+        );
+
+        let mut rx = Vec::with_capacity(listeners.len());
+        // Who decoded which transmission: decoded[tx_index] = set of nodes.
+        let mut decoded: Vec<Vec<NodeId>> = vec![Vec::new(); transmissions.len()];
+
+        for listener in &listeners {
+            if transmissions.iter().any(|t| t.frame.src == listener.node) {
+                rx.push((listener.node, RxOutcome::Idle));
+                continue;
+            }
+            let audible: Vec<usize> = transmissions
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    t.channel == listener.channel
+                        && self.topology.audible(t.frame.src, listener.node)
+                })
+                .map(|(i, _)| i)
+                .collect();
+
+            let outcome = match audible.len() {
+                0 => RxOutcome::Idle,
+                1 => {
+                    let idx = audible[0];
+                    let tx = &transmissions[idx];
+                    let prr = self.topology.prr(tx.frame.src, listener.node);
+                    if prr > 0.0 && self.rng.gen_bool(prr) {
+                        decoded[idx].push(listener.node);
+                        RxOutcome::Received(tx.frame.clone())
+                    } else {
+                        RxOutcome::Faded
+                    }
+                }
+                n => RxOutcome::Collision(n),
+            };
+            rx.push((listener.node, outcome));
+        }
+
+        let acked = transmissions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match t.frame.dst {
+                Dest::Broadcast => None,
+                Dest::Unicast(dst) => {
+                    let delivered = decoded[i].contains(&dst);
+                    if !delivered {
+                        return Some(false);
+                    }
+                    if !self.lossy_acks {
+                        return Some(true);
+                    }
+                    let reverse_prr = self.topology.prr(dst, t.frame.src);
+                    Some(reverse_prr > 0.0 && self.rng.gen_bool(reverse_prr))
+                }
+            })
+            .collect();
+
+        SlotOutcomes { rx, acked }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PacketId;
+    use crate::geometry::Position;
+    use crate::topology::{LinkModel, TopologyBuilder};
+    use gtt_sim::SimTime;
+
+    const CH: PhysicalChannel = PhysicalChannel::new(17);
+    const CH2: PhysicalChannel = PhysicalChannel::new(23);
+
+    fn frame(src: u16, dst: Dest) -> Frame<u8> {
+        Frame::new(PacketId::new(0), NodeId::new(src), dst, SimTime::ZERO, 0)
+    }
+
+    fn tx(src: u16, dst: Dest, ch: PhysicalChannel) -> Transmission<u8> {
+        Transmission {
+            channel: ch,
+            frame: frame(src, dst),
+        }
+    }
+
+    fn listener(node: u16, ch: PhysicalChannel) -> Listener {
+        Listener {
+            node: NodeId::new(node),
+            channel: ch,
+        }
+    }
+
+    /// 0 --- 1 --- 2 --- 3 in a line, 30 m apart, 35 m range: only
+    /// adjacent nodes hear each other.
+    fn line4() -> Topology {
+        TopologyBuilder::new(35.0)
+            .link_model(LinkModel::Perfect)
+            .nodes((0..4).map(|i| Position::new(i as f64 * 30.0, 0.0)))
+            .build()
+    }
+
+    #[test]
+    fn clean_unicast_is_received_and_acked() {
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![tx(0, Dest::Unicast(NodeId::new(1)), CH)],
+            vec![listener(1, CH)],
+        );
+        assert!(matches!(out.rx[0].1, RxOutcome::Received(_)));
+        assert_eq!(out.acked, vec![Some(true)]);
+    }
+
+    #[test]
+    fn idle_when_nothing_on_channel() {
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![tx(0, Dest::Unicast(NodeId::new(1)), CH)],
+            vec![listener(1, CH2)],
+        );
+        assert_eq!(out.rx[0].1, RxOutcome::Idle);
+        assert_eq!(out.acked, vec![Some(false)]);
+    }
+
+    #[test]
+    fn out_of_range_is_idle() {
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![tx(0, Dest::Unicast(NodeId::new(3)), CH)],
+            vec![listener(3, CH)],
+        );
+        assert_eq!(out.rx[0].1, RxOutcome::Idle);
+        assert_eq!(out.acked, vec![Some(false)]);
+    }
+
+    #[test]
+    fn hidden_terminal_collides_at_middle_listener() {
+        // Nodes 0 and 2 cannot hear each other but node 1 hears both —
+        // paper §III problem 4.
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![
+                tx(0, Dest::Unicast(NodeId::new(1)), CH),
+                tx(2, Dest::Unicast(NodeId::new(1)), CH),
+            ],
+            vec![listener(1, CH)],
+        );
+        assert_eq!(out.rx[0].1, RxOutcome::Collision(2));
+        assert_eq!(out.acked, vec![Some(false), Some(false)]);
+    }
+
+    #[test]
+    fn different_channels_do_not_collide() {
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![
+                tx(0, Dest::Unicast(NodeId::new(1)), CH),
+                tx(2, Dest::Unicast(NodeId::new(3)), CH2),
+            ],
+            vec![listener(1, CH), listener(3, CH2)],
+        );
+        assert!(matches!(out.rx[0].1, RxOutcome::Received(_)));
+        assert!(matches!(out.rx[1].1, RxOutcome::Received(_)));
+        assert_eq!(out.acked, vec![Some(true), Some(true)]);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_and_is_never_acked() {
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![tx(1, Dest::Broadcast, CH)],
+            vec![listener(0, CH), listener(2, CH), listener(3, CH)],
+        );
+        assert!(matches!(out.rx[0].1, RxOutcome::Received(_)));
+        assert!(matches!(out.rx[1].1, RxOutcome::Received(_)));
+        assert_eq!(out.rx[2].1, RxOutcome::Idle, "node 3 is out of range");
+        assert_eq!(out.acked, vec![None]);
+    }
+
+    #[test]
+    fn lossy_link_fades_at_expected_rate() {
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let topo = TopologyBuilder::new(100.0)
+            .link_model(LinkModel::Perfect)
+            .node(Position::new(0.0, 0.0))
+            .node(Position::new(10.0, 0.0))
+            .link_prr(a, b, 0.7)
+            .build();
+        let mut m = RadioMedium::new(topo, Pcg32::new(42));
+        let mut received = 0;
+        let trials = 5_000;
+        for _ in 0..trials {
+            let out = m.resolve_slot(
+                vec![tx(0, Dest::Unicast(b), CH)],
+                vec![listener(1, CH)],
+            );
+            if matches!(out.rx[0].1, RxOutcome::Received(_)) {
+                received += 1;
+            }
+        }
+        let rate = received as f64 / trials as f64;
+        assert!((rate - 0.7).abs() < 0.02, "PRR draw rate {rate} ≉ 0.7");
+    }
+
+    #[test]
+    fn ack_subject_to_reverse_prr() {
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let topo = TopologyBuilder::new(100.0)
+            .link_model(LinkModel::Perfect)
+            .node(Position::new(0.0, 0.0))
+            .node(Position::new(10.0, 0.0))
+            .link_prr(a, b, 1.0)
+            .link_prr(b, a, 0.5)
+            .build();
+        let mut m = RadioMedium::new(topo, Pcg32::new(7));
+        let mut acked = 0;
+        let trials = 4_000;
+        for _ in 0..trials {
+            let out = m.resolve_slot(
+                vec![tx(0, Dest::Unicast(b), CH)],
+                vec![listener(1, CH)],
+            );
+            if out.acked[0] == Some(true) {
+                acked += 1;
+            }
+        }
+        let rate = acked as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.03, "ACK rate {rate} ≉ 0.5");
+    }
+
+    #[test]
+    fn disabling_lossy_acks_makes_decoded_frames_always_acked() {
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let topo = TopologyBuilder::new(100.0)
+            .link_model(LinkModel::Perfect)
+            .node(Position::new(0.0, 0.0))
+            .node(Position::new(10.0, 0.0))
+            .link_prr(b, a, 0.0)
+            .build();
+        let mut m = RadioMedium::new(topo, Pcg32::new(7));
+        m.set_lossy_acks(false);
+        let out = m.resolve_slot(
+            vec![tx(0, Dest::Unicast(b), CH)],
+            vec![listener(1, CH)],
+        );
+        assert_eq!(out.acked, vec![Some(true)]);
+    }
+
+    #[test]
+    fn interference_range_corrupts_without_decoding() {
+        // 0 at x=0, 1 at x=30 (in range of 0), jammer 2 at x=80:
+        // out of comm range of 1 (50 m > 35 m)… with interference factor
+        // 2.0 the jammer is audible at 1 (50 ≤ 70) and collides.
+        let topo = TopologyBuilder::new(35.0)
+            .link_model(LinkModel::Perfect)
+            .interference_factor(2.0)
+            .nodes([
+                Position::new(0.0, 0.0),
+                Position::new(30.0, 0.0),
+                Position::new(80.0, 0.0),
+            ])
+            .build();
+        let mut m = RadioMedium::new(topo, Pcg32::new(3));
+        let out = m.resolve_slot(
+            vec![
+                tx(0, Dest::Unicast(NodeId::new(1)), CH),
+                tx(2, Dest::Broadcast, CH),
+            ],
+            vec![listener(1, CH)],
+        );
+        assert_eq!(out.rx[0].1, RxOutcome::Collision(2));
+    }
+
+    #[test]
+    fn rx_outcome_helpers() {
+        let f = frame(0, Dest::Broadcast);
+        let r: RxOutcome<u8> = RxOutcome::Received(f);
+        assert!(r.frame().is_some());
+        assert!(r.heard_energy());
+        assert!(!RxOutcome::<u8>::Idle.heard_energy());
+        assert!(RxOutcome::<u8>::Collision(2).heard_energy());
+        assert!(RxOutcome::<u8>::Faded.frame().is_none());
+    }
+}

@@ -1,0 +1,385 @@
+//! Node placement, connectivity and link quality.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Position;
+use crate::id::NodeId;
+
+/// How per-link packet reception ratio (PRR) is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkModel {
+    /// Every in-range link delivers with PRR 1.0.
+    Perfect,
+    /// PRR is 1.0 out to `plateau · range`, then falls linearly to
+    /// `edge_prr` at exactly `range`. This mirrors Cooja's UDGM-with-
+    /// distance-loss configuration used in low-power IoT evaluations.
+    DistanceFalloff {
+        /// Fraction of the range with perfect reception (0..=1).
+        plateau: f64,
+        /// PRR at the very edge of the communication range (0..=1).
+        edge_prr: f64,
+    },
+    /// Every in-range link has this fixed PRR.
+    Fixed(f64),
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        // Matches the "good but not perfect links" regime of the paper's
+        // testbed: nodes near their parent see PRR ≈ 1, edge links ~0.8.
+        LinkModel::DistanceFalloff {
+            plateau: 0.6,
+            edge_prr: 0.8,
+        }
+    }
+}
+
+impl LinkModel {
+    fn prr_at(&self, distance: f64, range: f64) -> f64 {
+        if distance > range {
+            return 0.0;
+        }
+        match *self {
+            LinkModel::Perfect => 1.0,
+            LinkModel::Fixed(p) => p.clamp(0.0, 1.0),
+            LinkModel::DistanceFalloff { plateau, edge_prr } => {
+                let knee = plateau.clamp(0.0, 1.0) * range;
+                if distance <= knee || range <= knee {
+                    1.0
+                } else {
+                    let t = (distance - knee) / (range - knee);
+                    1.0 + t * (edge_prr.clamp(0.0, 1.0) - 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Immutable description of node placement and link quality.
+///
+/// Built with [`TopologyBuilder`]; consumed by the
+/// [`RadioMedium`](crate::RadioMedium) for per-slot resolution and by
+/// scenario builders for sanity checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Position>,
+    range: f64,
+    interference_factor: f64,
+    link_model: LinkModel,
+    prr_overrides: BTreeMap<(NodeId, NodeId), f64>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len()).map(NodeId::from_index)
+    }
+
+    /// Position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// Communication range in metres.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Interference range in metres (≥ communication range).
+    pub fn interference_range(&self) -> f64 {
+        self.range * self.interference_factor
+    }
+
+    /// Distance between two nodes in metres.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).distance_to(self.position(b))
+    }
+
+    /// True if `a` and `b` are distinct nodes within communication range.
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.distance(a, b) <= self.range
+    }
+
+    /// True if a transmission by `tx` is *audible* at `listener` — i.e.
+    /// within interference range. Audible-but-not-in-range transmissions
+    /// corrupt concurrent receptions without being decodable.
+    pub fn audible(&self, tx: NodeId, listener: NodeId) -> bool {
+        tx != listener && self.distance(tx, listener) <= self.interference_range()
+    }
+
+    /// Packet reception ratio of the directed link `a → b`.
+    ///
+    /// Returns 0.0 for out-of-range pairs and for `a == b`. Explicit
+    /// overrides installed via [`TopologyBuilder::link_prr`] win over the
+    /// distance model.
+    pub fn prr(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if let Some(&p) = self.prr_overrides.get(&(a, b)) {
+            return p;
+        }
+        self.link_model.prr_at(self.distance(a, b), self.range)
+    }
+
+    /// Overrides the PRR of the directed link `a → b` at runtime (fault
+    /// injection: a wall goes up, a microwave turns on…).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prr` is outside `[0, 1]`.
+    pub fn set_link_prr(&mut self, a: NodeId, b: NodeId, prr: f64) {
+        assert!((0.0..=1.0).contains(&prr), "PRR must be in [0,1], got {prr}");
+        self.prr_overrides.insert((a, b), prr);
+    }
+
+    /// All in-range neighbors of `node`, in id order.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&other| self.in_range(node, other))
+            .collect()
+    }
+
+    /// True if the connectivity graph is connected (ignoring link quality).
+    ///
+    /// Scenario builders assert this before running an experiment so a bad
+    /// placement fails fast instead of producing a 0% PDR run.
+    pub fn is_connected(&self) -> bool {
+        if self.positions.is_empty() {
+            return true;
+        }
+        let n = self.positions.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if !seen[j] && self.in_range(NodeId::from_index(i), NodeId::from_index(j)) {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+/// Builder for [`Topology`] (C-BUILDER).
+///
+/// # Example
+///
+/// ```
+/// use gtt_net::{LinkModel, NodeId, Position, TopologyBuilder};
+///
+/// let topo = TopologyBuilder::new(40.0)
+///     .link_model(LinkModel::Perfect)
+///     .interference_factor(1.5)
+///     .node(Position::new(0.0, 0.0))
+///     .node(Position::new(30.0, 0.0))
+///     .link_prr(NodeId::new(0), NodeId::new(1), 0.9)
+///     .build();
+/// assert_eq!(topo.len(), 2);
+/// assert_eq!(topo.prr(NodeId::new(0), NodeId::new(1)), 0.9);
+/// // The override is directional; the reverse uses the model.
+/// assert_eq!(topo.prr(NodeId::new(1), NodeId::new(0)), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    positions: Vec<Position>,
+    range: f64,
+    interference_factor: f64,
+    link_model: LinkModel,
+    prr_overrides: BTreeMap<(NodeId, NodeId), f64>,
+}
+
+impl TopologyBuilder {
+    /// Starts a topology with the given communication range (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not finite and positive.
+    pub fn new(range: f64) -> Self {
+        assert!(
+            range.is_finite() && range > 0.0,
+            "communication range must be positive, got {range}"
+        );
+        TopologyBuilder {
+            positions: Vec::new(),
+            range,
+            interference_factor: 1.0,
+            link_model: LinkModel::default(),
+            prr_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a node at `position`; ids are assigned in insertion order.
+    pub fn node(mut self, position: Position) -> Self {
+        self.positions.push(position);
+        self
+    }
+
+    /// Adds several nodes at once.
+    pub fn nodes<I: IntoIterator<Item = Position>>(mut self, positions: I) -> Self {
+        self.positions.extend(positions);
+        self
+    }
+
+    /// Sets the link-quality model.
+    pub fn link_model(mut self, model: LinkModel) -> Self {
+        self.link_model = model;
+        self
+    }
+
+    /// Sets the interference range as a multiple of the communication
+    /// range (must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn interference_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor >= 1.0,
+            "interference range cannot be smaller than communication range"
+        );
+        self.interference_factor = factor;
+        self
+    }
+
+    /// Overrides the PRR of the directed link `a → b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prr` is outside `[0, 1]`.
+    pub fn link_prr(mut self, a: NodeId, b: NodeId, prr: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prr), "PRR must be in [0,1], got {prr}");
+        self.prr_overrides.insert((a, b), prr);
+        self
+    }
+
+    /// Overrides the PRR of both directions of the link `a ↔ b`.
+    pub fn link_prr_symmetric(self, a: NodeId, b: NodeId, prr: f64) -> Self {
+        self.link_prr(a, b, prr).link_prr(b, a, prr)
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            positions: self.positions,
+            range: self.range,
+            interference_factor: self.interference_factor,
+            link_model: self.link_model,
+            prr_overrides: self.prr_overrides,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(spacing: f64, n: usize, range: f64) -> Topology {
+        TopologyBuilder::new(range)
+            .link_model(LinkModel::Perfect)
+            .nodes((0..n).map(|i| Position::new(i as f64 * spacing, 0.0)))
+            .build()
+    }
+
+    #[test]
+    fn in_range_and_neighbors() {
+        let t = line(30.0, 4, 35.0);
+        let n1 = NodeId::new(1);
+        assert_eq!(t.neighbors(n1), vec![NodeId::new(0), NodeId::new(2)]);
+        assert!(!t.in_range(NodeId::new(0), NodeId::new(2)));
+        assert!(!t.in_range(n1, n1), "a node is not its own neighbor");
+    }
+
+    #[test]
+    fn interference_extends_beyond_range() {
+        let t = TopologyBuilder::new(30.0)
+            .interference_factor(2.0)
+            .node(Position::new(0.0, 0.0))
+            .node(Position::new(50.0, 0.0))
+            .build();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert!(!t.in_range(a, b));
+        assert!(t.audible(a, b), "50m is inside the 60m interference range");
+    }
+
+    #[test]
+    fn distance_falloff_shape() {
+        let model = LinkModel::DistanceFalloff {
+            plateau: 0.5,
+            edge_prr: 0.5,
+        };
+        assert_eq!(model.prr_at(0.0, 100.0), 1.0);
+        assert_eq!(model.prr_at(50.0, 100.0), 1.0);
+        assert!((model.prr_at(75.0, 100.0) - 0.75).abs() < 1e-12);
+        assert!((model.prr_at(100.0, 100.0) - 0.5).abs() < 1e-12);
+        assert_eq!(model.prr_at(101.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn prr_override_beats_model() {
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let t = TopologyBuilder::new(100.0)
+            .link_model(LinkModel::Perfect)
+            .node(Position::ORIGIN)
+            .node(Position::new(10.0, 0.0))
+            .link_prr(a, b, 0.25)
+            .build();
+        assert_eq!(t.prr(a, b), 0.25);
+        assert_eq!(t.prr(b, a), 1.0);
+        assert_eq!(t.prr(a, a), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_prr_is_zero() {
+        let t = line(60.0, 2, 50.0);
+        assert_eq!(t.prr(NodeId::new(0), NodeId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        assert!(line(30.0, 5, 35.0).is_connected());
+        assert!(!line(60.0, 3, 50.0).is_connected());
+        assert!(TopologyBuilder::new(10.0).build().is_connected());
+    }
+
+    #[test]
+    fn fixed_model_clamps() {
+        let m = LinkModel::Fixed(1.5);
+        assert_eq!(m.prr_at(1.0, 10.0), 1.0);
+        let m = LinkModel::Fixed(-0.5);
+        assert_eq!(m.prr_at(1.0, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_range_rejected() {
+        let _ = TopologyBuilder::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "PRR must be in [0,1]")]
+    fn bad_override_rejected() {
+        let _ = TopologyBuilder::new(10.0).link_prr(NodeId::new(0), NodeId::new(1), 1.2);
+    }
+}

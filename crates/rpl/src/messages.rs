@@ -1,0 +1,116 @@
+//! RPL control messages.
+
+use std::fmt;
+
+use gtt_net::NodeId;
+
+use crate::rank::Rank;
+
+/// A DODAG Information Object, broadcast by every joined node.
+///
+/// Besides the standard fields, GT-TSCH adds one option (paper §VII):
+/// the sender's number of free unicast Rx cells `l_rx`, which upper-bounds
+/// how many Tx cells a child may request in the allocation game. For
+/// schedulers that do not use the option (Orchestra) it is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dio {
+    /// The DODAG this node belongs to, identified by its root.
+    pub dodag_root: NodeId,
+    /// DODAG version (incremented on global repair; constant here).
+    pub version: u8,
+    /// The sender's Rank.
+    pub rank: Rank,
+    /// GT-TSCH option: sender's free unicast Rx capacity (`l_rx`), in
+    /// cells per slotframe.
+    pub rx_free: u16,
+}
+
+impl Dio {
+    /// Creates a DIO without the GT-TSCH option.
+    pub fn new(dodag_root: NodeId, version: u8, rank: Rank) -> Self {
+        Dio {
+            dodag_root,
+            version,
+            rank,
+            rx_free: 0,
+        }
+    }
+
+    /// Attaches the GT-TSCH `l_rx` option.
+    pub fn with_rx_free(mut self, rx_free: u16) -> Self {
+        self.rx_free = rx_free;
+        self
+    }
+}
+
+impl fmt::Display for Dio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DIO(root={}, v{}, {}, l_rx={})",
+            self.dodag_root, self.version, self.rank, self.rx_free
+        )
+    }
+}
+
+/// A Destination Advertisement Object, unicast from a child to its parent.
+///
+/// In this reproduction DAOs serve their RFC 6550 role of announcing
+/// reachability upward, which is how a parent learns its children set
+/// `cs_i` — an input to both the GT-TSCH channel-allocation algorithm
+/// (Algorithm 1) and the slotframe-creation rules (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dao {
+    /// The child announcing itself.
+    pub child: NodeId,
+    /// `true` for a no-path DAO: the child is leaving this parent.
+    pub no_path: bool,
+}
+
+impl Dao {
+    /// A DAO announcing `child` to its (new) parent.
+    pub fn announce(child: NodeId) -> Self {
+        Dao {
+            child,
+            no_path: false,
+        }
+    }
+
+    /// A no-path DAO: `child` detaches from the parent.
+    pub fn no_path(child: NodeId) -> Self {
+        Dao {
+            child,
+            no_path: true,
+        }
+    }
+}
+
+impl fmt::Display for Dao {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.no_path {
+            write!(f, "DAO(no-path, {})", self.child)
+        } else {
+            write!(f, "DAO({})", self.child)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dio_builder() {
+        let dio = Dio::new(NodeId::new(0), 1, Rank::ROOT).with_rx_free(5);
+        assert_eq!(dio.rx_free, 5);
+        assert_eq!(dio.rank, Rank::ROOT);
+        assert!(dio.to_string().contains("l_rx=5"));
+    }
+
+    #[test]
+    fn dao_kinds() {
+        assert!(!Dao::announce(NodeId::new(3)).no_path);
+        assert!(Dao::no_path(NodeId::new(3)).no_path);
+        assert!(Dao::no_path(NodeId::new(3)).to_string().contains("no-path"));
+    }
+}

@@ -1,0 +1,554 @@
+//! The per-node RPL state machine.
+
+use std::collections::BTreeMap;
+
+use gtt_net::NodeId;
+use gtt_sim::{Pcg32, SimDuration, SimTime, Timer};
+
+use crate::messages::{Dao, Dio};
+use crate::rank::Rank;
+use crate::trickle::TrickleTimer;
+
+/// RPL configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RplConfig {
+    /// Trickle minimum interval (RFC 6206 `Imin`).
+    pub trickle_imin: SimDuration,
+    /// Trickle doublings (`Imax = Imin × 2^doublings`).
+    pub trickle_doublings: u8,
+    /// Trickle redundancy constant `k`.
+    pub trickle_k: u32,
+    /// MRHOF parent-switch hysteresis (RFC 6719
+    /// `PARENT_SWITCH_THRESHOLD`, in Rank units).
+    pub parent_switch_threshold: u16,
+    /// Forget neighbors not heard for this long.
+    pub neighbor_timeout: SimDuration,
+    /// Period of DAO refreshes towards the parent.
+    pub dao_period: SimDuration,
+    /// Forget children whose DAOs stopped for this long.
+    pub child_timeout: SimDuration,
+}
+
+impl Default for RplConfig {
+    fn default() -> Self {
+        RplConfig {
+            trickle_imin: SimDuration::from_micros(4_096_000),
+            trickle_doublings: 6,
+            trickle_k: 10,
+            parent_switch_threshold: 192,
+            neighbor_timeout: SimDuration::from_secs(600),
+            dao_period: SimDuration::from_secs(60),
+            child_timeout: SimDuration::from_secs(300),
+        }
+    }
+}
+
+/// An outgoing action requested by the RPL layer.
+///
+/// The engine turns these into frames (and patches the GT-TSCH `rx_free`
+/// DIO option in before transmission).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RplAction {
+    /// Broadcast this DIO on the control plane.
+    BroadcastDio(Dio),
+    /// Unicast this DAO to the given parent.
+    SendDao {
+        /// Destination parent.
+        to: NodeId,
+        /// The DAO.
+        dao: Dao,
+    },
+    /// The preferred parent changed; scheduling functions react to this
+    /// (GT-TSCH re-runs channel allocation, Orchestra re-hashes cells).
+    ParentChanged {
+        /// Previous parent, if any.
+        old: Option<NodeId>,
+        /// New preferred parent.
+        new: NodeId,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NeighborEntry {
+    rank: Rank,
+    rx_free: u16,
+    /// Last known ETX towards this neighbor (engine-supplied).
+    etx: f64,
+    last_heard: SimTime,
+}
+
+/// The RPL routing state of one node.
+///
+/// Feed it DIOs/DAOs as they arrive and call [`RplNode::poll`] at a
+/// regular cadence (the engine does so once per slotframe); collect the
+/// returned [`RplAction`]s.
+#[derive(Debug, Clone)]
+pub struct RplNode {
+    id: NodeId,
+    config: RplConfig,
+    is_root: bool,
+    rank: Rank,
+    parent: Option<NodeId>,
+    dodag: Option<(NodeId, u8)>,
+    neighbors: BTreeMap<NodeId, NeighborEntry>,
+    children: BTreeMap<NodeId, SimTime>,
+    trickle: TrickleTimer,
+    dao_timer: Timer,
+    rng: Pcg32,
+    parent_changes: u64,
+}
+
+impl RplNode {
+    /// Creates a non-root node that will join the first DODAG it hears.
+    pub fn new(id: NodeId, config: RplConfig) -> Self {
+        let trickle = TrickleTimer::new(
+            config.trickle_imin,
+            config.trickle_doublings,
+            config.trickle_k,
+        );
+        RplNode {
+            id,
+            config,
+            is_root: false,
+            rank: Rank::INFINITE,
+            parent: None,
+            dodag: None,
+            neighbors: BTreeMap::new(),
+            children: BTreeMap::new(),
+            trickle,
+            dao_timer: Timer::disarmed(),
+            rng: Pcg32::with_stream(id.raw() as u64, 0x5259_0001),
+            parent_changes: 0,
+        }
+    }
+
+    /// Creates a DODAG root; it starts advertising immediately.
+    pub fn new_root(id: NodeId, config: RplConfig, now: SimTime) -> Self {
+        let mut node = RplNode::new(id, config);
+        node.is_root = true;
+        node.rank = Rank::ROOT;
+        node.dodag = Some((id, 1));
+        let mut rng = node.rng.clone();
+        node.trickle.start(now, &mut rng);
+        node.rng = rng;
+        node
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// True for DODAG roots.
+    pub fn is_root(&self) -> bool {
+        self.is_root
+    }
+
+    /// Current Rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Preferred parent, if joined.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// True once the node has a route towards a root (or is one).
+    pub fn is_joined(&self) -> bool {
+        self.is_root || self.parent.is_some()
+    }
+
+    /// The root of the DODAG this node belongs to, if joined.
+    pub fn dodag_root(&self) -> Option<NodeId> {
+        self.dodag.map(|(root, _)| root)
+    }
+
+    /// Children currently registered via DAO, in id order.
+    pub fn children(&self) -> Vec<NodeId> {
+        self.children.keys().copied().collect()
+    }
+
+    /// Number of parent switches performed so far.
+    pub fn parent_changes(&self) -> u64 {
+        self.parent_changes
+    }
+
+    /// Last `l_rx` (free Rx cells) advertised by `neighbor` in a DIO.
+    pub fn neighbor_rx_free(&self, neighbor: NodeId) -> Option<u16> {
+        self.neighbors.get(&neighbor).map(|n| n.rx_free)
+    }
+
+    /// Last Rank heard from `neighbor`.
+    pub fn neighbor_rank(&self, neighbor: NodeId) -> Option<Rank> {
+        self.neighbors.get(&neighbor).map(|n| n.rank)
+    }
+
+    /// Processes a received DIO from `src` over a link whose current ETX
+    /// estimate is `etx`.
+    pub fn handle_dio(
+        &mut self,
+        src: NodeId,
+        dio: Dio,
+        etx: f64,
+        now: SimTime,
+    ) -> Vec<RplAction> {
+        // Adopt the DODAG if we have none (non-roots only).
+        if !self.is_root && self.dodag.is_none() {
+            self.dodag = Some((dio.dodag_root, dio.version));
+        }
+        // Ignore DIOs from a different DODAG — cross-DODAG isolation
+        // matters for the two-DODAG scenarios of §VIII.
+        if self.dodag.map(|(root, _)| root) != Some(dio.dodag_root) {
+            return Vec::new();
+        }
+
+        self.neighbors.insert(
+            src,
+            NeighborEntry {
+                rank: dio.rank,
+                rx_free: dio.rx_free,
+                etx: etx.max(1.0),
+                last_heard: now,
+            },
+        );
+        self.trickle.consistent_heard();
+
+        if self.is_root {
+            return Vec::new();
+        }
+        self.reselect_parent(now)
+    }
+
+    /// Processes a received DAO from `src`.
+    pub fn handle_dao(&mut self, src: NodeId, dao: Dao, now: SimTime) {
+        if dao.no_path {
+            self.children.remove(&dao.child);
+        } else {
+            self.children.insert(dao.child, now);
+        }
+        let _ = src;
+    }
+
+    /// Periodic housekeeping: expire neighbors/children, re-run parent
+    /// selection, fire Trickle DIOs and DAO refreshes.
+    ///
+    /// `etx` maps a neighbor id to the current MAC ETX estimate towards
+    /// it (the engine closes over the MAC's link statistics).
+    pub fn poll(&mut self, now: SimTime, etx: &dyn Fn(NodeId) -> f64) -> Vec<RplAction> {
+        let mut actions = Vec::new();
+
+        // Expire stale neighbors (but never the root's self-knowledge).
+        let timeout = self.config.neighbor_timeout;
+        self.neighbors
+            .retain(|_, n| now.saturating_since(n.last_heard) <= timeout);
+        let child_timeout = self.config.child_timeout;
+        self.children
+            .retain(|_, heard| now.saturating_since(*heard) <= child_timeout);
+
+        if !self.is_root {
+            // Refresh stored ETX estimates from the MAC.
+            for (&n, entry) in self.neighbors.iter_mut() {
+                entry.etx = etx(n).max(1.0);
+            }
+            // Parent may have expired or its metrics drifted.
+            if let Some(p) = self.parent {
+                if !self.neighbors.contains_key(&p) {
+                    self.parent = None;
+                    self.rank = Rank::INFINITE;
+                }
+            }
+            actions.extend(self.reselect_parent(now));
+            // Keep Rank tracking ETX drift on the existing link.
+            if let Some(entry) = self.parent_entry() {
+                let new_rank = entry.rank.advertised_through(entry.etx);
+                if new_rank != self.rank {
+                    self.rank = new_rank;
+                }
+            }
+        }
+
+        // Trickle-paced DIO.
+        let mut rng = self.rng.clone();
+        if self.trickle.poll(now, &mut rng) && self.is_joined() {
+            actions.push(RplAction::BroadcastDio(Dio::new(
+                self.dodag.expect("joined nodes have a DODAG").0,
+                self.dodag.expect("joined nodes have a DODAG").1,
+                self.rank,
+            )));
+        }
+        self.rng = rng;
+
+        // Periodic DAO refresh.
+        if self.dao_timer.fire_due(now) {
+            if let Some(p) = self.parent {
+                actions.push(RplAction::SendDao {
+                    to: p,
+                    dao: Dao::announce(self.id),
+                });
+            }
+        }
+
+        actions
+    }
+
+    fn parent_entry(&self) -> Option<NeighborEntry> {
+        self.parent.and_then(|p| self.neighbors.get(&p)).copied()
+    }
+
+    /// MRHOF parent selection with hysteresis.
+    fn reselect_parent(&mut self, now: SimTime) -> Vec<RplAction> {
+        let mut best: Option<(NodeId, Rank)> = None;
+        for (&cand, entry) in &self.neighbors {
+            if entry.rank.is_infinite() {
+                continue;
+            }
+            // Never pick a registered child (it lives in our sub-DODAG).
+            if self.children.contains_key(&cand) {
+                continue;
+            }
+            // Loop avoidance: a joined node only considers parents whose
+            // Rank is strictly below its own.
+            if self.parent.is_some() && entry.rank >= self.rank {
+                continue;
+            }
+            let cost = entry.rank.advertised_through(entry.etx);
+            if best.map_or(true, |(_, c)| cost < c) {
+                best = Some((cand, cost));
+            }
+        }
+
+        let Some((cand, cand_rank)) = best else {
+            return Vec::new();
+        };
+
+        let switch = match self.parent {
+            None => true,
+            Some(p) if p == cand => false,
+            Some(_) => {
+                // RFC 6719 hysteresis: the new path must beat the current
+                // Rank by more than the threshold.
+                (self.rank.raw() as i32 - cand_rank.raw() as i32)
+                    > self.config.parent_switch_threshold as i32
+            }
+        };
+
+        if !switch {
+            // Still refresh Rank through the existing parent below (poll).
+            return Vec::new();
+        }
+
+        let old = self.parent;
+        self.parent = Some(cand);
+        self.rank = cand_rank;
+        self.parent_changes += 1;
+
+        let mut actions = Vec::new();
+        if let Some(old_parent) = old {
+            actions.push(RplAction::SendDao {
+                to: old_parent,
+                dao: Dao::no_path(self.id),
+            });
+        }
+        actions.push(RplAction::SendDao {
+            to: cand,
+            dao: Dao::announce(self.id),
+        });
+        actions.push(RplAction::ParentChanged { old, new: cand });
+
+        // Joining starts Trickle and the DAO refresh timer.
+        let mut rng = self.rng.clone();
+        if !self.trickle.is_running() {
+            self.trickle.start(now, &mut rng);
+        } else {
+            self.trickle.inconsistency(now, &mut rng);
+        }
+        self.rng = rng;
+        self.dao_timer.arm_periodic(now, self.config.dao_period);
+
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dio(root: u16, rank: Rank) -> Dio {
+        Dio::new(NodeId::new(root), 1, rank)
+    }
+
+    fn flat_etx(_: NodeId) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn root_advertises_and_never_selects_parents() {
+        let mut root = RplNode::new_root(NodeId::new(0), RplConfig::default(), SimTime::ZERO);
+        assert!(root.is_root());
+        assert!(root.is_joined());
+        let actions = root.handle_dio(NodeId::new(1), dio(0, Rank::new(512)), 1.0, SimTime::ZERO);
+        assert!(actions.is_empty());
+        assert_eq!(root.parent(), None);
+
+        // Polling through the first trickle interval eventually yields a DIO.
+        let mut sent = false;
+        for s in 0..200 {
+            let t = SimTime::from_millis(100 * s);
+            for a in root.poll(t, &flat_etx) {
+                if matches!(a, RplAction::BroadcastDio(_)) {
+                    sent = true;
+                }
+            }
+        }
+        assert!(sent, "root must broadcast DIOs");
+    }
+
+    #[test]
+    fn node_joins_on_first_dio() {
+        let mut n = RplNode::new(NodeId::new(1), RplConfig::default());
+        let actions = n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        assert_eq!(n.parent(), Some(NodeId::new(0)));
+        assert_eq!(n.rank().raw(), 512);
+        assert_eq!(n.dodag_root(), Some(NodeId::new(0)));
+        assert!(actions.contains(&RplAction::ParentChanged {
+            old: None,
+            new: NodeId::new(0)
+        }));
+        assert!(actions.iter().any(
+            |a| matches!(a, RplAction::SendDao { to, dao } if *to == NodeId::new(0) && !dao.no_path)
+        ));
+        assert_eq!(n.parent_changes(), 1);
+    }
+
+    #[test]
+    fn hysteresis_prevents_marginal_switches() {
+        let mut n = RplNode::new(NodeId::new(2), RplConfig::default());
+        n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        assert_eq!(n.parent(), Some(NodeId::new(0)));
+        // A slightly better candidate appears (improvement < 192): stay.
+        // Our rank via n0 is 512. Candidate n1 at rank 256 with etx 1.0
+        // would also give 512 — no improvement, no switch.
+        let actions = n.handle_dio(NodeId::new(1), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        assert!(actions.is_empty());
+        assert_eq!(n.parent(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn big_improvement_switches_parent() {
+        let mut n = RplNode::new(NodeId::new(2), RplConfig::default());
+        // Join via a rank-768 neighbor: our rank = 1024.
+        n.handle_dio(NodeId::new(5), dio(0, Rank::new(768)), 1.0, SimTime::ZERO);
+        assert_eq!(n.rank().raw(), 1024);
+        // The root itself appears: cost 512, improvement 512 > 192.
+        let actions = n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        assert_eq!(n.parent(), Some(NodeId::new(0)));
+        assert_eq!(n.rank().raw(), 512);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            RplAction::SendDao { to, dao } if *to == NodeId::new(5) && dao.no_path
+        )));
+        assert_eq!(n.parent_changes(), 2);
+    }
+
+    #[test]
+    fn lossy_links_penalized_in_selection() {
+        let mut n = RplNode::new(NodeId::new(3), RplConfig::default());
+        // Root heard over an ETX-3 link: cost 256 + 3*256 = 1024.
+        n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 3.0, SimTime::ZERO);
+        assert_eq!(n.rank().raw(), 1024);
+        // A rank-512 relay over a clean link: cost 768 < 1024 − 192.
+        n.handle_dio(NodeId::new(1), dio(0, Rank::new(512)), 1.0, SimTime::ZERO);
+        assert_eq!(n.parent(), Some(NodeId::new(1)));
+        assert_eq!(n.rank().raw(), 768);
+    }
+
+    #[test]
+    fn foreign_dodag_ignored() {
+        let mut n = RplNode::new(NodeId::new(4), RplConfig::default());
+        n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        // DIO from a different DODAG (root 9) must not be adopted.
+        let actions = n.handle_dio(NodeId::new(9), dio(9, Rank::ROOT), 1.0, SimTime::ZERO);
+        assert!(actions.is_empty());
+        assert_eq!(n.dodag_root(), Some(NodeId::new(0)));
+        assert_eq!(n.parent(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn children_tracked_via_dao() {
+        let mut p = RplNode::new_root(NodeId::new(0), RplConfig::default(), SimTime::ZERO);
+        p.handle_dao(NodeId::new(1), Dao::announce(NodeId::new(1)), SimTime::ZERO);
+        p.handle_dao(NodeId::new(2), Dao::announce(NodeId::new(2)), SimTime::ZERO);
+        assert_eq!(p.children(), vec![NodeId::new(1), NodeId::new(2)]);
+        p.handle_dao(NodeId::new(1), Dao::no_path(NodeId::new(1)), SimTime::ZERO);
+        assert_eq!(p.children(), vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn children_expire_without_refresh() {
+        let cfg = RplConfig::default();
+        let timeout = cfg.child_timeout;
+        let mut p = RplNode::new_root(NodeId::new(0), cfg, SimTime::ZERO);
+        p.handle_dao(NodeId::new(1), Dao::announce(NodeId::new(1)), SimTime::ZERO);
+        p.poll(SimTime::ZERO + timeout + SimDuration::from_secs(1), &flat_etx);
+        assert!(p.children().is_empty());
+    }
+
+    #[test]
+    fn parent_expiry_triggers_reselection() {
+        let mut n = RplNode::new(NodeId::new(3), RplConfig::default());
+        n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        // Keep a backup relay fresh throughout.
+        let late = SimTime::ZERO + RplConfig::default().neighbor_timeout + SimDuration::from_secs(5);
+        n.handle_dio(NodeId::new(1), dio(0, Rank::new(512)), 1.0, late);
+        let actions = n.poll(late + SimDuration::from_secs(1), &flat_etx);
+        assert_eq!(n.parent(), Some(NodeId::new(1)), "fails over to the relay");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, RplAction::ParentChanged { .. })));
+    }
+
+    #[test]
+    fn a_child_is_never_selected_as_parent() {
+        let mut n = RplNode::new(NodeId::new(3), RplConfig::default());
+        n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        n.handle_dao(NodeId::new(7), Dao::announce(NodeId::new(7)), SimTime::ZERO);
+        // The child (in our sub-DODAG) advertises a fantastic rank —
+        // selecting it would form a loop.
+        n.handle_dio(NodeId::new(7), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        assert_eq!(n.parent(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn dao_refresh_fires_periodically() {
+        let cfg = RplConfig {
+            dao_period: SimDuration::from_secs(10),
+            ..RplConfig::default()
+        };
+        let mut n = RplNode::new(NodeId::new(1), cfg);
+        n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        let mut daos = 0;
+        for s in 1..=35 {
+            for a in n.poll(SimTime::from_secs(s), &flat_etx) {
+                if matches!(a, RplAction::SendDao { dao, .. } if !dao.no_path) {
+                    daos += 1;
+                }
+            }
+        }
+        assert!(daos >= 3, "expected ≥3 DAO refreshes in 35 s, got {daos}");
+    }
+
+    #[test]
+    fn rx_free_option_remembered() {
+        let mut n = RplNode::new(NodeId::new(1), RplConfig::default());
+        n.handle_dio(
+            NodeId::new(0),
+            dio(0, Rank::ROOT).with_rx_free(6),
+            1.0,
+            SimTime::ZERO,
+        );
+        assert_eq!(n.neighbor_rx_free(NodeId::new(0)), Some(6));
+        assert_eq!(n.neighbor_rank(NodeId::new(0)), Some(Rank::ROOT));
+        assert_eq!(n.neighbor_rx_free(NodeId::new(9)), None);
+    }
+}

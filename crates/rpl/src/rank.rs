@@ -1,0 +1,181 @@
+//! RPL Rank and the MRHOF objective function.
+
+use std::fmt;
+
+/// RFC 6550's `MinHopRankIncrease` (also the paper's `MinStepOfRank`,
+/// eq. 3): the minimum Rank growth per hop. 256 is the standard default.
+pub const MIN_HOP_RANK_INCREASE: u16 = 256;
+
+/// An RPL Rank: the node's scalar logical distance to the DODAG root.
+///
+/// Under MRHOF-over-ETX (RFC 6719), a node's Rank is its parent's Rank
+/// plus `ETX(link) × MinHopRankIncrease`, so a perfect one-hop link adds
+/// exactly [`MIN_HOP_RANK_INCREASE`].
+///
+/// # Example
+///
+/// ```
+/// use gtt_rpl::Rank;
+///
+/// let parent = Rank::ROOT;
+/// let child = parent.advertised_through(1.0); // perfect link
+/// assert_eq!(child.raw() - parent.raw(), 256);
+/// let lossy_child = parent.advertised_through(2.0); // ETX 2 link
+/// assert!(lossy_child > child);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(u16);
+
+impl Rank {
+    /// The root's Rank. RFC 6550 roots advertise `MinHopRankIncrease`;
+    /// the paper's eq. 3 calls this `Rank_min`.
+    pub const ROOT: Rank = Rank(MIN_HOP_RANK_INCREASE);
+
+    /// The infinite Rank: not reachable / no route.
+    pub const INFINITE: Rank = Rank(u16::MAX);
+
+    /// Creates a Rank from its raw value.
+    pub const fn new(raw: u16) -> Self {
+        Rank(raw)
+    }
+
+    /// Raw Rank value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// True for [`Rank::INFINITE`].
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u16::MAX
+    }
+
+    /// The Rank a child obtains by selecting a parent with this Rank over
+    /// a link with the given ETX (MRHOF rank increase, RFC 6719 §3.3:
+    /// `Rank = parent_rank + ETX × MinHopRankIncrease`). The increase is
+    /// floored at one `MinHopRankIncrease` and the result saturates at
+    /// [`Rank::INFINITE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `etx` is not finite or is below 1.0 − ε (ETX ≥ 1 by
+    /// definition; eq. 4 of the paper).
+    pub fn advertised_through(self, etx: f64) -> Rank {
+        assert!(etx.is_finite() && etx >= 0.999, "ETX must be ≥ 1, got {etx}");
+        if self.is_infinite() {
+            return Rank::INFINITE;
+        }
+        let increase = (etx * MIN_HOP_RANK_INCREASE as f64).round() as u32;
+        let increase = increase.max(MIN_HOP_RANK_INCREASE as u32);
+        let total = self.0 as u32 + increase;
+        if total >= u16::MAX as u32 {
+            Rank::INFINITE
+        } else {
+            Rank(total as u16)
+        }
+    }
+
+    /// Approximate hop distance from the root implied by this Rank
+    /// (assuming perfect links); the paper's figures label tiers this way.
+    pub fn approx_hops(self) -> u16 {
+        if self.is_infinite() {
+            return u16::MAX;
+        }
+        (self.0.saturating_sub(Rank::ROOT.raw())) / MIN_HOP_RANK_INCREASE
+    }
+
+    /// The paper's eq. 3 transformation:
+    /// `R̄ank_i = MinStepOfRank / (Rank_i − Rank_min)`.
+    ///
+    /// Nodes closer to the root (smaller Rank) get a larger weight, which
+    /// prioritizes forwarders in the cell-allocation game. Returns `None`
+    /// for the root itself (`Rank_i == Rank_min`, division by zero — the
+    /// root plays no game because it has no parent) and for infinite Rank.
+    pub fn game_weight(self) -> Option<f64> {
+        if self.is_infinite() || self.0 <= Rank::ROOT.raw() {
+            return None;
+        }
+        Some(MIN_HOP_RANK_INCREASE as f64 / (self.0 - Rank::ROOT.raw()) as f64)
+    }
+}
+
+impl Default for Rank {
+    fn default() -> Self {
+        Rank::INFINITE
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            f.write_str("rank∞")
+        } else {
+            write!(f, "rank{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_chain_ranks() {
+        let r1 = Rank::ROOT.advertised_through(1.0);
+        let r2 = r1.advertised_through(1.0);
+        assert_eq!(r1.raw(), 512);
+        assert_eq!(r2.raw(), 768);
+        assert_eq!(r1.approx_hops(), 1);
+        assert_eq!(r2.approx_hops(), 2);
+    }
+
+    #[test]
+    fn lossy_links_increase_rank_proportionally() {
+        let r = Rank::ROOT.advertised_through(2.0);
+        assert_eq!(r.raw(), Rank::ROOT.raw() + 512);
+    }
+
+    #[test]
+    fn increase_floored_at_min_step() {
+        // ETX exactly 1.0 (or slightly less from float noise) still adds
+        // a full MinHopRankIncrease.
+        let r = Rank::ROOT.advertised_through(0.9999);
+        assert_eq!(r.raw(), Rank::ROOT.raw() + MIN_HOP_RANK_INCREASE);
+    }
+
+    #[test]
+    fn saturates_to_infinite() {
+        let nearly = Rank::new(u16::MAX - 10);
+        assert!(nearly.advertised_through(1.0).is_infinite());
+        assert!(Rank::INFINITE.advertised_through(1.0).is_infinite());
+    }
+
+    #[test]
+    fn game_weight_matches_eq3() {
+        // First hop: MinStep/(512-256) = 1.0.
+        let r1 = Rank::ROOT.advertised_through(1.0);
+        assert_eq!(r1.game_weight(), Some(1.0));
+        // Second hop: 256/512 = 0.5.
+        let r2 = r1.advertised_through(1.0);
+        assert_eq!(r2.game_weight(), Some(0.5));
+        // Closer to root ⇒ larger weight (the paper's priority rule).
+        assert!(r1.game_weight() > r2.game_weight());
+    }
+
+    #[test]
+    fn game_weight_undefined_for_root_and_unreachable() {
+        assert_eq!(Rank::ROOT.game_weight(), None);
+        assert_eq!(Rank::INFINITE.game_weight(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rank::ROOT.to_string(), "rank256");
+        assert_eq!(Rank::INFINITE.to_string(), "rank∞");
+    }
+
+    #[test]
+    #[should_panic(expected = "ETX must be ≥ 1")]
+    fn sub_unity_etx_rejected() {
+        let _ = Rank::ROOT.advertised_through(0.5);
+    }
+}

@@ -1,0 +1,300 @@
+//! One-shot and periodic timers.
+//!
+//! TSCH simulations are slot-synchronous: the engine advances one timeslot
+//! at a time and, at each boundary, asks which timers fired. [`Timer`] is
+//! the single-timer primitive (EB period, scheduling-function period, app
+//! generation); [`TimerWheel`] multiplexes many named timers for components
+//! that juggle several (e.g. per-neighbor 6P timeouts).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A timer that can be one-shot or periodic.
+///
+/// # Example
+///
+/// ```
+/// use gtt_sim::{Timer, SimTime, SimDuration};
+///
+/// let mut eb = Timer::periodic(SimTime::ZERO, SimDuration::from_secs(2));
+/// assert!(!eb.fire_due(SimTime::from_secs(1)));
+/// assert!(eb.fire_due(SimTime::from_secs(2)));
+/// // After firing, it re-arms one period later.
+/// assert!(!eb.fire_due(SimTime::from_secs(3)));
+/// assert!(eb.fire_due(SimTime::from_secs(4)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timer {
+    deadline: SimTime,
+    period: Option<SimDuration>,
+    armed: bool,
+}
+
+impl Timer {
+    /// Creates a one-shot timer firing at `deadline`.
+    pub fn one_shot(deadline: SimTime) -> Self {
+        Timer {
+            deadline,
+            period: None,
+            armed: true,
+        }
+    }
+
+    /// Creates a periodic timer whose first deadline is `start + period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn periodic(start: SimTime, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "periodic timer needs a non-zero period");
+        Timer {
+            deadline: start + period,
+            period: Some(period),
+            armed: true,
+        }
+    }
+
+    /// Creates a disarmed timer; arm it later with [`Timer::arm`].
+    pub fn disarmed() -> Self {
+        Timer {
+            deadline: SimTime::MAX,
+            period: None,
+            armed: false,
+        }
+    }
+
+    /// True if the timer is armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The next deadline, or `None` if disarmed.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.armed.then_some(self.deadline)
+    }
+
+    /// (Re-)arms the timer as a one-shot at `deadline`, clearing any period.
+    pub fn arm(&mut self, deadline: SimTime) {
+        self.deadline = deadline;
+        self.period = None;
+        self.armed = true;
+    }
+
+    /// (Re-)arms the timer to fire every `period` starting from `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn arm_periodic(&mut self, now: SimTime, period: SimDuration) {
+        assert!(!period.is_zero(), "periodic timer needs a non-zero period");
+        self.deadline = now + period;
+        self.period = Some(period);
+        self.armed = true;
+    }
+
+    /// Disarms the timer.
+    pub fn cancel(&mut self) {
+        self.armed = false;
+        self.deadline = SimTime::MAX;
+    }
+
+    /// Checks the timer against `now`. Returns `true` if it fired.
+    ///
+    /// A periodic timer re-arms itself one period after its *deadline* (not
+    /// after `now`), so firing cadence does not drift even when the caller
+    /// polls coarsely. If several whole periods were skipped, it fires once
+    /// and re-arms past `now` (coalescing), which matches how Contiki
+    /// etimers behave when the CPU was busy.
+    pub fn fire_due(&mut self, now: SimTime) -> bool {
+        if !self.armed || now < self.deadline {
+            return false;
+        }
+        match self.period {
+            Some(p) => {
+                let mut next = self.deadline + p;
+                while next <= now {
+                    next += p;
+                }
+                self.deadline = next;
+            }
+            None => self.cancel(),
+        }
+        true
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::disarmed()
+    }
+}
+
+/// A collection of named timers.
+///
+/// Keys are caller-chosen identifiers (e.g. a neighbor's node id for 6P
+/// transaction timeouts). Firing order among simultaneously-due timers is
+/// the key order, keeping behaviour deterministic.
+///
+/// # Example
+///
+/// ```
+/// use gtt_sim::{TimerWheel, SimTime, SimDuration};
+///
+/// let mut wheel: TimerWheel<&'static str> = TimerWheel::new();
+/// wheel.arm_one_shot("6p-timeout", SimTime::from_secs(3));
+/// wheel.arm_periodic("sf-period", SimTime::ZERO, SimDuration::from_secs(10));
+/// let fired = wheel.fire_due(SimTime::from_secs(10));
+/// assert_eq!(fired, vec!["6p-timeout", "sf-period"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimerWheel<K: Ord + Clone> {
+    timers: std::collections::BTreeMap<K, Timer>,
+}
+
+impl<K: Ord + Clone> TimerWheel<K> {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            timers: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Arms (or re-arms) the one-shot timer `key` at `deadline`.
+    pub fn arm_one_shot(&mut self, key: K, deadline: SimTime) {
+        self.timers.entry(key).or_default().arm(deadline);
+    }
+
+    /// Arms (or re-arms) the periodic timer `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn arm_periodic(&mut self, key: K, now: SimTime, period: SimDuration) {
+        self.timers
+            .entry(key)
+            .or_default()
+            .arm_periodic(now, period);
+    }
+
+    /// Cancels the timer `key`. Unknown keys are ignored.
+    pub fn cancel(&mut self, key: &K) {
+        if let Some(t) = self.timers.get_mut(key) {
+            t.cancel();
+        }
+    }
+
+    /// True if `key` exists and is armed.
+    pub fn is_armed(&self, key: &K) -> bool {
+        self.timers.get(key).is_some_and(Timer::is_armed)
+    }
+
+    /// The deadline of `key`, if armed.
+    pub fn deadline(&self, key: &K) -> Option<SimTime> {
+        self.timers.get(key).and_then(Timer::deadline)
+    }
+
+    /// Fires every due timer and returns their keys in key order.
+    pub fn fire_due(&mut self, now: SimTime) -> Vec<K> {
+        let mut fired = Vec::new();
+        for (k, t) in self.timers.iter_mut() {
+            if t.fire_due(now) {
+                fired.push(k.clone());
+            }
+        }
+        // Drop fully-disarmed one-shot entries to keep the map small.
+        self.timers.retain(|_, t| t.is_armed());
+        fired
+    }
+
+    /// Earliest armed deadline across all timers.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.timers.values().filter_map(Timer::deadline).min()
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.timers.values().filter(|t| t.is_armed()).count()
+    }
+
+    /// True if no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_once() {
+        let mut t = Timer::one_shot(SimTime::from_millis(10));
+        assert!(!t.fire_due(SimTime::from_millis(9)));
+        assert!(t.fire_due(SimTime::from_millis(10)));
+        assert!(!t.fire_due(SimTime::from_millis(11)));
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn periodic_does_not_drift() {
+        let p = SimDuration::from_millis(100);
+        let mut t = Timer::periodic(SimTime::ZERO, p);
+        // Poll late by 30ms each time; deadlines stay on the 100ms grid.
+        assert!(t.fire_due(SimTime::from_millis(130)));
+        assert_eq!(t.deadline(), Some(SimTime::from_millis(200)));
+        assert!(t.fire_due(SimTime::from_millis(230)));
+        assert_eq!(t.deadline(), Some(SimTime::from_millis(300)));
+    }
+
+    #[test]
+    fn periodic_coalesces_missed_periods() {
+        let p = SimDuration::from_millis(10);
+        let mut t = Timer::periodic(SimTime::ZERO, p);
+        // Jump far ahead: fires once, re-arms past `now`.
+        assert!(t.fire_due(SimTime::from_millis(95)));
+        assert_eq!(t.deadline(), Some(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn cancel_disarms() {
+        let mut t = Timer::periodic(SimTime::ZERO, SimDuration::from_millis(5));
+        t.cancel();
+        assert!(!t.fire_due(SimTime::from_secs(100)));
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero period")]
+    fn zero_period_panics() {
+        let _ = Timer::periodic(SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wheel_fires_in_key_order() {
+        let mut wheel: TimerWheel<u8> = TimerWheel::new();
+        wheel.arm_one_shot(3, SimTime::from_millis(1));
+        wheel.arm_one_shot(1, SimTime::from_millis(1));
+        wheel.arm_one_shot(2, SimTime::from_millis(1));
+        assert_eq!(wheel.fire_due(SimTime::from_millis(1)), vec![1, 2, 3]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn wheel_keeps_periodic_entries() {
+        let mut wheel: TimerWheel<&str> = TimerWheel::new();
+        wheel.arm_periodic("eb", SimTime::ZERO, SimDuration::from_secs(2));
+        assert_eq!(wheel.fire_due(SimTime::from_secs(2)), vec!["eb"]);
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(wheel.next_deadline(), Some(SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn wheel_cancel_and_rearm() {
+        let mut wheel: TimerWheel<&str> = TimerWheel::new();
+        wheel.arm_one_shot("x", SimTime::from_secs(1));
+        wheel.cancel(&"x");
+        assert!(!wheel.is_armed(&"x"));
+        assert!(wheel.fire_due(SimTime::from_secs(5)).is_empty());
+        wheel.arm_one_shot("x", SimTime::from_secs(6));
+        assert_eq!(wheel.deadline(&"x"), Some(SimTime::from_secs(6)));
+    }
+}

@@ -1,0 +1,215 @@
+//! Structured trace hooks.
+//!
+//! The engine emits trace records at interesting points (slot actions,
+//! packet fates, schedule updates). Tests and the experiment harness attach
+//! a [`TraceSink`] to observe them; production runs use [`NullSink`], which
+//! compiles down to nothing.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity/category of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Per-slot radio/MAC activity (very chatty).
+    Slot,
+    /// Packet lifecycle: generated, forwarded, delivered, dropped.
+    Packet,
+    /// Control plane: DIO/EB/6P messages, schedule changes.
+    Control,
+    /// Rare events worth surfacing in any run: joins, parent switches.
+    Info,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Slot => "slot",
+            TraceLevel::Packet => "packet",
+            TraceLevel::Control => "control",
+            TraceLevel::Info => "info",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Category.
+    pub level: TraceLevel,
+    /// Index of the node the record concerns (usize::MAX = network-wide).
+    pub node: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl TraceRecord {
+    /// Sentinel node index for records not tied to a node.
+    pub const NETWORK: usize = usize::MAX;
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.node == Self::NETWORK {
+            write!(f, "[{} {}] {}", self.time, self.level, self.message)
+        } else {
+            write!(
+                f,
+                "[{} {} n{}] {}",
+                self.time, self.level, self.node, self.message
+            )
+        }
+    }
+}
+
+/// Receives trace records from a simulation.
+pub trait TraceSink {
+    /// Handles one record. Implementations should be cheap; the engine may
+    /// call this thousands of times per simulated second at `Slot` level.
+    fn record(&mut self, record: TraceRecord);
+
+    /// Returns `true` if `level` is wanted; the engine skips formatting
+    /// work for unwanted levels.
+    fn wants(&self, level: TraceLevel) -> bool {
+        let _ = level;
+        true
+    }
+}
+
+/// A sink that drops everything (the default for experiment runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _record: TraceRecord) {}
+
+    fn wants(&self, _level: TraceLevel) -> bool {
+        false
+    }
+}
+
+/// A sink that stores records in memory; used throughout the test suite.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// Collected records, in emission order.
+    pub records: Vec<TraceRecord>,
+    /// Minimum level collected (None = collect everything).
+    pub min_level: Option<TraceLevel>,
+}
+
+impl VecSink {
+    /// Creates a sink collecting every level.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Creates a sink collecting only records at `level` or above
+    /// (ordering: Slot < Packet < Control < Info).
+    pub fn at_least(level: TraceLevel) -> Self {
+        VecSink {
+            records: Vec::new(),
+            min_level: Some(level),
+        }
+    }
+
+    /// Returns the messages of all collected records containing `needle`.
+    pub fn matching(&self, needle: &str) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.message.contains(needle))
+            .collect()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, record: TraceRecord) {
+        if self.wants(record.level) {
+            self.records.push(record);
+        }
+    }
+
+    fn wants(&self, level: TraceLevel) -> bool {
+        match self.min_level {
+            None => true,
+            Some(min) => level >= min,
+        }
+    }
+}
+
+/// A sink that prints records to stderr; handy in examples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrSink {
+    /// Minimum level printed (None = everything).
+    pub min_level: Option<TraceLevel>,
+}
+
+impl TraceSink for StderrSink {
+    fn record(&mut self, record: TraceRecord) {
+        if self.wants(record.level) {
+            eprintln!("{record}");
+        }
+    }
+
+    fn wants(&self, level: TraceLevel) -> bool {
+        match self.min_level {
+            None => true,
+            Some(min) => level >= min,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(level: TraceLevel, msg: &str) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_millis(15),
+            level,
+            node: 3,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn null_sink_wants_nothing() {
+        let sink = NullSink;
+        assert!(!sink.wants(TraceLevel::Info));
+        assert!(!sink.wants(TraceLevel::Slot));
+    }
+
+    #[test]
+    fn vec_sink_collects_and_filters() {
+        let mut sink = VecSink::at_least(TraceLevel::Control);
+        sink.record(rec(TraceLevel::Slot, "tx"));
+        sink.record(rec(TraceLevel::Control, "6p add"));
+        sink.record(rec(TraceLevel::Info, "joined"));
+        assert_eq!(sink.records.len(), 2);
+        assert_eq!(sink.matching("6p").len(), 1);
+    }
+
+    #[test]
+    fn record_display_includes_node() {
+        let r = rec(TraceLevel::Packet, "delivered");
+        let s = r.to_string();
+        assert!(s.contains("n3"), "{s}");
+        assert!(s.contains("delivered"), "{s}");
+
+        let net = TraceRecord {
+            node: TraceRecord::NETWORK,
+            ..r
+        };
+        assert!(!net.to_string().contains("n18446744073709551615"));
+    }
+
+    #[test]
+    fn level_ordering_matches_verbosity() {
+        assert!(TraceLevel::Slot < TraceLevel::Packet);
+        assert!(TraceLevel::Packet < TraceLevel::Control);
+        assert!(TraceLevel::Control < TraceLevel::Info);
+    }
+}

@@ -1,0 +1,417 @@
+//! The per-node 6P transaction engine.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gtt_net::NodeId;
+use gtt_sim::{SimDuration, SimTime};
+
+use crate::messages::{ReturnCode, SixpBody, SixpMessage};
+
+/// 6P layer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SixtopConfig {
+    /// How long to wait for a response before retrying.
+    pub timeout: SimDuration,
+    /// How many times a request is retried after the first timeout.
+    pub max_retries: u8,
+}
+
+impl Default for SixtopConfig {
+    fn default() -> Self {
+        SixtopConfig {
+            // Two slotframes of 32 × 15 ms ≈ 1 s, rounded up generously:
+            // 6P cells occur twice per slotframe in GT-TSCH (§IV rule 2).
+            timeout: SimDuration::from_secs(3),
+            max_retries: 2,
+        }
+    }
+}
+
+/// Events surfaced to the scheduler/engine by the 6P layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SixtopEvent {
+    /// A peer's request arrived; the scheduling function must produce a
+    /// response body, then call [`SixtopLayer::respond`] echoing `seqnum`.
+    Request {
+        /// Requesting neighbor.
+        from: NodeId,
+        /// Sequence number to echo in the response.
+        seqnum: u8,
+        /// The request body.
+        body: SixpBody,
+    },
+    /// A transaction this node initiated completed successfully.
+    Completed {
+        /// Responding neighbor.
+        peer: NodeId,
+        /// The original request.
+        request: SixpBody,
+        /// The peer's response.
+        response: SixpBody,
+    },
+    /// A transaction failed (timeout after retries, or error code).
+    Failed {
+        /// The neighbor the transaction was with.
+        peer: NodeId,
+        /// The original request.
+        request: SixpBody,
+        /// Failure cause.
+        reason: TransactionFailure,
+    },
+}
+
+/// Why a transaction failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransactionFailure {
+    /// No response within the timeout after all retries.
+    Timeout,
+    /// The peer answered with a non-success return code.
+    ErrorCode(ReturnCode),
+}
+
+impl fmt::Display for TransactionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransactionFailure::Timeout => f.write_str("timeout"),
+            TransactionFailure::ErrorCode(rc) => write!(f, "peer returned {rc}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    request: SixpBody,
+    seqnum: u8,
+    deadline: SimTime,
+    retries_left: u8,
+}
+
+/// The 6P sublayer of one node.
+///
+/// RFC 8480 allows at most one outstanding transaction per neighbor pair;
+/// [`SixtopLayer::start_request`] enforces it. Retries re-send the *same*
+/// message (same seqnum), so duplicate responses are idempotent.
+#[derive(Debug, Clone)]
+pub struct SixtopLayer {
+    id: NodeId,
+    config: SixtopConfig,
+    /// Next seqnum per neighbor.
+    seqnums: BTreeMap<NodeId, u8>,
+    /// Outstanding transactions per neighbor.
+    pending: BTreeMap<NodeId, Pending>,
+    /// Count of completed/failed transactions (for control-overhead
+    /// accounting in the experiments).
+    completed: u64,
+    failed: u64,
+}
+
+impl SixtopLayer {
+    /// Creates the layer for node `id`.
+    pub fn new(id: NodeId, config: SixtopConfig) -> Self {
+        SixtopLayer {
+            id,
+            config,
+            seqnums: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            completed: 0,
+            failed: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of successfully completed transactions initiated here.
+    pub fn completed_transactions(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of failed transactions initiated here.
+    pub fn failed_transactions(&self) -> u64 {
+        self.failed
+    }
+
+    /// True if a transaction with `peer` is in flight.
+    pub fn is_busy_with(&self, peer: NodeId) -> bool {
+        self.pending.contains_key(&peer)
+    }
+
+    /// Starts a transaction with `peer`. Returns the message to enqueue
+    /// for transmission, or `None` when a transaction with that peer is
+    /// already in flight (the caller should retry later — GT-TSCH's load
+    /// balancer simply waits for its next period).
+    pub fn start_request(
+        &mut self,
+        peer: NodeId,
+        body: SixpBody,
+        now: SimTime,
+    ) -> Option<SixpMessage> {
+        assert!(body.is_request(), "start_request needs a request body");
+        if self.pending.contains_key(&peer) {
+            return None;
+        }
+        let seq = self.seqnums.entry(peer).or_insert(0);
+        let seqnum = *seq;
+        *seq = seq.wrapping_add(1);
+        self.pending.insert(
+            peer,
+            Pending {
+                request: body.clone(),
+                seqnum,
+                deadline: now + self.config.timeout,
+                retries_left: self.config.max_retries,
+            },
+        );
+        Some(SixpMessage::new(seqnum, body))
+    }
+
+    /// Builds a response to a previously surfaced
+    /// [`SixtopEvent::Request`].
+    pub fn respond(&self, seqnum: u8, body: SixpBody) -> SixpMessage {
+        assert!(!body.is_request(), "respond needs a response body");
+        SixpMessage::new(seqnum, body)
+    }
+
+    /// Processes a received 6P message from `from`.
+    pub fn handle_message(&mut self, from: NodeId, msg: SixpMessage) -> Option<SixtopEvent> {
+        if msg.body.is_request() {
+            return Some(SixtopEvent::Request {
+                from,
+                seqnum: msg.seqnum,
+                body: msg.body,
+            });
+        }
+        // A response: match it against the pending transaction.
+        let pending = self.pending.get(&from)?;
+        if pending.seqnum != msg.seqnum {
+            // Stale/duplicate response; drop silently (RFC 8480 §3.4.4).
+            return None;
+        }
+        let pending = self.pending.remove(&from).expect("checked above");
+        match msg.body.return_code() {
+            Some(rc) if rc.is_success() => {
+                self.completed += 1;
+                Some(SixtopEvent::Completed {
+                    peer: from,
+                    request: pending.request,
+                    response: msg.body,
+                })
+            }
+            Some(rc) => {
+                self.failed += 1;
+                Some(SixtopEvent::Failed {
+                    peer: from,
+                    request: pending.request,
+                    reason: TransactionFailure::ErrorCode(rc),
+                })
+            }
+            None => None,
+        }
+    }
+
+    /// Drives timeouts. Returns retransmissions to enqueue and failure
+    /// events for transactions that exhausted their retries.
+    pub fn poll(&mut self, now: SimTime) -> (Vec<(NodeId, SixpMessage)>, Vec<SixtopEvent>) {
+        let mut resend = Vec::new();
+        let mut events = Vec::new();
+        let mut drop_keys = Vec::new();
+
+        for (&peer, pending) in self.pending.iter_mut() {
+            if now < pending.deadline {
+                continue;
+            }
+            if pending.retries_left > 0 {
+                pending.retries_left -= 1;
+                pending.deadline = now + self.config.timeout;
+                resend.push((peer, SixpMessage::new(pending.seqnum, pending.request.clone())));
+            } else {
+                drop_keys.push(peer);
+            }
+        }
+        for peer in drop_keys {
+            let pending = self.pending.remove(&peer).expect("key collected above");
+            self.failed += 1;
+            events.push(SixtopEvent::Failed {
+                peer,
+                request: pending.request,
+                reason: TransactionFailure::Timeout,
+            });
+        }
+        (resend, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::CellSpec;
+
+    fn add_req(n: u16) -> SixpBody {
+        SixpBody::AddRequest {
+            kind: crate::messages::SixpCellKind::Data,
+            num_cells: n,
+            cells: vec![CellSpec::new(1, 1)],
+        }
+    }
+
+    fn add_ok() -> SixpBody {
+        SixpBody::AddResponse {
+            code: ReturnCode::Success,
+            cells: vec![CellSpec::new(1, 1)],
+        }
+    }
+
+    #[test]
+    fn request_response_happy_path() {
+        let mut child = SixtopLayer::new(NodeId::new(2), SixtopConfig::default());
+        let mut parent = SixtopLayer::new(NodeId::new(1), SixtopConfig::default());
+
+        let req = child
+            .start_request(NodeId::new(1), add_req(2), SimTime::ZERO)
+            .unwrap();
+        assert!(child.is_busy_with(NodeId::new(1)));
+
+        // Parent surfaces the request to its scheduler…
+        let ev = parent.handle_message(NodeId::new(2), req).unwrap();
+        let SixtopEvent::Request { from, seqnum, .. } = ev else {
+            panic!("expected Request event");
+        };
+        assert_eq!(from, NodeId::new(2));
+
+        // …which responds.
+        let rsp = parent.respond(seqnum, add_ok());
+        let ev = child.handle_message(NodeId::new(1), rsp).unwrap();
+        assert!(matches!(ev, SixtopEvent::Completed { .. }));
+        assert!(!child.is_busy_with(NodeId::new(1)));
+        assert_eq!(child.completed_transactions(), 1);
+    }
+
+    #[test]
+    fn only_one_transaction_per_peer() {
+        let mut l = SixtopLayer::new(NodeId::new(2), SixtopConfig::default());
+        assert!(l
+            .start_request(NodeId::new(1), add_req(1), SimTime::ZERO)
+            .is_some());
+        assert!(l
+            .start_request(NodeId::new(1), add_req(1), SimTime::ZERO)
+            .is_none());
+        // A different peer is fine.
+        assert!(l
+            .start_request(NodeId::new(3), add_req(1), SimTime::ZERO)
+            .is_some());
+    }
+
+    #[test]
+    fn seqnums_increment_per_peer() {
+        let mut l = SixtopLayer::new(NodeId::new(2), SixtopConfig::default());
+        let m1 = l
+            .start_request(NodeId::new(1), add_req(1), SimTime::ZERO)
+            .unwrap();
+        // Complete it.
+        l.handle_message(NodeId::new(1), SixpMessage::new(m1.seqnum, add_ok()));
+        let m2 = l
+            .start_request(NodeId::new(1), add_req(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(m2.seqnum, m1.seqnum.wrapping_add(1));
+        // Fresh peer starts at 0.
+        let m3 = l
+            .start_request(NodeId::new(9), add_req(1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(m3.seqnum, 0);
+    }
+
+    #[test]
+    fn stale_response_ignored() {
+        let mut l = SixtopLayer::new(NodeId::new(2), SixtopConfig::default());
+        let m = l
+            .start_request(NodeId::new(1), add_req(1), SimTime::ZERO)
+            .unwrap();
+        let stale = SixpMessage::new(m.seqnum.wrapping_add(5), add_ok());
+        assert_eq!(l.handle_message(NodeId::new(1), stale), None);
+        assert!(l.is_busy_with(NodeId::new(1)), "transaction still pending");
+        // Response from a peer with no transaction is also dropped.
+        assert_eq!(
+            l.handle_message(NodeId::new(7), SixpMessage::new(0, add_ok())),
+            None
+        );
+    }
+
+    #[test]
+    fn error_code_fails_transaction() {
+        let mut l = SixtopLayer::new(NodeId::new(2), SixtopConfig::default());
+        let m = l
+            .start_request(NodeId::new(1), add_req(1), SimTime::ZERO)
+            .unwrap();
+        let rsp = SixpMessage::new(
+            m.seqnum,
+            SixpBody::AddResponse {
+                code: ReturnCode::ErrNoCells,
+                cells: vec![],
+            },
+        );
+        let ev = l.handle_message(NodeId::new(1), rsp).unwrap();
+        assert!(matches!(
+            ev,
+            SixtopEvent::Failed {
+                reason: TransactionFailure::ErrorCode(ReturnCode::ErrNoCells),
+                ..
+            }
+        ));
+        assert_eq!(l.failed_transactions(), 1);
+    }
+
+    #[test]
+    fn timeout_retries_then_fails() {
+        let cfg = SixtopConfig {
+            timeout: SimDuration::from_secs(1),
+            max_retries: 2,
+        };
+        let mut l = SixtopLayer::new(NodeId::new(2), cfg);
+        let m = l
+            .start_request(NodeId::new(1), add_req(1), SimTime::ZERO)
+            .unwrap();
+
+        // First timeout: retry with the same seqnum.
+        let (resend, events) = l.poll(SimTime::from_secs(1));
+        assert_eq!(resend.len(), 1);
+        assert_eq!(resend[0].1.seqnum, m.seqnum);
+        assert!(events.is_empty());
+
+        // Second timeout: last retry.
+        let (resend, events) = l.poll(SimTime::from_secs(2));
+        assert_eq!(resend.len(), 1);
+        assert!(events.is_empty());
+
+        // Third: out of retries → failure.
+        let (resend, events) = l.poll(SimTime::from_secs(3));
+        assert!(resend.is_empty());
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            SixtopEvent::Failed {
+                reason: TransactionFailure::Timeout,
+                ..
+            }
+        ));
+        assert!(!l.is_busy_with(NodeId::new(1)));
+    }
+
+    #[test]
+    fn poll_before_deadline_is_quiet() {
+        let mut l = SixtopLayer::new(NodeId::new(2), SixtopConfig::default());
+        l.start_request(NodeId::new(1), add_req(1), SimTime::ZERO);
+        let (resend, events) = l.poll(SimTime::from_millis(10));
+        assert!(resend.is_empty());
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "request body")]
+    fn start_request_rejects_response_bodies() {
+        let mut l = SixtopLayer::new(NodeId::new(2), SixtopConfig::default());
+        l.start_request(NodeId::new(1), add_ok(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,116 @@
+//! # gtt-workload — scenarios and experiment plumbing
+//!
+//! Builders for the network topologies the paper evaluates on (§VIII) and
+//! a thin runner that wires a scenario + scheduler + traffic rate into a
+//! measured [`NetworkReport`]. The bench harness (`gtt-bench`) composes
+//! these into the full figure sweeps; examples use them directly.
+//!
+//! # Example
+//!
+//! ```
+//! use gtt_workload::{Scenario, SchedulerKind, RunSpec};
+//!
+//! let scenario = Scenario::two_dodag(7); // the Fig. 8 topology
+//! assert_eq!(scenario.topology.len(), 14);
+//! assert_eq!(scenario.roots.len(), 2);
+//! let spec = RunSpec {
+//!     traffic_ppm: 30.0,
+//!     warmup_secs: 30,
+//!     measure_secs: 60,
+//!     seed: 1,
+//! };
+//! let report = gtt_workload::run(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+//! assert!(report.join_ratio > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+pub mod schedulers;
+
+pub use scenario::Scenario;
+pub use schedulers::SchedulerKind;
+
+use gtt_engine::{EngineConfig, Network, NetworkReport};
+use gtt_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one measured run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Application rate per non-root node (packets/minute).
+    pub traffic_ppm: f64,
+    /// Warm-up (network formation + schedule convergence), seconds.
+    pub warmup_secs: u64,
+    /// Measurement window, seconds.
+    pub measure_secs: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            traffic_ppm: 30.0,
+            warmup_secs: 120,
+            measure_secs: 300,
+            seed: 1,
+        }
+    }
+}
+
+/// Builds the network for a scenario/scheduler pair without running it.
+pub fn build_network(
+    scenario: &Scenario,
+    scheduler: &SchedulerKind,
+    spec: &RunSpec,
+) -> Network {
+    let config = EngineConfig {
+        seed: spec.seed,
+        ..scheduler.engine_config()
+    };
+    let sk = scheduler.clone();
+    Network::builder(scenario.topology.clone(), config)
+        .roots(scenario.roots.iter().copied())
+        .traffic_ppm(spec.traffic_ppm)
+        .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root))
+        .build()
+}
+
+/// Runs one full measured experiment: warm-up, measurement window,
+/// report.
+pub fn run(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec) -> NetworkReport {
+    let mut net = build_network(scenario, scheduler, spec);
+    net.run_for(SimDuration::from_secs(spec.warmup_secs));
+    net.start_measurement();
+    net.run_for(SimDuration::from_secs(spec.measure_secs));
+    net.finish_measurement();
+    net.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_spec_default_is_sane() {
+        let spec = RunSpec::default();
+        assert!(spec.traffic_ppm > 0.0);
+        assert!(spec.measure_secs > 0);
+    }
+
+    #[test]
+    fn build_network_wires_roots_and_traffic() {
+        let scenario = Scenario::two_dodag(6);
+        let spec = RunSpec {
+            warmup_secs: 1,
+            measure_secs: 1,
+            ..RunSpec::default()
+        };
+        let net = build_network(&scenario, &SchedulerKind::minimal(8), &spec);
+        assert_eq!(net.nodes().len(), 12);
+        assert!(net.node(scenario.roots[0]).rpl.is_root());
+        assert!(net.node(scenario.roots[1]).rpl.is_root());
+    }
+}

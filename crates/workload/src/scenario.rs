@@ -1,0 +1,273 @@
+//! Network topologies from the paper's evaluation.
+
+use gtt_net::{LinkModel, NodeId, Position, Topology, TopologyBuilder};
+use gtt_sim::Pcg32;
+
+/// A named topology with its DODAG roots.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name (used in harness output).
+    pub name: String,
+    /// Node placement and link model.
+    pub topology: Topology,
+    /// DODAG roots (border routers).
+    pub roots: Vec<NodeId>,
+}
+
+/// Radio range used by the built-in scenarios (metres).
+const RANGE: f64 = 40.0;
+/// First-ring distance from the root.
+const RING1: f64 = 25.0;
+/// Second-ring distance from the root (only the ring-1 parent in range).
+const RING2: f64 = 50.0;
+/// Separation between DODAGs — far beyond any interference.
+const DODAG_SPACING: f64 = 1_000.0;
+
+impl Scenario {
+    /// One DODAG of `n` nodes (root + rings), rooted at the first node.
+    ///
+    /// Layout (§VIII's building-automation shape): up to 3 first-ring
+    /// nodes at 25 m, remaining nodes at 50 m placed radially behind a
+    /// first-ring parent, so they can only route through it (2-hop
+    /// DODAG, matching the paper's "maximum distance of two hops").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ n ≤ 10`.
+    pub fn single_dodag(n: usize) -> Scenario {
+        let mut s = Scenario::dodag_positions(n, Position::ORIGIN);
+        let topology = TopologyBuilder::new(RANGE)
+            .nodes(s.drain(..))
+            .build();
+        Scenario {
+            name: format!("single-dodag-{n}"),
+            topology,
+            roots: vec![NodeId::new(0)],
+        }
+    }
+
+    /// The paper's evaluation network: **two** isolated DODAGs of
+    /// `nodes_per_dodag` nodes each (Fig. 8: 7 per DODAG = 14 nodes;
+    /// Fig. 9 sweeps 6–9 per DODAG).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ nodes_per_dodag ≤ 10`.
+    pub fn two_dodag(nodes_per_dodag: usize) -> Scenario {
+        let mut positions = Scenario::dodag_positions(nodes_per_dodag, Position::ORIGIN);
+        positions.extend(Scenario::dodag_positions(
+            nodes_per_dodag,
+            Position::new(DODAG_SPACING, 0.0),
+        ));
+        let topology = TopologyBuilder::new(RANGE).nodes(positions).build();
+        Scenario {
+            name: format!("two-dodag-{nodes_per_dodag}"),
+            topology,
+            roots: vec![NodeId::new(0), NodeId::from_index(nodes_per_dodag)],
+        }
+    }
+
+    /// A chain of `n` nodes `spacing` metres apart, rooted at one end —
+    /// the worst case for end-to-end delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn line(n: usize, spacing: f64) -> Scenario {
+        assert!(n >= 2, "a line needs at least 2 nodes");
+        let topology = TopologyBuilder::new(spacing * 1.2)
+            .nodes((0..n).map(|i| Position::new(i as f64 * spacing, 0.0)))
+            .build();
+        Scenario {
+            name: format!("line-{n}"),
+            topology,
+            roots: vec![NodeId::new(0)],
+        }
+    }
+
+    /// A root with `leaves` one-hop children in a circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is zero.
+    pub fn star(leaves: usize) -> Scenario {
+        assert!(leaves >= 1, "a star needs at least one leaf");
+        let mut b = TopologyBuilder::new(RANGE).node(Position::ORIGIN);
+        for i in 0..leaves {
+            let angle = i as f64 * std::f64::consts::TAU / leaves as f64;
+            b = b.node(Position::new(RING1 * angle.cos(), RING1 * angle.sin()));
+        }
+        Scenario {
+            name: format!("star-{leaves}"),
+            topology: b.build(),
+            roots: vec![NodeId::new(0)],
+        }
+    }
+
+    /// `n` nodes placed uniformly at random in a `side × side` square
+    /// (root at the centre), re-drawn until connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connected placement is found within 1000 draws.
+    pub fn random(n: usize, side: f64, seed: u64) -> Scenario {
+        let mut rng = Pcg32::new(seed);
+        for _ in 0..1000 {
+            let mut b = TopologyBuilder::new(RANGE)
+                .node(Position::new(side / 2.0, side / 2.0));
+            for _ in 1..n {
+                b = b.node(Position::new(
+                    rng.gen_f64() * side,
+                    rng.gen_f64() * side,
+                ));
+            }
+            let topo = b.build();
+            if topo.is_connected() {
+                return Scenario {
+                    name: format!("random-{n}"),
+                    topology: topo,
+                    roots: vec![NodeId::new(0)],
+                };
+            }
+        }
+        panic!("no connected random placement of {n} nodes in {side}m found");
+    }
+
+    /// Replaces the link model (default:
+    /// [`LinkModel::default`](gtt_net::LinkModel)).
+    pub fn with_link_model(mut self, model: LinkModel) -> Scenario {
+        // Rebuild the topology with the new model, preserving placement.
+        let positions: Vec<Position> = self
+            .topology
+            .node_ids()
+            .map(|id| self.topology.position(id))
+            .collect();
+        self.topology = TopologyBuilder::new(self.topology.range())
+            .link_model(model)
+            .nodes(positions)
+            .build();
+        self
+    }
+
+    /// Number of traffic-generating (non-root) nodes.
+    pub fn senders(&self) -> usize {
+        self.topology.len() - self.roots.len()
+    }
+
+    fn dodag_positions(n: usize, origin: Position) -> Vec<Position> {
+        assert!(
+            (2..=10).contains(&n),
+            "dodag size must be in 2..=10, got {n}"
+        );
+        let mut positions = vec![origin];
+        let ring1 = n.saturating_sub(1).min(3);
+        let ring1_angles: Vec<f64> = (0..ring1)
+            .map(|i| i as f64 * std::f64::consts::TAU / 3.0)
+            .collect();
+        for &a in &ring1_angles {
+            positions.push(origin.offset(RING1 * a.cos(), RING1 * a.sin()));
+        }
+        // Remaining nodes go behind ring-1 parents, round-robin, with a
+        // small angular stagger when a parent hosts several.
+        let ring2 = n - 1 - ring1;
+        for j in 0..ring2 {
+            let parent_angle = ring1_angles[j % ring1];
+            let stagger = ((j / ring1) as f64) * 0.26; // ~15°
+            let a = parent_angle + stagger;
+            positions.push(origin.offset(RING2 * a.cos(), RING2 * a.sin()));
+        }
+        positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_dodag_7_matches_fig8() {
+        let s = Scenario::two_dodag(7);
+        assert_eq!(s.topology.len(), 14);
+        assert_eq!(s.roots, vec![NodeId::new(0), NodeId::new(7)]);
+        assert_eq!(s.senders(), 12);
+    }
+
+    #[test]
+    fn dodags_are_radio_isolated() {
+        let s = Scenario::two_dodag(7);
+        // No node of DODAG A is audible in DODAG B.
+        for a in 0..7u16 {
+            for b in 7..14u16 {
+                assert!(!s.topology.audible(NodeId::new(a), NodeId::new(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn each_dodag_is_internally_connected() {
+        for n in [6, 7, 8, 9] {
+            let s = Scenario::single_dodag(n);
+            assert!(
+                s.topology.is_connected(),
+                "dodag of {n} must be connected"
+            );
+        }
+    }
+
+    #[test]
+    fn ring2_nodes_cannot_reach_the_root() {
+        let s = Scenario::single_dodag(7);
+        // Nodes 4..6 are second-ring: out of the root's range.
+        for i in 4..7u16 {
+            assert!(
+                !s.topology.in_range(NodeId::new(0), NodeId::new(i)),
+                "n{i} must be 2 hops out"
+            );
+        }
+        // But each reaches at least one ring-1 node.
+        for i in 4..7u16 {
+            let reachable = (1..4u16)
+                .any(|p| s.topology.in_range(NodeId::new(i), NodeId::new(p)));
+            assert!(reachable, "n{i} needs a ring-1 parent");
+        }
+    }
+
+    #[test]
+    fn line_and_star_shapes() {
+        let line = Scenario::line(5, 30.0);
+        assert_eq!(line.topology.len(), 5);
+        assert!(line.topology.is_connected());
+        let star = Scenario::star(6);
+        assert_eq!(star.topology.len(), 7);
+        for leaf in 1..7u16 {
+            assert!(star.topology.in_range(NodeId::new(0), NodeId::new(leaf)));
+        }
+    }
+
+    #[test]
+    fn random_is_connected_and_deterministic() {
+        let a = Scenario::random(10, 120.0, 5);
+        let b = Scenario::random(10, 120.0, 5);
+        assert!(a.topology.is_connected());
+        assert_eq!(
+            a.topology.position(NodeId::new(3)),
+            b.topology.position(NodeId::new(3)),
+            "same seed ⇒ same placement"
+        );
+    }
+
+    #[test]
+    fn with_link_model_preserves_placement() {
+        let s = Scenario::star(3);
+        let p = s.topology.position(NodeId::new(2));
+        let s2 = s.with_link_model(LinkModel::Perfect);
+        assert_eq!(s2.topology.position(NodeId::new(2)), p);
+        assert_eq!(s2.topology.prr(NodeId::new(0), NodeId::new(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dodag size")]
+    fn oversized_dodag_rejected() {
+        let _ = Scenario::single_dodag(11);
+    }
+}

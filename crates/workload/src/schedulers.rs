@@ -1,0 +1,90 @@
+//! Scheduler selection for experiments.
+
+use gt_tsch::{GtTschConfig, GtTschSf};
+use gtt_engine::{EngineConfig, MinimalSchedule, SchedulingFunction};
+use gtt_net::NodeId;
+use gtt_orchestra::{OrchestraConfig, OrchestraSf};
+
+/// Which scheduling function an experiment runs.
+///
+/// This is the factory the harness and examples hand to
+/// [`Network::builder`](gtt_engine::Network) — cloneable and serializable
+/// enough to appear in experiment specs.
+#[derive(Debug, Clone)]
+pub enum SchedulerKind {
+    /// The paper's contribution.
+    GtTsch(GtTschConfig),
+    /// The Orchestra baseline.
+    Orchestra(OrchestraConfig),
+    /// RFC 8180-style minimal configuration (extra comparison point).
+    Minimal {
+        /// Slotframe length.
+        slotframe_len: u16,
+    },
+}
+
+impl SchedulerKind {
+    /// GT-TSCH with the paper's Table II configuration.
+    pub fn gt_tsch_default() -> Self {
+        SchedulerKind::GtTsch(GtTschConfig::paper_default())
+    }
+
+    /// Orchestra with the paper's comparison configuration.
+    pub fn orchestra_default() -> Self {
+        SchedulerKind::Orchestra(OrchestraConfig::paper_default())
+    }
+
+    /// Minimal-configuration scheduler.
+    pub fn minimal(slotframe_len: u16) -> Self {
+        SchedulerKind::Minimal { slotframe_len }
+    }
+
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::GtTsch(_) => "gt-tsch",
+            SchedulerKind::Orchestra(_) => "orchestra",
+            SchedulerKind::Minimal { .. } => "minimal",
+        }
+    }
+
+    /// Engine configuration appropriate for this scheduler (all use the
+    /// paper's Table II MAC settings; only the seed differs per run).
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// Builds the per-node scheduling function.
+    pub fn instantiate(&self, _id: NodeId, _is_root: bool) -> Box<dyn SchedulingFunction> {
+        match self {
+            SchedulerKind::GtTsch(cfg) => {
+                // 8 channel offsets: the Table II hopping sequence.
+                Box::new(GtTschSf::new(cfg.clone(), 8))
+            }
+            SchedulerKind::Orchestra(cfg) => Box::new(OrchestraSf::new(cfg.clone())),
+            SchedulerKind::Minimal { slotframe_len } => {
+                Box::new(MinimalSchedule::new(*slotframe_len))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SchedulerKind::gt_tsch_default().name(), "gt-tsch");
+        assert_eq!(SchedulerKind::orchestra_default().name(), "orchestra");
+        assert_eq!(SchedulerKind::minimal(8).name(), "minimal");
+    }
+
+    #[test]
+    fn instantiate_produces_matching_sf() {
+        let sf = SchedulerKind::gt_tsch_default().instantiate(NodeId::new(1), false);
+        assert_eq!(sf.name(), "gt-tsch");
+        let sf = SchedulerKind::orchestra_default().instantiate(NodeId::new(1), false);
+        assert_eq!(sf.name(), "orchestra");
+    }
+}

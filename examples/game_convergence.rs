@@ -1,0 +1,78 @@
+//! The §VII game, in isolation: payoff curves, the closed-form optimum
+//! (eq. 15), and the Nash equilibrium of a small chain of players.
+//!
+//! ```text
+//! cargo run --release -p gtt-examples --example game_convergence
+//! ```
+
+use gt_tsch::game::{nash_equilibrium, GameInputs, GameWeights};
+
+fn main() {
+    let weights = GameWeights::default();
+    println!("weights: α={}, β={}, γ={}\n", weights.alpha, weights.beta, weights.gamma);
+
+    // --- 1. One player's payoff curve -------------------------------
+    let player = GameInputs {
+        rank_weight: 1.0, // first-hop node
+        etx: 1.2,
+        queue_avg: 6.0,
+        queue_max: 8.0,
+        l_tx_min: 1,
+        l_rx_parent: 10,
+    };
+    println!("payoff v(l) for a first-hop node (ETX 1.2, queue 6/8):");
+    let best = player.best_response(&weights);
+    for l in 0..=10u16 {
+        let v = player.payoff(&weights, l as f64);
+        let bar_len = ((v + 1.0) * 20.0).max(0.0) as usize;
+        let marker = if l == best.cells { "  ← eq. 15 optimum" } else { "" };
+        println!("  l={l:>2}  v={v:+.3}  {}{marker}", "█".repeat(bar_len));
+    }
+    println!(
+        "\nstationary point X = {:.3}, best integer response = {} ({:?})\n",
+        player.stationary_point(&weights),
+        best.cells,
+        best.bound
+    );
+
+    // --- 2. How the optimum moves with the inputs --------------------
+    println!("eq. 15 under varying link quality (queue fixed at 6/8):");
+    for etx in [1.0, 1.5, 2.0, 3.0, 5.0] {
+        let p = GameInputs { etx, ..player };
+        println!("  ETX {etx:>3.1} → l* = {}", p.best_response(&weights).cells);
+    }
+    println!("\neq. 15 under varying queue backlog (ETX fixed at 1.2):");
+    for q in [0.0, 2.0, 4.0, 6.0, 7.5] {
+        let p = GameInputs {
+            queue_avg: q,
+            ..player
+        };
+        println!("  Q̄ {q:>4.1} → l* = {}", p.best_response(&weights).cells);
+    }
+
+    // --- 3. The n-player equilibrium ---------------------------------
+    // A 4-hop chain: deeper nodes have smaller rank weight (eq. 3) and
+    // emptier queues; the equilibrium allocates more to nodes near the
+    // root — the paper's load-balancing claim.
+    let players: Vec<GameInputs> = (1..=4)
+        .map(|hop| GameInputs {
+            rank_weight: 1.0 / hop as f64,
+            etx: 1.1,
+            queue_avg: 6.0 / hop as f64,
+            queue_max: 8.0,
+            l_tx_min: 1,
+            l_rx_parent: 10,
+        })
+        .collect();
+    let ne = nash_equilibrium(&players, &weights);
+    println!("\nNash equilibrium of a 4-hop chain (hop 1 = closest to root):");
+    for (hop, l) in ne.iter().enumerate() {
+        println!("  hop {}: l* = {l}", hop + 1);
+    }
+    assert!(
+        ne.windows(2).all(|w| w[0] >= w[1]),
+        "closer to the root ⇒ at least as many cells"
+    );
+    println!("\nUniqueness (Thm 2): re-running best responses reproduces the same point:");
+    println!("  {:?} == {:?}", ne, nash_equilibrium(&players, &weights));
+}

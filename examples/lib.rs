@@ -1,0 +1,10 @@
+//! Support crate for the runnable examples; see the `[[example]]`
+//! targets in `Cargo.toml`:
+//!
+//! * `quickstart` — one GT-TSCH network, the six paper metrics;
+//! * `smart_building` — the paper's building-automation motivation,
+//!   GT-TSCH vs Orchestra side by side;
+//! * `interference_demo` — the §III channel-allocation problems made
+//!   visible (Algorithm 1 vs hash channels);
+//! * `game_convergence` — the §VII game: payoffs, eq. 15 and
+//!   best-response dynamics.

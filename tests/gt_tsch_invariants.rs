@@ -1,0 +1,276 @@
+//! Whole-network invariants of the GT-TSCH scheduler, checked on live
+//! simulations: the §III channel-allocation properties, the §IV
+//! slotframe structure and the §V data-cell rules.
+
+use gt_tsch::GtTschSf;
+use gtt_engine::Network;
+use gtt_mac::CellClass;
+use gtt_net::{Dest, NodeId};
+use gtt_sim::SimDuration;
+use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+
+fn converged_network(seed: u64) -> Network {
+    let scenario = Scenario::two_dodag(7);
+    let spec = RunSpec {
+        traffic_ppm: 75.0,
+        warmup_secs: 150,
+        measure_secs: 60,
+        seed,
+    };
+    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    net.run_for(SimDuration::from_secs(spec.warmup_secs));
+    assert_eq!(net.join_ratio(), 1.0, "network must converge in warm-up");
+    net
+}
+
+fn sf_of(net: &Network, id: u16) -> &GtTschSf {
+    net.node(NodeId::new(id))
+        .scheduler
+        .as_any()
+        .downcast_ref::<GtTschSf>()
+        .expect("gt-tsch scheduler")
+}
+
+#[test]
+fn child_transmits_on_parents_children_channel() {
+    let net = converged_network(3);
+    for node in net.nodes() {
+        let Some(parent) = node.rpl.parent() else {
+            continue;
+        };
+        let sf = sf_of(&net, node.id().raw());
+        let parent_sf = sf_of(&net, parent.raw());
+        if let (Some(f_up), Some(f_parent_children)) =
+            (sf.parent_channel(), parent_sf.children_channel())
+        {
+            assert_eq!(
+                f_up,
+                f_parent_children,
+                "{}'s channel to {} must be the parent's children channel",
+                node.id(),
+                parent
+            );
+        }
+    }
+}
+
+#[test]
+fn parent_and_children_channels_differ_locally() {
+    // §III: a node's parent-facing and children-facing channels differ,
+    // and neither is the broadcast channel.
+    let net = converged_network(5);
+    for node in net.nodes() {
+        let sf = sf_of(&net, node.id().raw());
+        if let (Some(up), Some(down)) = (sf.parent_channel(), sf.children_channel()) {
+            assert_ne!(up, down, "{}: f_par == f_cs", node.id());
+        }
+        for ch in [sf.parent_channel(), sf.children_channel()].into_iter().flatten() {
+            assert_ne!(ch, 0, "{}: f_bcast reused", node.id());
+        }
+    }
+}
+
+#[test]
+fn three_hop_channel_uniqueness() {
+    // §III strategy 3: along any child → parent → grandparent path, the
+    // three children-facing channels are pairwise distinct.
+    let net = converged_network(7);
+    let mut checked = 0;
+    for node in net.nodes() {
+        let Some(parent) = node.rpl.parent() else {
+            continue;
+        };
+        let Some(grand) = net.node(parent).rpl.parent() else {
+            continue;
+        };
+        let c0 = sf_of(&net, node.id().raw()).children_channel();
+        let c1 = sf_of(&net, parent.raw()).children_channel();
+        let c2 = sf_of(&net, grand.raw()).children_channel();
+        if let (Some(c0), Some(c1), Some(c2)) = (c0, c1, c2) {
+            assert_ne!(c0, c1, "{} vs parent {}", node.id(), parent);
+            assert_ne!(c1, c2, "parent {} vs grandparent {}", parent, grand);
+            assert_ne!(c0, c2, "{} vs grandparent {} (hidden terminal)", node.id(), grand);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "expected several 3-hop paths, got {checked}");
+}
+
+#[test]
+fn siblings_receive_on_distinct_channels() {
+    // Algorithm 1's inner loop: two children of the same parent get
+    // different channels for their own subtrees (§III problem 2).
+    let net = converged_network(9);
+    for parent in net.nodes() {
+        let children: Vec<NodeId> = parent.rpl.children();
+        let channels: Vec<u8> = children
+            .iter()
+            .filter_map(|c| sf_of(&net, c.raw()).children_channel())
+            .collect();
+        let mut dedup = channels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            channels.len(),
+            "children of {} share a subtree channel: {channels:?}",
+            parent.id()
+        );
+    }
+}
+
+#[test]
+fn forwarders_keep_tx_above_rx() {
+    // §V rule 1: on every non-root node with granted Rx cells, the number
+    // of data Tx cells strictly exceeds the data Rx cells.
+    let net = converged_network(11);
+    for node in net.nodes() {
+        if node.rpl.is_root() {
+            continue;
+        }
+        let frame = node
+            .mac
+            .schedule()
+            .frame(gtt_mac::SlotframeHandle::new(0))
+            .expect("single slotframe");
+        let tx = frame
+            .cells()
+            .iter()
+            .filter(|c| c.class == CellClass::Data && c.options.tx)
+            .count();
+        let rx = frame
+            .cells()
+            .iter()
+            .filter(|c| c.class == CellClass::Data && c.options.rx && !c.options.tx)
+            .count();
+        if rx > 0 {
+            assert!(
+                tx > rx,
+                "{}: tx={tx} must exceed rx={rx} (§V rule 1)",
+                node.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn rx_cells_are_interleaved_with_tx_cells() {
+    // §V rule 2 (Fig. 5): cyclically, every data-Rx cell is followed by a
+    // data-Tx cell before the next data-Rx cell — on every forwarder.
+    let net = converged_network(13);
+    for node in net.nodes() {
+        if node.rpl.is_root() {
+            continue;
+        }
+        let frame = node
+            .mac
+            .schedule()
+            .frame(gtt_mac::SlotframeHandle::new(0))
+            .expect("single slotframe");
+        let mut data: Vec<(u16, bool)> = frame
+            .cells()
+            .iter()
+            .filter(|c| c.class == CellClass::Data)
+            .map(|c| (c.slot.raw(), c.options.tx))
+            .collect();
+        data.sort_unstable();
+        let n = data.len();
+        if n < 2 || !data.iter().any(|&(_, tx)| tx) {
+            continue;
+        }
+        for i in 0..n {
+            if !data[i].1 {
+                assert!(
+                    data[(i + 1) % n].1,
+                    "{}: consecutive Rx cells at {:?}",
+                    node.id(),
+                    data
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn no_duplicate_cells_in_any_slot() {
+    // A node never schedules two cells in one slot of its slotframe
+    // (one radio, one action).
+    let net = converged_network(17);
+    for node in net.nodes() {
+        let frame = node
+            .mac
+            .schedule()
+            .frame(gtt_mac::SlotframeHandle::new(0))
+            .expect("single slotframe");
+        let mut slots: Vec<u16> = frame.cells().iter().map(|c| c.slot.raw()).collect();
+        let before = slots.len();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), before, "{} double-books a slot", node.id());
+    }
+}
+
+#[test]
+fn granted_cells_are_mirrored_at_the_parent() {
+    // Every data Tx cell a child holds towards its parent has a matching
+    // Rx cell (same slot, same channel) at the parent.
+    let net = converged_network(19);
+    let mut mirrored = 0;
+    for node in net.nodes() {
+        let Some(parent) = node.rpl.parent() else {
+            continue;
+        };
+        let child_frame = node
+            .mac
+            .schedule()
+            .frame(gtt_mac::SlotframeHandle::new(0))
+            .expect("slotframe");
+        let parent_frame = net
+            .node(parent)
+            .mac
+            .schedule()
+            .frame(gtt_mac::SlotframeHandle::new(0))
+            .expect("slotframe");
+        for cell in child_frame.cells() {
+            if cell.class != CellClass::Data || !cell.options.tx {
+                continue;
+            }
+            let matching = parent_frame.cells_at(cell.slot).any(|p| {
+                p.class == CellClass::Data
+                    && p.options.rx
+                    && p.channel_offset == cell.channel_offset
+                    && p.peer == Dest::Unicast(node.id())
+            });
+            assert!(
+                matching,
+                "{}'s Tx cell {} has no mirror at parent {}",
+                node.id(),
+                cell,
+                parent
+            );
+            mirrored += 1;
+        }
+    }
+    assert!(mirrored >= 10, "expected many mirrored cells, got {mirrored}");
+}
+
+#[test]
+fn broadcast_cells_follow_the_uniform_layout() {
+    // §IV rule 1 on every node: k broadcast cells at offsets
+    // x % ⌊m/k⌋ == 0 on the broadcast channel.
+    let net = converged_network(23);
+    for node in net.nodes() {
+        let frame = node
+            .mac
+            .schedule()
+            .frame(gtt_mac::SlotframeHandle::new(0))
+            .expect("slotframe");
+        let slots: Vec<u16> = frame
+            .cells()
+            .iter()
+            .filter(|c| c.class == CellClass::Broadcast)
+            .map(|c| c.slot.raw())
+            .collect();
+        assert_eq!(slots, vec![0, 8, 16, 24], "{}", node.id());
+    }
+}

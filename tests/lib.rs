@@ -1,0 +1,2 @@
+//! Support crate for the cross-crate integration tests; see the
+//! `[[test]]` targets in `Cargo.toml`.

@@ -1,0 +1,279 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithms: the game's optimality claim, the 6P codec, the channel
+//! allocator, queues, slotframes and the packet tracker.
+
+use proptest::prelude::*;
+
+use gt_tsch::game::{GameInputs, GameWeights};
+use gt_tsch::ChannelAllocator;
+use gtt_mac::{Asn, ChannelOffset, HoppingSequence};
+use gtt_metrics::PacketTracker;
+use gtt_net::{NodeId, PacketId, PacketQueue};
+use gtt_sim::{EventQueue, Pcg32, SimTime};
+use gtt_sixtop::{CellSpec, ReturnCode, SixpBody, SixpCellKind, SixpMessage};
+
+// ---------------------------------------------------------------- game
+
+fn arb_weights() -> impl Strategy<Value = GameWeights> {
+    (0.1f64..4.0, 0.0f64..3.0, 0.0f64..3.0).prop_map(|(alpha, beta, gamma)| GameWeights {
+        alpha,
+        beta,
+        gamma,
+    })
+}
+
+fn arb_inputs() -> impl Strategy<Value = GameInputs> {
+    (
+        0.05f64..1.0,  // rank weight (hop 1..20)
+        1.0f64..6.0,   // ETX
+        0.0f64..8.0,   // queue average
+        1u16..6,       // l_tx_min
+        1u16..16,      // l_rx_parent
+    )
+        .prop_map(|(rank_weight, etx, queue_avg, l_tx_min, l_rx_parent)| GameInputs {
+            rank_weight,
+            etx,
+            queue_avg,
+            queue_max: 8.0,
+            l_tx_min,
+            l_rx_parent,
+        })
+}
+
+proptest! {
+    /// eq. 15's closed form really is the argmax over the whole feasible
+    /// integer strategy set, for arbitrary weights and inputs.
+    #[test]
+    fn best_response_dominates_all_feasible_strategies(
+        inputs in arb_inputs(),
+        weights in arb_weights(),
+    ) {
+        let br = inputs.best_response(&weights);
+        if inputs.l_rx_parent <= inputs.l_tx_min {
+            prop_assert_eq!(br.cells, inputs.l_rx_parent);
+        } else {
+            prop_assert!(br.cells >= inputs.l_tx_min);
+            prop_assert!(br.cells <= inputs.l_rx_parent);
+            let v_star = inputs.payoff(&weights, br.cells as f64);
+            for l in inputs.l_tx_min..=inputs.l_rx_parent {
+                prop_assert!(
+                    inputs.payoff(&weights, l as f64) <= v_star + 1e-9,
+                    "l={} beats l*={}", l, br.cells
+                );
+            }
+        }
+    }
+
+    /// Theorem 1, fuzzed: the payoff is strictly concave everywhere on
+    /// the strategy space.
+    #[test]
+    fn payoff_curvature_is_negative(
+        inputs in arb_inputs(),
+        weights in arb_weights(),
+        l in 0u16..32,
+    ) {
+        prop_assert!(inputs.payoff_curvature(&weights, l as f64) < 0.0);
+    }
+}
+
+// ------------------------------------------------------------- sixtop
+
+fn arb_cells() -> impl Strategy<Value = Vec<CellSpec>> {
+    prop::collection::vec((0u16..128, 0u8..16), 0..8)
+        .prop_map(|v| v.into_iter().map(|(s, c)| CellSpec::new(s, c)).collect())
+}
+
+fn arb_kind() -> impl Strategy<Value = SixpCellKind> {
+    prop_oneof![Just(SixpCellKind::Data), Just(SixpCellKind::SixP)]
+}
+
+fn arb_code() -> impl Strategy<Value = ReturnCode> {
+    prop_oneof![
+        Just(ReturnCode::Success),
+        Just(ReturnCode::Err),
+        Just(ReturnCode::ErrSeqnum),
+        Just(ReturnCode::ErrBusy),
+        Just(ReturnCode::ErrNoCells),
+    ]
+}
+
+fn arb_body() -> impl Strategy<Value = SixpBody> {
+    prop_oneof![
+        (arb_kind(), 0u16..32, arb_cells()).prop_map(|(kind, num_cells, cells)| {
+            SixpBody::AddRequest {
+                kind,
+                num_cells,
+                cells,
+            }
+        }),
+        (arb_code(), arb_cells())
+            .prop_map(|(code, cells)| SixpBody::AddResponse { code, cells }),
+        (arb_kind(), arb_cells())
+            .prop_map(|(kind, cells)| SixpBody::DeleteRequest { kind, cells }),
+        (arb_code(), arb_cells())
+            .prop_map(|(code, cells)| SixpBody::DeleteResponse { code, cells }),
+        Just(SixpBody::ClearRequest),
+        arb_code().prop_map(|code| SixpBody::ClearResponse { code }),
+        Just(SixpBody::AskChannelRequest),
+        (arb_code(), 0u8..16).prop_map(|(code, channel_offset)| {
+            SixpBody::AskChannelResponse {
+                code,
+                channel_offset,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Any well-formed 6P message survives encode → decode unchanged.
+    #[test]
+    fn sixp_codec_round_trips(seqnum in any::<u8>(), body in arb_body()) {
+        let msg = SixpMessage::new(seqnum, body);
+        let decoded = SixpMessage::decode(&msg.encode()).expect("decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Arbitrary byte soup never panics the decoder — it errors.
+    #[test]
+    fn sixp_decoder_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = SixpMessage::decode(&bytes);
+    }
+}
+
+// ------------------------------------------------------------ channels
+
+proptest! {
+    /// Whatever the allocate/release interleaving, the allocator never
+    /// hands out a reserved channel and keeps live siblings distinct
+    /// while distinct offsets remain.
+    #[test]
+    fn channel_allocator_invariants(
+        ops in prop::collection::vec((0u16..6, any::<bool>()), 1..40),
+        f_parent in 1u8..8,
+        f_children in 1u8..8,
+    ) {
+        prop_assume!(f_parent != f_children);
+        let mut alloc = ChannelAllocator::new(8, 0);
+        // Distinctness is guaranteed only while the fan-out has *never*
+        // exceeded max_children (the paper bounds it; beyond that the
+        // allocator reuses channels gracefully and on purpose).
+        let mut ever_overflowed = false;
+        for (child, is_alloc) in ops {
+            let child = NodeId::new(child);
+            if is_alloc {
+                let ch = alloc.allocate(child, Some(f_parent), Some(f_children))
+                    .expect("8 offsets with 3 reserved can always serve");
+                prop_assert_ne!(ch, 0);
+                prop_assert_ne!(ch, f_parent);
+                prop_assert_ne!(ch, f_children);
+            } else {
+                alloc.release(child);
+            }
+            ever_overflowed |= alloc.allocated() > alloc.max_children() as usize;
+            if !ever_overflowed {
+                let mut live: Vec<u8> = (0..6u16)
+                    .filter_map(|c| alloc.channel_of(NodeId::new(c)))
+                    .collect();
+                let n = live.len();
+                live.sort_unstable();
+                live.dedup();
+                prop_assert_eq!(live.len(), n, "sibling channels must differ");
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- queues
+
+proptest! {
+    /// A bounded queue conserves packets: enqueued = dequeued + still
+    /// inside, and drops only happen at capacity.
+    #[test]
+    fn packet_queue_conservation(
+        cap in 1usize..16,
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q: PacketQueue<u32> = PacketQueue::new(cap);
+        let mut pushed = 0u64;
+        for (i, push) in ops.into_iter().enumerate() {
+            if push {
+                if q.push(i as u32).is_ok() {
+                    pushed += 1;
+                }
+            } else {
+                q.pop();
+            }
+            prop_assert!(q.len() <= cap);
+        }
+        let stats = q.stats();
+        prop_assert_eq!(stats.enqueued, pushed);
+        prop_assert_eq!(stats.enqueued, stats.dequeued + q.len() as u64);
+    }
+}
+
+// ------------------------------------------------------------ tracker
+
+proptest! {
+    /// PDR stays within [0, 100] and deliveries never exceed
+    /// generations, whatever the event interleaving.
+    #[test]
+    fn tracker_invariants(events in prop::collection::vec((any::<bool>(), 0u64..30), 1..150)) {
+        let mut t = PacketTracker::new();
+        for (i, (deliver, id)) in events.into_iter().enumerate() {
+            let now = SimTime::from_millis(i as u64 * 10);
+            if deliver {
+                t.record_delivered(PacketId::new(id), now, 1);
+            } else {
+                t.record_generated(PacketId::new(id), NodeId::new(0), now);
+            }
+        }
+        prop_assert!(t.delivered() <= t.generated());
+        prop_assert!((0.0..=100.0).contains(&t.pdr_percent()));
+        prop_assert_eq!(t.generated(), t.delivered() + t.lost());
+    }
+}
+
+// ----------------------------------------------------------------- sim
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out in
+    /// non-decreasing time order, FIFO within a timestamp.
+    #[test]
+    fn event_queue_ordering(times in prop::collection::vec(0u64..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(*t), (i, *t));
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time = std::collections::BTreeMap::new();
+        while let Some((t, (seq, _))) = q.pop() {
+            prop_assert!(t >= last_time);
+            if let Some(&prev) = last_seq_at_time.get(&t) {
+                prop_assert!(seq > prev, "FIFO within equal timestamps");
+            }
+            last_seq_at_time.insert(t, seq);
+            last_time = t;
+        }
+    }
+
+    /// PCG outputs respect requested ranges for arbitrary bounds.
+    #[test]
+    fn pcg_range_respected(seed in any::<u64>(), lo in 0u32..1000, span in 1u32..1000) {
+        let mut rng = Pcg32::new(seed);
+        for _ in 0..50 {
+            let v = rng.gen_range_u32(lo, lo + span);
+            prop_assert!((lo..lo + span).contains(&v));
+        }
+    }
+
+    /// Channel hopping is periodic in the sequence length and never
+    /// leaves the sequence.
+    #[test]
+    fn hopping_stays_in_sequence(asn in any::<u32>(), offset in 0u8..8) {
+        let hop = HoppingSequence::paper_default();
+        let ch = hop.channel(Asn::new(asn as u64), ChannelOffset::new(offset));
+        prop_assert!(hop.channels().contains(&ch));
+        let again = hop.channel(Asn::new(asn as u64 + 8), ChannelOffset::new(offset));
+        prop_assert_eq!(ch, again, "period 8");
+    }
+}
