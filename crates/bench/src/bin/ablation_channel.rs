@@ -10,7 +10,10 @@ fn main() {
     } else {
         SweepConfig::default()
     };
-    eprintln!("running channel ablation ({} seeds/point)…", config.seeds.len());
+    eprintln!(
+        "running channel ablation ({} seeds/point)…",
+        config.seeds.len()
+    );
     let results = ablation_channel(&config);
     print!("{}", render_figure_tables("C", &results));
 }

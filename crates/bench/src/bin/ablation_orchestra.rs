@@ -37,7 +37,10 @@ fn main() {
             });
         }
     }
-    eprintln!("running orchestra RB-vs-SB ablation ({} seeds/point)…", config.seeds.len());
+    eprintln!(
+        "running orchestra RB-vs-SB ablation ({} seeds/point)…",
+        config.seeds.len()
+    );
     let mut results = gtt_bench::sweep::run_sweep("ppm/node", points, &config);
     // Points alternate RB / SB per x; rename the second of each pair.
     let mut seen = std::collections::BTreeSet::new();

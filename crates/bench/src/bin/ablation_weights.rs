@@ -9,7 +9,10 @@ fn main() {
     } else {
         SweepConfig::default()
     };
-    eprintln!("running weight ablation ({} seeds/point)…", config.seeds.len());
+    eprintln!(
+        "running weight ablation ({} seeds/point)…",
+        config.seeds.len()
+    );
     let results = ablation_weights(&config);
     print!("{}", render_figure_tables("W", &results));
 }

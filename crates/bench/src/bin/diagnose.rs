@@ -8,7 +8,10 @@ use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
 
 fn main() {
     let scenario = Scenario::two_dodag(7);
-    let ppm: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+    let ppm: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30.0);
     let sched_name = std::env::args().nth(2).unwrap_or_else(|| "gt".into());
     let sched = if sched_name.starts_with("orch") {
         SchedulerKind::orchestra_default()
@@ -17,28 +20,73 @@ fn main() {
     } else {
         SchedulerKind::gt_tsch_default()
     };
-    let spec = RunSpec { traffic_ppm: ppm, warmup_secs: 120, measure_secs: 300, seed: 3 };
+    let spec = RunSpec {
+        traffic_ppm: ppm,
+        warmup_secs: 120,
+        measure_secs: 300,
+        seed: 3,
+    };
     let mut net = build_network(&scenario, &sched, &spec);
     net.run_for(SimDuration::from_secs(spec.warmup_secs));
     net.start_measurement();
     net.run_for(SimDuration::from_secs(spec.measure_secs));
     net.finish_measurement();
     let r = net.report();
-    println!("{} @ {} ppm: PDR={:.1}% delay={:.0}ms loss/min={:.1} duty={:.1}% qloss={:.1} recv={:.0}",
-        sched.name(), ppm, r.row.pdr_percent, r.row.delay_ms, r.row.loss_per_min,
-        r.row.duty_cycle_percent, r.row.queue_loss, r.row.received_per_min);
-    println!("generated={} delivered={} hops={:.2}", r.generated, r.delivered, r.mean_hops);
-    println!("{:>4} {:>5} {:>8} {:>6} {:>6} {:>7} {:>7} {:>7} {:>6} {:>7} {:>7} {:>8}",
-        "node", "root", "parent", "rank", "cells", "qloss", "retry", "routed", "coll", "utx", "uack", "duty%");
+    println!(
+        "{} @ {} ppm: PDR={:.1}% delay={:.0}ms loss/min={:.1} duty={:.1}% qloss={:.1} recv={:.0}",
+        sched.name(),
+        ppm,
+        r.row.pdr_percent,
+        r.row.delay_ms,
+        r.row.loss_per_min,
+        r.row.duty_cycle_percent,
+        r.row.queue_loss,
+        r.row.received_per_min
+    );
+    println!(
+        "generated={} delivered={} hops={:.2}",
+        r.generated, r.delivered, r.mean_hops
+    );
+    println!(
+        "{:>4} {:>5} {:>8} {:>6} {:>6} {:>7} {:>7} {:>7} {:>6} {:>7} {:>7} {:>8}",
+        "node",
+        "root",
+        "parent",
+        "rank",
+        "cells",
+        "qloss",
+        "retry",
+        "routed",
+        "coll",
+        "utx",
+        "uack",
+        "duty%"
+    );
     for n in &r.per_node {
-        println!("{:>4} {:>5} {:>8} {:>6} {:>6} {:>7} {:>7} {:>7} {:>6} {:>7} {:>7} {:>8.1}",
-            n.id.to_string(), n.is_root, n.parent.map(|p| p.to_string()).unwrap_or("-".into()),
-            n.rank.raw(), n.scheduled_cells, n.queue_loss, n.retry_drops, n.routing_drops,
-            n.collisions_heard, n.counters.unicast_tx, n.counters.unicast_acked, n.duty_cycle*100.0);
+        println!(
+            "{:>4} {:>5} {:>8} {:>6} {:>6} {:>7} {:>7} {:>7} {:>6} {:>7} {:>7} {:>8.1}",
+            n.id.to_string(),
+            n.is_root,
+            n.parent.map(|p| p.to_string()).unwrap_or("-".into()),
+            n.rank.raw(),
+            n.scheduled_cells,
+            n.queue_loss,
+            n.retry_drops,
+            n.routing_drops,
+            n.collisions_heard,
+            n.counters.unicast_tx,
+            n.counters.unicast_acked,
+            n.duty_cycle * 100.0
+        );
     }
     for id in [0u16, 2, 5] {
         let node = net.node(gtt_net::NodeId::new(id));
-        println!("--- n{id} (6P done={} fail={}): {}", node.sixtop.completed_transactions(), node.sixtop.failed_transactions(), node.scheduler.debug_summary());
+        println!(
+            "--- n{id} (6P done={} fail={}): {}",
+            node.sixtop.completed_transactions(),
+            node.sixtop.failed_transactions(),
+            node.scheduler.debug_summary()
+        );
         for (h, f) in node.mac.schedule().iter() {
             for c in f.cells() {
                 println!("  {h} {c}");

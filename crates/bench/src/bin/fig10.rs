@@ -11,10 +11,7 @@ fn main() {
     } else {
         SweepConfig::default()
     };
-    eprintln!(
-        "running fig10 sweep ({} seeds/point)…",
-        config.seeds.len()
-    );
+    eprintln!("running fig10 sweep ({} seeds/point)…", config.seeds.len());
     let results = fig10(&config);
     print!("{}", render_figure_tables("10", &results));
 }

@@ -11,10 +11,7 @@ fn main() {
     } else {
         SweepConfig::default()
     };
-    eprintln!(
-        "running fig8 sweep ({} seeds/point)…",
-        config.seeds.len()
-    );
+    eprintln!("running fig8 sweep ({} seeds/point)…", config.seeds.len());
     let results = fig8(&config);
     print!("{}", render_figure_tables("8", &results));
 }

@@ -11,10 +11,7 @@ fn main() {
     } else {
         SweepConfig::default()
     };
-    eprintln!(
-        "running fig9 sweep ({} seeds/point)…",
-        config.seeds.len()
-    );
+    eprintln!("running fig9 sweep ({} seeds/point)…", config.seeds.len());
     let results = fig9(&config);
     print!("{}", render_figure_tables("9", &results));
 }

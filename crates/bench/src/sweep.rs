@@ -138,9 +138,12 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
         config.threads.min(jobs.len())
     };
 
+    // Per-point accumulator of (seed, row, join ratio, generated).
+    type SeedRuns = Vec<(u64, FigureRow, f64, u64)>;
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Vec<(u64, FigureRow, f64, u64)>>> =
-        (0..points.len()).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let results: Vec<std::sync::Mutex<SeedRuns>> = (0..points.len())
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
 
     thread::scope(|scope| {
         for _ in 0..threads {

@@ -4,8 +4,11 @@ use gtt_metrics::FigureRow;
 
 use crate::sweep::SweepResults;
 
+/// Extracts one series value from a six-series row.
+type SeriesAccessor = fn(&FigureRow) -> f64;
+
 /// The six sub-figures of every evaluation figure, in paper order.
-const SERIES: [(&str, fn(&FigureRow) -> f64); 6] = [
+const SERIES: [(&str, SeriesAccessor); 6] = [
     ("Packet delivery ratio (%)", |r| r.pdr_percent),
     ("End-to-end delay (ms)", |r| r.delay_ms),
     ("Packet loss (packet/minute)", |r| r.loss_per_min),
@@ -98,6 +101,9 @@ mod tests {
         let mut results = fake_results();
         results.points.remove(1); // drop orchestra but keep it unknown
         let text = render_figure_tables("9", &results);
-        assert!(!text.contains("orchestra"), "only present schedulers listed");
+        assert!(
+            !text.contains("orchestra"),
+            "only present schedulers listed"
+        );
     }
 }

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal substitute (see `crates/compat/README.md`). Only
+//! `crossbeam::thread` (scoped threads) is used here, and since Rust 1.63
+//! the standard library provides the same capability — this crate adapts
+//! `std::thread::scope` to crossbeam's signature, where the spawn closure
+//! receives a `&Scope` for nested spawning and `scope` returns a
+//! `Result`.
+//!
+//! One behavioral difference: if a spawned thread panics, the real
+//! crossbeam returns `Err` from `scope` while `std::thread::scope`
+//! re-raises the panic. Both abort the sweep loudly, which is what the
+//! caller wants (`.expect("sweep worker panicked")`).
+
+pub mod thread {
+    //! Scoped thread API compatible with `crossbeam::thread`.
+
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Error payload of a panicked scope (never produced by this
+    /// stand-in; see the crate docs).
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; closures spawned through it may borrow from the
+    /// enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope so it
+        /// can spawn further threads, mirroring crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; joins every spawned thread before
+    /// returning.
+    ///
+    /// # Errors
+    ///
+    /// The real crossbeam returns `Err` when a child thread panicked;
+    /// this adapter propagates the panic instead (see the crate docs) and
+    /// therefore only ever returns `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u32, 2, 3, 4];
+            let sum = std::sync::atomic::AtomicU32::new(0);
+            super::scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        let part: u32 = chunk.iter().sum();
+                        sum.fetch_add(part, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            })
+            .expect("no panics");
+            assert_eq!(sum.into_inner(), 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            super::scope(|s| {
+                s.spawn(|inner| {
+                    inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+                });
+            })
+            .expect("no panics");
+            assert!(flag.into_inner());
+        }
+    }
+}

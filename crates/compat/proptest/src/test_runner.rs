@@ -1,0 +1,140 @@
+//! The case loop behind `proptest!`: deterministic RNG, rejection
+//! accounting, failure reporting.
+
+use crate::TestCaseError;
+
+/// Cases generated per property (the real proptest defaults to 256; this
+/// stand-in trades a little coverage for suite speed). Override with the
+/// `PROPTEST_CASES` environment variable.
+pub const CASES: u32 = 64;
+
+/// Rejected cases (`prop_assume!`) tolerated per *requested* case before
+/// the property gives up, mirroring proptest's global rejection cap.
+/// Scales with the `PROPTEST_CASES` override.
+pub const REJECTS_PER_CASE: u32 = 16;
+
+/// A small deterministic generator (SplitMix64) — good enough statistics
+/// for test-input generation, trivially seedable and portable.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        // Modulo bias is ≤ bound/2^64 — irrelevant for test generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CASES)
+}
+
+/// Runs `property` over deterministically seeded cases; called by the
+/// `proptest!` expansion.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when a case fails or when
+/// too many cases are rejected by `prop_assume!`.
+pub fn run<F>(name: &str, property: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Stable per-property base seed so failures reproduce across runs
+    // and are independent of test execution order.
+    let base = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    let cases = cases_from_env();
+    let max_rejects = cases.saturating_mul(REJECTS_PER_CASE);
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < cases {
+        if rejected > max_rejects {
+            panic!(
+                "property `{name}`: too many rejected cases \
+                 ({rejected} rejects for {passed}/{cases} passes) — \
+                 loosen prop_assume! or the strategies"
+            );
+        }
+        let seed = base ^ case;
+        case += 1;
+        let mut rng = TestRng::new(seed);
+        match property(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {case} (seed {seed:#x}): {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        run("trivial", |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_reports_failure() {
+        run("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn runner_caps_rejections() {
+        run("always_rejects", |_| Err(TestCaseError::Reject));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal substitute (see `crates/compat/README.md`). It provides the
+//! two trait names and the derive macros under the paths the sources
+//! import (`use serde::{Deserialize, Serialize}`). The traits are empty
+//! markers with blanket impls and the derives expand to nothing; swap
+//! this path dependency for the real crate to get actual serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

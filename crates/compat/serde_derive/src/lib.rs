@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal substitute (see `crates/compat/README.md`). The derives
+//! accept the same positions as the real ones and expand to nothing:
+//! nothing in this repository serializes at runtime yet — the
+//! `#[derive(Serialize, Deserialize)]` attributes in the sources mark
+//! the intended wire/report types so the real serde can be dropped in
+//! later without touching call sites.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

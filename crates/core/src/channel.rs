@@ -106,8 +106,8 @@ impl ChannelAllocator {
 
         // Algorithm 1: first offset not reserved and not used by a
         // sibling (deterministic smallest-first keeps runs replayable).
-        let fresh = (0..self.n_offsets)
-            .find(|&z| !reserved(z) && !self.assigned.values().any(|&v| v == z));
+        let fresh =
+            (0..self.n_offsets).find(|&z| !reserved(z) && !self.assigned.values().any(|&v| v == z));
         if let Some(z) = fresh {
             self.assigned.insert(child, z);
             return Some(z);
@@ -144,7 +144,10 @@ mod tests {
         let mut a = ChannelAllocator::new(8, 0);
         for i in 0..5 {
             let z = a.allocate(id(i), Some(3), Some(4)).unwrap();
-            assert!(![0, 3, 4].contains(&z), "child {i} got reserved channel {z}");
+            assert!(
+                ![0, 3, 4].contains(&z),
+                "child {i} got reserved channel {z}"
+            );
         }
     }
 
@@ -206,9 +209,7 @@ mod tests {
         // {f_self_parent, f_self_children} at each hop produces.
         let mut root = ChannelAllocator::new(8, 0);
         let root_children_ch = 1u8; // root picked f_root,cs = 1
-        let a_children_ch = root
-            .allocate(id(10), None, Some(root_children_ch))
-            .unwrap();
+        let a_children_ch = root.allocate(id(10), None, Some(root_children_ch)).unwrap();
         assert_ne!(a_children_ch, root_children_ch);
 
         let mut node_a = ChannelAllocator::new(8, 0);

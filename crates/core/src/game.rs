@@ -359,8 +359,14 @@ mod tests {
 
     #[test]
     fn worse_links_request_fewer_cells() {
-        let good = GameInputs { etx: 1.0, ..inputs() };
-        let bad = GameInputs { etx: 3.0, ..inputs() };
+        let good = GameInputs {
+            etx: 1.0,
+            ..inputs()
+        };
+        let bad = GameInputs {
+            etx: 3.0,
+            ..inputs()
+        };
         assert!(good.best_response(&w()).cells >= bad.best_response(&w()).cells);
     }
 
@@ -421,11 +427,7 @@ mod tests {
             .map(|p| p.payoff_curvature(&w(), 2.0))
             .collect();
         for x in [[1.0, 0.0, 0.0], [0.3, -0.7, 0.2], [1.0, 1.0, 1.0]] {
-            let quad: f64 = diag
-                .iter()
-                .zip(&x)
-                .map(|(d, xi)| 2.0 * d * xi * xi)
-                .sum();
+            let quad: f64 = diag.iter().zip(&x).map(|(d, xi)| 2.0 * d * xi * xi).sum();
             assert!(quad < 0.0, "quadratic form must be negative definite");
         }
     }
@@ -454,7 +456,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "ETX must be ≥ 1")]
     fn sub_unity_etx_rejected() {
-        let g = GameInputs { etx: 0.5, ..inputs() };
+        let g = GameInputs {
+            etx: 0.5,
+            ..inputs()
+        };
         let _ = g.best_response(&w());
     }
 

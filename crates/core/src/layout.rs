@@ -52,7 +52,9 @@ pub fn free_slots(sf: &Slotframe) -> Vec<u16> {
     for cell in sf.cells() {
         occupied[cell.slot.index()] = true;
     }
-    (0..sf.length()).filter(|&s| !occupied[s as usize]).collect()
+    (0..sf.length())
+        .filter(|&s| !occupied[s as usize])
+        .collect()
 }
 
 /// The §V interleaving check: would adding a *data Rx* cell at `slot`
@@ -158,18 +160,14 @@ pub fn candidate_tx_slots(sf: &Slotframe, limit: usize, salt: u64) -> Vec<u16> {
         let k = (salt as usize) % rest.len();
         rest.rotate_left(k);
     }
-    breakers
-        .into_iter()
-        .chain(rest)
-        .take(limit)
-        .collect()
+    breakers.into_iter().chain(rest).take(limit).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gtt_mac::{Cell, ChannelOffset, SlotOffset};
-    use gtt_net::{Dest, NodeId};
+    use gtt_net::NodeId;
 
     fn data_tx(sf: &mut Slotframe, slot: u16) {
         sf.add(Cell::data_tx(
@@ -232,7 +230,10 @@ mod tests {
         data_tx(&mut sf, 5);
         data_tx(&mut sf, 8);
         assert!(rx_placement_ok(&sf, 6), "Rx at 6 is drained by Tx at 8");
-        assert!(!rx_placement_ok(&sf, 1), "Rx at 1 back-to-back with Rx at 0");
+        assert!(
+            !rx_placement_ok(&sf, 1),
+            "Rx at 1 back-to-back with Rx at 0"
+        );
         // Wrap-around: Rx at 9 is followed (cyclically) by Rx at 0 with
         // no Tx in slot 9→0; Fig. 5a's queue build-up — rejected.
         assert!(!rx_placement_ok(&sf, 9));

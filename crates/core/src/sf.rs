@@ -155,8 +155,8 @@ impl GtTschSf {
         if ctx.app_rate_ppm <= 0.0 {
             return 0;
         }
-        let slotframe_secs = ctx.mac.config().slot_duration.as_secs_f64()
-            * self.cfg.slotframe_len as f64;
+        let slotframe_secs =
+            ctx.mac.config().slot_duration.as_secs_f64() * self.cfg.slotframe_len as f64;
         (ctx.app_rate_ppm * slotframe_secs / 60.0).ceil() as u16
     }
 
@@ -240,11 +240,7 @@ impl GtTschSf {
             return;
         };
         let ch = if self.cfg.hash_channels {
-            hash_channel(
-                parent,
-                ctx.mac.hopping().len() as u8,
-                self.cfg.fbcast,
-            )
+            hash_channel(parent, ctx.mac.hopping().len() as u8, self.cfg.fbcast)
         } else {
             let Some(&ch) = self.eb_channels.get(&parent) else {
                 return;
@@ -258,7 +254,10 @@ impl GtTschSf {
         // Cells negotiated on an old channel are void.
         self.remove_cells(ctx.mac, |c| {
             c.peer == Dest::Unicast(parent)
-                && matches!(c.class, CellClass::Data | CellClass::SixP | CellClass::Shared)
+                && matches!(
+                    c.class,
+                    CellClass::Data | CellClass::SixP | CellClass::Shared
+                )
                 && c.channel_offset.raw() != ch
         });
         // Shared Tx slots toward the parent (own-parity half).
@@ -340,11 +339,10 @@ impl GtTschSf {
             return;
         };
         let salt = ctx.mac.id().raw() as u64;
-        let candidates: Vec<CellSpec> =
-            layout::candidate_tx_slots(self.frame(ctx.mac), 10, salt)
-                .into_iter()
-                .map(|slot| CellSpec::new(slot, ch))
-                .collect();
+        let candidates: Vec<CellSpec> = layout::candidate_tx_slots(self.frame(ctx.mac), 10, salt)
+            .into_iter()
+            .map(|slot| CellSpec::new(slot, ch))
+            .collect();
         if candidates.len() < 2 {
             return;
         }
@@ -415,8 +413,7 @@ impl GtTschSf {
                         return;
                     }
                 }
-                self.demand_signal_backoff =
-                    Some(ctx.now + gtt_sim::SimDuration::from_secs(8));
+                self.demand_signal_backoff = Some(ctx.now + gtt_sim::SimDuration::from_secs(8));
                 deficit.max(1) as u16
             } else {
                 let inputs = GameInputs {
@@ -508,11 +505,9 @@ impl GtTschSf {
         }
         let want = match kind {
             SixpCellKind::SixP => 2u16,
-            SixpCellKind::Data => num_cells.min(self.rx_capacity(ctx.mac, ctx.rpl).max(
-                // Idempotent retries must be able to re-grant even at
-                // zero remaining capacity; handled per-cell below.
-                0,
-            )),
+            // Idempotent retries must be able to re-grant even at zero
+            // remaining capacity; that case is handled per-cell below.
+            SixpCellKind::Data => num_cells.min(self.rx_capacity(ctx.mac, ctx.rpl)),
         };
         let mut granted: Vec<CellSpec> = Vec::new();
         for spec in candidates {
@@ -523,11 +518,7 @@ impl GtTschSf {
                 break;
             }
             let slot = SlotOffset::new(spec.slot);
-            let existing = self
-                .frame(ctx.mac)
-                .cells_at(slot)
-                .next()
-                .copied();
+            let existing = self.frame(ctx.mac).cells_at(slot).next().copied();
             match existing {
                 Some(c) if c.peer == Dest::Unicast(from) => {
                     // Re-grant of a cell we already installed (retry).
@@ -537,7 +528,8 @@ impl GtTschSf {
                 Some(_) => continue, // occupied by someone/something else
                 None => {}
             }
-            if kind == SixpCellKind::Data && !layout::rx_placement_ok(self.frame(ctx.mac), spec.slot)
+            if kind == SixpCellKind::Data
+                && !layout::rx_placement_ok(self.frame(ctx.mac), spec.slot)
             {
                 continue;
             }
@@ -753,12 +745,7 @@ impl SchedulingFunction for GtTschSf {
         self.load_balance(ctx);
     }
 
-    fn on_parent_changed(
-        &mut self,
-        ctx: &mut SfContext<'_>,
-        old: Option<NodeId>,
-        new: NodeId,
-    ) {
+    fn on_parent_changed(&mut self, ctx: &mut SfContext<'_>, old: Option<NodeId>, new: NodeId) {
         if let Some(old_parent) = old {
             self.remove_cells(ctx.mac, |c| {
                 c.peer == Dest::Unicast(old_parent)
@@ -820,9 +807,7 @@ impl SchedulingFunction for GtTschSf {
                         num_cells,
                         cells,
                     } => self.answer_add(ctx, *from, *kind, *num_cells, cells),
-                    SixpBody::DeleteRequest { cells, .. } => {
-                        self.answer_delete(ctx, *from, cells)
-                    }
+                    SixpBody::DeleteRequest { cells, .. } => self.answer_delete(ctx, *from, cells),
                     SixpBody::AskChannelRequest => self.answer_ask_channel(ctx, *from),
                     SixpBody::ClearRequest => {
                         self.remove_cells(ctx.mac, |c| {
@@ -850,10 +835,9 @@ impl SchedulingFunction for GtTschSf {
                 request,
                 response,
             } => match (request, response) {
-                (
-                    SixpBody::AddRequest { kind, .. },
-                    SixpBody::AddResponse { cells, .. },
-                ) => self.complete_add(ctx, *peer, *kind, cells),
+                (SixpBody::AddRequest { kind, .. }, SixpBody::AddResponse { cells, .. }) => {
+                    self.complete_add(ctx, *peer, *kind, cells)
+                }
                 (SixpBody::DeleteRequest { .. }, SixpBody::DeleteResponse { cells, .. }) => {
                     for spec in cells {
                         self.remove_cells(ctx.mac, |c| {
@@ -863,8 +847,10 @@ impl SchedulingFunction for GtTschSf {
                         });
                     }
                 }
-                (SixpBody::AskChannelRequest, SixpBody::AskChannelResponse { channel_offset, .. }) =>
-                {
+                (
+                    SixpBody::AskChannelRequest,
+                    SixpBody::AskChannelResponse { channel_offset, .. },
+                ) => {
                     self.ask_channel_pending = false;
                     self.ask_channel_done = true;
                     self.f_my_children = Some(*channel_offset);
@@ -917,7 +903,6 @@ impl SchedulingFunction for GtTschSf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gtt_engine::EngineConfig;
     use gtt_mac::{HoppingSequence, MacConfig};
     use gtt_rpl::{Dio, Rank, RplConfig};
     use gtt_sim::{Pcg32, SimTime};

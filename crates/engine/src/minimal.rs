@@ -11,7 +11,9 @@
 //! * the engine's built-in test scheduler,
 //! * a template showing how little an SF must implement.
 
-use gtt_mac::{Cell, CellClass, CellOptions, ChannelOffset, SlotOffset, Slotframe, SlotframeHandle};
+use gtt_mac::{
+    Cell, CellClass, CellOptions, ChannelOffset, SlotOffset, Slotframe, SlotframeHandle,
+};
 use gtt_net::Dest;
 
 use crate::scheduler::{SchedulingFunction, SfContext};

@@ -2,9 +2,7 @@
 
 use gtt_mac::{Asn, MacCounters, SlotAction, SlotResult, TschMac};
 use gtt_metrics::PacketTracker;
-use gtt_net::{
-    Dest, Frame, Listener, NodeId, PacketId, RadioMedium, Topology, Transmission,
-};
+use gtt_net::{Dest, Frame, Listener, NodeId, PacketId, RadioMedium, Topology, Transmission};
 use gtt_rpl::{RplConfig, RplNode};
 use gtt_sim::{Pcg32, SimDuration, SimTime};
 use gtt_sixtop::SixtopLayer;
@@ -48,8 +46,12 @@ pub struct NetworkBuilder {
     config: EngineConfig,
     roots: Vec<NodeId>,
     traffic_ppm: Option<f64>,
-    factory: Option<Box<dyn Fn(NodeId, bool) -> Box<dyn SchedulingFunction>>>,
+    factory: Option<SchedulerFactory>,
 }
+
+/// Produces one scheduling function per node; called with the node id
+/// and whether the node is a DODAG root.
+pub type SchedulerFactory = Box<dyn Fn(NodeId, bool) -> Box<dyn SchedulingFunction>>;
 
 impl Network {
     /// Starts building a network over `topology`.
@@ -312,8 +314,7 @@ impl Network {
             }
             Payload::Dao(dao) => {
                 self.nodes[i].rpl.handle_dao(frame.src, dao, now);
-                self.nodes[i]
-                    .with_scheduler(now, |sf, ctx| sf.on_dao(ctx, dao.child, dao.no_path));
+                self.nodes[i].with_scheduler(now, |sf, ctx| sf.on_dao(ctx, dao.child, dao.no_path));
             }
             Payload::SixP(msg) => {
                 if let Some(event) = self.nodes[i].sixtop.handle_message(frame.src, msg) {

@@ -44,7 +44,10 @@ fn nodes_join_a_line_dodag() {
     let r1 = net.node(NodeId::new(1)).rpl.rank();
     let r2 = net.node(NodeId::new(2)).rpl.rank();
     let r3 = net.node(NodeId::new(3)).rpl.rank();
-    assert!(r1 < r2 && r2 < r3, "ranks must grow with distance: {r1} {r2} {r3}");
+    assert!(
+        r1 < r2 && r2 < r3,
+        "ranks must grow with distance: {r1} {r2} {r3}"
+    );
     assert_eq!(net.node(NodeId::new(1)).rpl.parent(), Some(NodeId::new(0)));
     assert_eq!(net.node(NodeId::new(2)).rpl.parent(), Some(NodeId::new(1)));
     assert_eq!(net.node(NodeId::new(3)).rpl.parent(), Some(NodeId::new(2)));
@@ -54,8 +57,14 @@ fn nodes_join_a_line_dodag() {
 fn parents_learn_children_via_dao() {
     let mut net = minimal_net(line_topology(3, 30.0), 11, 6.0);
     net.run_for(SimDuration::from_secs(90));
-    assert_eq!(net.node(NodeId::new(0)).rpl.children(), vec![NodeId::new(1)]);
-    assert_eq!(net.node(NodeId::new(1)).rpl.children(), vec![NodeId::new(2)]);
+    assert_eq!(
+        net.node(NodeId::new(0)).rpl.children(),
+        vec![NodeId::new(1)]
+    );
+    assert_eq!(
+        net.node(NodeId::new(1)).rpl.children(),
+        vec![NodeId::new(2)]
+    );
 }
 
 #[test]

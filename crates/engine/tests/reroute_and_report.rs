@@ -14,11 +14,17 @@ fn diamond_net(seed: u64, ppm: f64) -> Network {
         .node(Position::new(30.0, -18.0))
         .node(Position::new(60.0, 0.0))
         .build();
-    Network::builder(topo, EngineConfig { seed, ..EngineConfig::default() })
-        .root(NodeId::new(0))
-        .traffic_ppm(ppm)
-        .scheduler_factory(|_, _| Box::new(MinimalSchedule::new(8)))
-        .build()
+    Network::builder(
+        topo,
+        EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        },
+    )
+    .root(NodeId::new(0))
+    .traffic_ppm(ppm)
+    .scheduler_factory(|_, _| Box::new(MinimalSchedule::new(8)))
+    .build()
 }
 
 #[test]
@@ -56,7 +62,7 @@ fn report_contains_every_node_once() {
     let mut ids: Vec<u16> = report.per_node.iter().map(|n| n.id.raw()).collect();
     ids.sort_unstable();
     assert_eq!(ids, vec![0, 1, 2, 3]);
-    assert_eq!(report.per_node[0].is_root, true);
+    assert!(report.per_node[0].is_root);
     // Display formatting smoke check.
     let text = report.to_string();
     assert!(text.contains("minimal"), "{text}");

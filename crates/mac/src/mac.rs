@@ -8,11 +8,11 @@ use gtt_sim::Pcg32;
 use crate::asn::Asn;
 use crate::backoff::SharedCellBackoff;
 use crate::cell::{Cell, CellClass};
-use crate::traffic::TrafficClass;
 use crate::config::MacConfig;
 use crate::hopping::HoppingSequence;
 use crate::slotframe::Schedule;
 use crate::stats::LinkStats;
+use crate::traffic::TrafficClass;
 
 /// What the node does in the current slot.
 #[derive(Debug, Clone)]
@@ -480,10 +480,7 @@ impl<P: Clone> TschMac<P> {
                 None
             }
             SlotResult::Listened(outcome) => {
-                assert!(
-                    self.in_flight.is_none(),
-                    "listened with a packet in flight"
-                );
+                assert!(self.in_flight.is_none(), "listened with a packet in flight");
                 self.handle_rx_outcome(outcome)
             }
         }
@@ -682,7 +679,8 @@ mod tests {
     fn broadcast_is_fire_and_forget() {
         let mut m = mac();
         install_schedule(&mut m);
-        m.enqueue_control(bcast_frame(1), TrafficClass::Broadcast).unwrap();
+        m.enqueue_control(bcast_frame(1), TrafficClass::Broadcast)
+            .unwrap();
         let action = m.plan_slot(Asn::new(0));
         assert!(matches!(action, SlotAction::Transmit { .. }));
         m.finish_slot(SlotResult::Transmitted { acked: None });

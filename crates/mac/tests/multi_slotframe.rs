@@ -4,7 +4,7 @@
 
 use gtt_mac::{
     Asn, Cell, CellClass, CellOptions, ChannelOffset, HoppingSequence, MacConfig, SlotAction,
-    SlotOffset, Slotframe, SlotframeHandle, SlotResult, TrafficClass, TschMac,
+    SlotOffset, SlotResult, Slotframe, SlotframeHandle, TrafficClass, TschMac,
 };
 use gtt_net::{Dest, Frame, NodeId, PacketId, RxOutcome};
 use gtt_sim::{Pcg32, SimTime};

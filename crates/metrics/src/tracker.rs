@@ -290,7 +290,7 @@ mod tests {
         t.record_delivered(id(3), SimTime::from_secs(1), 1);
         assert_eq!(t.generated_by_origin()[&NodeId::new(2)], 2);
         assert_eq!(t.delivered_by_origin()[&NodeId::new(2)], 1);
-        assert!(t.delivered_by_origin().get(&NodeId::new(1)).is_none());
+        assert!(!t.delivered_by_origin().contains_key(&NodeId::new(1)));
     }
 
     #[test]

@@ -86,10 +86,7 @@ mod tests {
     fn offset_and_midpoint() {
         let p = Position::ORIGIN.offset(10.0, 0.0);
         assert_eq!(p, Position::new(10.0, 0.0));
-        assert_eq!(
-            Position::ORIGIN.midpoint(p),
-            Position::new(5.0, 0.0)
-        );
+        assert_eq!(Position::ORIGIN.midpoint(p), Position::new(5.0, 0.0));
     }
 
     #[test]

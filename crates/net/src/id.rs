@@ -46,7 +46,10 @@ impl NodeId {
     ///
     /// Panics if `index` exceeds `u16::MAX`.
     pub fn from_index(index: usize) -> Self {
-        assert!(index <= u16::MAX as usize, "node index {index} out of range");
+        assert!(
+            index <= u16::MAX as usize,
+            "node index {index} out of range"
+        );
         NodeId(index as u16)
     }
 }

@@ -353,10 +353,7 @@ mod tests {
         let mut received = 0;
         let trials = 5_000;
         for _ in 0..trials {
-            let out = m.resolve_slot(
-                vec![tx(0, Dest::Unicast(b), CH)],
-                vec![listener(1, CH)],
-            );
+            let out = m.resolve_slot(vec![tx(0, Dest::Unicast(b), CH)], vec![listener(1, CH)]);
             if matches!(out.rx[0].1, RxOutcome::Received(_)) {
                 received += 1;
             }
@@ -379,10 +376,7 @@ mod tests {
         let mut acked = 0;
         let trials = 4_000;
         for _ in 0..trials {
-            let out = m.resolve_slot(
-                vec![tx(0, Dest::Unicast(b), CH)],
-                vec![listener(1, CH)],
-            );
+            let out = m.resolve_slot(vec![tx(0, Dest::Unicast(b), CH)], vec![listener(1, CH)]);
             if out.acked[0] == Some(true) {
                 acked += 1;
             }
@@ -402,10 +396,7 @@ mod tests {
             .build();
         let mut m = RadioMedium::new(topo, Pcg32::new(7));
         m.set_lossy_acks(false);
-        let out = m.resolve_slot(
-            vec![tx(0, Dest::Unicast(b), CH)],
-            vec![listener(1, CH)],
-        );
+        let out = m.resolve_slot(vec![tx(0, Dest::Unicast(b), CH)], vec![listener(1, CH)]);
         assert_eq!(out.acked, vec![Some(true)]);
     }
 

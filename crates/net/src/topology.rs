@@ -145,7 +145,10 @@ impl Topology {
     ///
     /// Panics if `prr` is outside `[0, 1]`.
     pub fn set_link_prr(&mut self, a: NodeId, b: NodeId, prr: f64) {
-        assert!((0.0..=1.0).contains(&prr), "PRR must be in [0,1], got {prr}");
+        assert!(
+            (0.0..=1.0).contains(&prr),
+            "PRR must be in [0,1], got {prr}"
+        );
         self.prr_overrides.insert((a, b), prr);
     }
 
@@ -170,9 +173,9 @@ impl Topology {
         seen[0] = true;
         let mut count = 1;
         while let Some(i) = stack.pop() {
-            for j in 0..n {
-                if !seen[j] && self.in_range(NodeId::from_index(i), NodeId::from_index(j)) {
-                    seen[j] = true;
+            for (j, seen_j) in seen.iter_mut().enumerate() {
+                if !*seen_j && self.in_range(NodeId::from_index(i), NodeId::from_index(j)) {
+                    *seen_j = true;
                     count += 1;
                     stack.push(j);
                 }
@@ -269,7 +272,10 @@ impl TopologyBuilder {
     ///
     /// Panics if `prr` is outside `[0, 1]`.
     pub fn link_prr(mut self, a: NodeId, b: NodeId, prr: f64) -> Self {
-        assert!((0.0..=1.0).contains(&prr), "PRR must be in [0,1], got {prr}");
+        assert!(
+            (0.0..=1.0).contains(&prr),
+            "PRR must be in [0,1], got {prr}"
+        );
         self.prr_overrides.insert((a, b), prr);
         self
     }

@@ -194,12 +194,7 @@ impl SchedulingFunction for OrchestraSf {
         ctx.mac.schedule_mut().add_slotframe(UNICAST_SF, unicast);
     }
 
-    fn on_parent_changed(
-        &mut self,
-        ctx: &mut SfContext<'_>,
-        _old: Option<NodeId>,
-        new: NodeId,
-    ) {
+    fn on_parent_changed(&mut self, ctx: &mut SfContext<'_>, _old: Option<NodeId>, new: NodeId) {
         let me = ctx.mac.id();
         // Remove cells tracking the previous parent.
         if let Some(old) = self.tracked_parent.take() {
@@ -487,9 +482,7 @@ mod tests {
         let mut net = gtt_engine::Network::builder(topo, EngineConfig::default())
             .root(NodeId::new(0))
             .traffic_ppm(10.0)
-            .scheduler_factory(|_, _| {
-                Box::new(OrchestraSf::new(OrchestraConfig::paper_default()))
-            })
+            .scheduler_factory(|_, _| Box::new(OrchestraSf::new(OrchestraConfig::paper_default())))
             .build();
         net.run_for(gtt_sim::SimDuration::from_secs(60));
         assert_eq!(net.join_ratio(), 1.0, "orchestra network must form");

@@ -186,13 +186,7 @@ impl RplNode {
 
     /// Processes a received DIO from `src` over a link whose current ETX
     /// estimate is `etx`.
-    pub fn handle_dio(
-        &mut self,
-        src: NodeId,
-        dio: Dio,
-        etx: f64,
-        now: SimTime,
-    ) -> Vec<RplAction> {
+    pub fn handle_dio(&mut self, src: NodeId, dio: Dio, etx: f64, now: SimTime) -> Vec<RplAction> {
         // Adopt the DODAG if we have none (non-roots only).
         if !self.is_root && self.dodag.is_none() {
             self.dodag = Some((dio.dodag_root, dio.version));
@@ -490,7 +484,10 @@ mod tests {
         let timeout = cfg.child_timeout;
         let mut p = RplNode::new_root(NodeId::new(0), cfg, SimTime::ZERO);
         p.handle_dao(NodeId::new(1), Dao::announce(NodeId::new(1)), SimTime::ZERO);
-        p.poll(SimTime::ZERO + timeout + SimDuration::from_secs(1), &flat_etx);
+        p.poll(
+            SimTime::ZERO + timeout + SimDuration::from_secs(1),
+            &flat_etx,
+        );
         assert!(p.children().is_empty());
     }
 
@@ -499,7 +496,8 @@ mod tests {
         let mut n = RplNode::new(NodeId::new(3), RplConfig::default());
         n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
         // Keep a backup relay fresh throughout.
-        let late = SimTime::ZERO + RplConfig::default().neighbor_timeout + SimDuration::from_secs(5);
+        let late =
+            SimTime::ZERO + RplConfig::default().neighbor_timeout + SimDuration::from_secs(5);
         n.handle_dio(NodeId::new(1), dio(0, Rank::new(512)), 1.0, late);
         let actions = n.poll(late + SimDuration::from_secs(1), &flat_etx);
         assert_eq!(n.parent(), Some(NodeId::new(1)), "fails over to the relay");

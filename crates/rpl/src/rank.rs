@@ -60,7 +60,10 @@ impl Rank {
     /// Panics if `etx` is not finite or is below 1.0 − ε (ETX ≥ 1 by
     /// definition; eq. 4 of the paper).
     pub fn advertised_through(self, etx: f64) -> Rank {
-        assert!(etx.is_finite() && etx >= 0.999, "ETX must be ≥ 1, got {etx}");
+        assert!(
+            etx.is_finite() && etx >= 0.999,
+            "ETX must be ≥ 1, got {etx}"
+        );
         if self.is_infinite() {
             return Rank::INFINITE;
         }

@@ -154,7 +154,12 @@ mod tests {
     }
 
     /// Advances in 100ms steps until the timer says "send" or the limit.
-    fn run_until_fire(t: &mut TrickleTimer, rng: &mut Pcg32, from: SimTime, limit_s: u64) -> Option<SimTime> {
+    fn run_until_fire(
+        t: &mut TrickleTimer,
+        rng: &mut Pcg32,
+        from: SimTime,
+        limit_s: u64,
+    ) -> Option<SimTime> {
         let step = SimDuration::from_millis(100);
         let mut now = from;
         let end = from + SimDuration::from_secs(limit_s);
@@ -173,7 +178,10 @@ mod tests {
         t.start(SimTime::ZERO, &mut rng);
         let fired = run_until_fire(&mut t, &mut rng, SimTime::ZERO, 5).expect("must fire");
         // t ∈ [2s, 4s) for a 4 s interval.
-        assert!(fired >= SimTime::from_secs(2) && fired < SimTime::from_secs(4) + SimDuration::from_millis(100));
+        assert!(
+            fired >= SimTime::from_secs(2)
+                && fired < SimTime::from_secs(4) + SimDuration::from_millis(100)
+        );
     }
 
     #[test]

@@ -308,7 +308,10 @@ mod tests {
         let n = 50_000;
         let total: f64 = (0..n).map(|_| rng.gen_exp(4.0)).sum();
         let mean = total / n as f64;
-        assert!((mean - 4.0).abs() < 0.1, "sample mean {mean} too far from 4");
+        assert!(
+            (mean - 4.0).abs() < 0.1,
+            "sample mean {mean} too far from 4"
+        );
     }
 
     #[test]
@@ -319,7 +322,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move something");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move something"
+        );
     }
 
     #[test]

@@ -226,7 +226,10 @@ impl SixtopLayer {
             if pending.retries_left > 0 {
                 pending.retries_left -= 1;
                 pending.deadline = now + self.config.timeout;
-                resend.push((peer, SixpMessage::new(pending.seqnum, pending.request.clone())));
+                resend.push((
+                    peer,
+                    SixpMessage::new(pending.seqnum, pending.request.clone()),
+                ));
             } else {
                 drop_keys.push(peer);
             }

@@ -49,6 +49,5 @@ pub mod messages;
 
 pub use layer::{SixtopConfig, SixtopEvent, SixtopLayer};
 pub use messages::{
-    CellSpec, ReturnCode, SixpBody, SixpCellKind, SixpDecodeError, SixpMessage,
-    SIXP_SFID_GT_TSCH,
+    CellSpec, ReturnCode, SixpBody, SixpCellKind, SixpDecodeError, SixpMessage, SIXP_SFID_GT_TSCH,
 };

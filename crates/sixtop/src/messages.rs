@@ -400,8 +400,7 @@ impl SixpMessage {
                 }
             }
             (TYPE_RESPONSE, CMD_ADD) => SixpBody::AddResponse {
-                code: ReturnCode::from_wire(code)
-                    .ok_or(SixpDecodeError::BadReturnCode(code))?,
+                code: ReturnCode::from_wire(code).ok_or(SixpDecodeError::BadReturnCode(code))?,
                 cells: get_cells(&mut data)?,
             },
             (TYPE_REQUEST, CMD_DELETE) => {
@@ -415,14 +414,12 @@ impl SixpMessage {
                 }
             }
             (TYPE_RESPONSE, CMD_DELETE) => SixpBody::DeleteResponse {
-                code: ReturnCode::from_wire(code)
-                    .ok_or(SixpDecodeError::BadReturnCode(code))?,
+                code: ReturnCode::from_wire(code).ok_or(SixpDecodeError::BadReturnCode(code))?,
                 cells: get_cells(&mut data)?,
             },
             (TYPE_REQUEST, CMD_CLEAR) => SixpBody::ClearRequest,
             (TYPE_RESPONSE, CMD_CLEAR) => SixpBody::ClearResponse {
-                code: ReturnCode::from_wire(code)
-                    .ok_or(SixpDecodeError::BadReturnCode(code))?,
+                code: ReturnCode::from_wire(code).ok_or(SixpDecodeError::BadReturnCode(code))?,
             },
             (TYPE_REQUEST, CMD_ASK_CHANNEL) => SixpBody::AskChannelRequest,
             (TYPE_RESPONSE, CMD_ASK_CHANNEL) => {
@@ -457,7 +454,10 @@ impl fmt::Display for SixpMessage {
             SixpBody::ClearRequest => "CLEAR.req".to_string(),
             SixpBody::ClearResponse { code } => format!("CLEAR.rsp({code})"),
             SixpBody::AskChannelRequest => "ASK-CHANNEL.req".to_string(),
-            SixpBody::AskChannelResponse { code, channel_offset } => {
+            SixpBody::AskChannelResponse {
+                code,
+                channel_offset,
+            } => {
                 format!("ASK-CHANNEL.rsp({code}, co={channel_offset})")
             }
         };
@@ -481,7 +481,11 @@ mod tests {
         round_trip(SixpBody::AddRequest {
             kind: SixpCellKind::Data,
             num_cells: 3,
-            cells: vec![CellSpec::new(4, 1), CellSpec::new(9, 2), CellSpec::new(11, 1)],
+            cells: vec![
+                CellSpec::new(4, 1),
+                CellSpec::new(9, 2),
+                CellSpec::new(11, 1),
+            ],
         });
         round_trip(SixpBody::AddRequest {
             kind: SixpCellKind::SixP,

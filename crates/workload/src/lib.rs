@@ -61,11 +61,7 @@ impl Default for RunSpec {
 }
 
 /// Builds the network for a scenario/scheduler pair without running it.
-pub fn build_network(
-    scenario: &Scenario,
-    scheduler: &SchedulerKind,
-    spec: &RunSpec,
-) -> Network {
+pub fn build_network(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec) -> Network {
     let config = EngineConfig {
         seed: spec.seed,
         ..scheduler.engine_config()

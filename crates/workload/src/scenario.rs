@@ -36,9 +36,7 @@ impl Scenario {
     /// Panics unless `2 ≤ n ≤ 10`.
     pub fn single_dodag(n: usize) -> Scenario {
         let mut s = Scenario::dodag_positions(n, Position::ORIGIN);
-        let topology = TopologyBuilder::new(RANGE)
-            .nodes(s.drain(..))
-            .build();
+        let topology = TopologyBuilder::new(RANGE).nodes(s.drain(..)).build();
         Scenario {
             name: format!("single-dodag-{n}"),
             topology,
@@ -113,13 +111,9 @@ impl Scenario {
     pub fn random(n: usize, side: f64, seed: u64) -> Scenario {
         let mut rng = Pcg32::new(seed);
         for _ in 0..1000 {
-            let mut b = TopologyBuilder::new(RANGE)
-                .node(Position::new(side / 2.0, side / 2.0));
+            let mut b = TopologyBuilder::new(RANGE).node(Position::new(side / 2.0, side / 2.0));
             for _ in 1..n {
-                b = b.node(Position::new(
-                    rng.gen_f64() * side,
-                    rng.gen_f64() * side,
-                ));
+                b = b.node(Position::new(rng.gen_f64() * side, rng.gen_f64() * side));
             }
             let topo = b.build();
             if topo.is_connected() {
@@ -207,10 +201,7 @@ mod tests {
     fn each_dodag_is_internally_connected() {
         for n in [6, 7, 8, 9] {
             let s = Scenario::single_dodag(n);
-            assert!(
-                s.topology.is_connected(),
-                "dodag of {n} must be connected"
-            );
+            assert!(s.topology.is_connected(), "dodag of {n} must be connected");
         }
     }
 
@@ -226,8 +217,7 @@ mod tests {
         }
         // But each reaches at least one ring-1 node.
         for i in 4..7u16 {
-            let reachable = (1..4u16)
-                .any(|p| s.topology.in_range(NodeId::new(i), NodeId::new(p)));
+            let reachable = (1..4u16).any(|p| s.topology.in_range(NodeId::new(i), NodeId::new(p)));
             assert!(reachable, "n{i} needs a ring-1 parent");
         }
     }

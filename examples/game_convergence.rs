@@ -9,7 +9,10 @@ use gt_tsch::game::{nash_equilibrium, GameInputs, GameWeights};
 
 fn main() {
     let weights = GameWeights::default();
-    println!("weights: α={}, β={}, γ={}\n", weights.alpha, weights.beta, weights.gamma);
+    println!(
+        "weights: α={}, β={}, γ={}\n",
+        weights.alpha, weights.beta, weights.gamma
+    );
 
     // --- 1. One player's payoff curve -------------------------------
     let player = GameInputs {
@@ -25,7 +28,11 @@ fn main() {
     for l in 0..=10u16 {
         let v = player.payoff(&weights, l as f64);
         let bar_len = ((v + 1.0) * 20.0).max(0.0) as usize;
-        let marker = if l == best.cells { "  ← eq. 15 optimum" } else { "" };
+        let marker = if l == best.cells {
+            "  ← eq. 15 optimum"
+        } else {
+            ""
+        };
         println!("  l={l:>2}  v={v:+.3}  {}{marker}", "█".repeat(bar_len));
     }
     println!(
@@ -39,7 +46,10 @@ fn main() {
     println!("eq. 15 under varying link quality (queue fixed at 6/8):");
     for etx in [1.0, 1.5, 2.0, 3.0, 5.0] {
         let p = GameInputs { etx, ..player };
-        println!("  ETX {etx:>3.1} → l* = {}", p.best_response(&weights).cells);
+        println!(
+            "  ETX {etx:>3.1} → l* = {}",
+            p.best_response(&weights).cells
+        );
     }
     println!("\neq. 15 under varying queue backlog (ETX fixed at 1.2):");
     for q in [0.0, 2.0, 4.0, 6.0, 7.5] {

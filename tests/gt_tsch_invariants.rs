@@ -64,7 +64,10 @@ fn parent_and_children_channels_differ_locally() {
         if let (Some(up), Some(down)) = (sf.parent_channel(), sf.children_channel()) {
             assert_ne!(up, down, "{}: f_par == f_cs", node.id());
         }
-        for ch in [sf.parent_channel(), sf.children_channel()].into_iter().flatten() {
+        for ch in [sf.parent_channel(), sf.children_channel()]
+            .into_iter()
+            .flatten()
+        {
             assert_ne!(ch, 0, "{}: f_bcast reused", node.id());
         }
     }
@@ -89,7 +92,13 @@ fn three_hop_channel_uniqueness() {
         if let (Some(c0), Some(c1), Some(c2)) = (c0, c1, c2) {
             assert_ne!(c0, c1, "{} vs parent {}", node.id(), parent);
             assert_ne!(c1, c2, "parent {} vs grandparent {}", parent, grand);
-            assert_ne!(c0, c2, "{} vs grandparent {} (hidden terminal)", node.id(), grand);
+            assert_ne!(
+                c0,
+                c2,
+                "{} vs grandparent {} (hidden terminal)",
+                node.id(),
+                grand
+            );
             checked += 1;
         }
     }
@@ -251,7 +260,10 @@ fn granted_cells_are_mirrored_at_the_parent() {
             mirrored += 1;
         }
     }
-    assert!(mirrored >= 10, "expected many mirrored cells, got {mirrored}");
+    assert!(
+        mirrored >= 10,
+        "expected many mirrored cells, got {mirrored}"
+    );
 }
 
 #[test]

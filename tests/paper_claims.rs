@@ -57,7 +57,10 @@ fn gt_tsch_beats_orchestra_on_every_figure_series_at_high_load() {
     assert!(gt.pdr_percent > orch.pdr_percent + 20.0, "PDR gap");
     assert!(gt.delay_ms < orch.delay_ms / 2.0, "delay gap");
     assert!(gt.loss_per_min < orch.loss_per_min / 2.0, "loss gap");
-    assert!(gt.queue_loss < orch.queue_loss / 2.0 + 1.0, "queue-loss gap");
+    assert!(
+        gt.queue_loss < orch.queue_loss / 2.0 + 1.0,
+        "queue-loss gap"
+    );
     assert!(
         gt.received_per_min > orch.received_per_min * 1.5,
         "throughput: GT {:.0}/min vs Orchestra {:.0}/min",
@@ -73,7 +76,11 @@ fn both_schedulers_are_equivalent_at_light_load() {
     let gt = measure(&SchedulerKind::gt_tsch_default(), 30.0, 3);
     let orch = measure(&SchedulerKind::orchestra_default(), 30.0, 3);
     assert!(gt.pdr_percent > 97.0, "GT {:.1}%", gt.pdr_percent);
-    assert!(orch.pdr_percent > 90.0, "Orchestra {:.1}%", orch.pdr_percent);
+    assert!(
+        orch.pdr_percent > 90.0,
+        "Orchestra {:.1}%",
+        orch.pdr_percent
+    );
 }
 
 #[test]
@@ -83,7 +90,10 @@ fn gt_tsch_delay_does_not_blow_up_with_load() {
     let d75 = measure(&SchedulerKind::gt_tsch_default(), 75.0, 4).delay_ms;
     let d165 = measure(&SchedulerKind::gt_tsch_default(), 165.0, 4).delay_ms;
     assert!(d75 < 600.0, "delay at 75 ppm: {d75:.0} ms");
-    assert!(d165 < d75 * 1.5, "delay must not explode: {d75:.0} → {d165:.0} ms");
+    assert!(
+        d165 < d75 * 1.5,
+        "delay must not explode: {d75:.0} → {d165:.0} ms"
+    );
 }
 
 #[test]
@@ -99,7 +109,11 @@ fn gt_tsch_scales_with_dodag_size_where_orchestra_does_not() {
     };
     let gt = run(&scenario, &SchedulerKind::gt_tsch_default(), &spec).row;
     let orch = run(&scenario, &SchedulerKind::orchestra_default(), &spec).row;
-    assert!(gt.pdr_percent > 90.0, "GT at 8/DODAG: {:.1}%", gt.pdr_percent);
+    assert!(
+        gt.pdr_percent > 90.0,
+        "GT at 8/DODAG: {:.1}%",
+        gt.pdr_percent
+    );
     assert!(
         orch.pdr_percent < gt.pdr_percent - 25.0,
         "Orchestra at 8/DODAG: {:.1}% vs GT {:.1}%",

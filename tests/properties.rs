@@ -24,20 +24,22 @@ fn arb_weights() -> impl Strategy<Value = GameWeights> {
 
 fn arb_inputs() -> impl Strategy<Value = GameInputs> {
     (
-        0.05f64..1.0,  // rank weight (hop 1..20)
-        1.0f64..6.0,   // ETX
-        0.0f64..8.0,   // queue average
-        1u16..6,       // l_tx_min
-        1u16..16,      // l_rx_parent
+        0.05f64..1.0, // rank weight (hop 1..20)
+        1.0f64..6.0,  // ETX
+        0.0f64..8.0,  // queue average
+        1u16..6,      // l_tx_min
+        1u16..16,     // l_rx_parent
     )
-        .prop_map(|(rank_weight, etx, queue_avg, l_tx_min, l_rx_parent)| GameInputs {
-            rank_weight,
-            etx,
-            queue_avg,
-            queue_max: 8.0,
-            l_tx_min,
-            l_rx_parent,
-        })
+        .prop_map(
+            |(rank_weight, etx, queue_avg, l_tx_min, l_rx_parent)| GameInputs {
+                rank_weight,
+                etx,
+                queue_avg,
+                queue_max: 8.0,
+                l_tx_min,
+                l_rx_parent,
+            },
+        )
 }
 
 proptest! {
@@ -106,10 +108,8 @@ fn arb_body() -> impl Strategy<Value = SixpBody> {
                 cells,
             }
         }),
-        (arb_code(), arb_cells())
-            .prop_map(|(code, cells)| SixpBody::AddResponse { code, cells }),
-        (arb_kind(), arb_cells())
-            .prop_map(|(kind, cells)| SixpBody::DeleteRequest { kind, cells }),
+        (arb_code(), arb_cells()).prop_map(|(code, cells)| SixpBody::AddResponse { code, cells }),
+        (arb_kind(), arb_cells()).prop_map(|(kind, cells)| SixpBody::DeleteRequest { kind, cells }),
         (arb_code(), arb_cells())
             .prop_map(|(code, cells)| SixpBody::DeleteResponse { code, cells }),
         Just(SixpBody::ClearRequest),
