@@ -1,0 +1,83 @@
+//! `slots_per_sec`: engine-core throughput on the 120-node scenarios.
+//!
+//! Measures wall time per simulated run of the sparse-traffic
+//! `large_grid` (the event-driven core's headline case) and the dense
+//! `large_star` (its worst case: every slot has listeners). When the
+//! `naive-step` feature is on, the exhaustive oracle loop is measured on
+//! the same scenarios so the speedup is a number, not a claim — the
+//! `bench_engine` binary turns the comparison into `BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gtt_sim::SimDuration;
+use gtt_workload::{RunSpec, Scenario, SchedulerKind};
+
+/// Simulated seconds per measured iteration.
+const SIM_SECS: u64 = 30;
+
+fn spec() -> RunSpec {
+    RunSpec {
+        traffic_ppm: 6.0,
+        warmup_secs: 0,
+        measure_secs: SIM_SECS,
+        seed: 1,
+    }
+}
+
+fn run_event(scenario: &Scenario, scheduler: &SchedulerKind) {
+    let mut net = gtt_workload::build_network(scenario, scheduler, &spec());
+    net.run_for(SimDuration::from_secs(SIM_SECS));
+}
+
+#[cfg(feature = "naive-step")]
+fn run_naive(scenario: &Scenario, scheduler: &SchedulerKind) {
+    let s = spec();
+    let config = gtt_engine::EngineConfig {
+        seed: s.seed,
+        ..scheduler.engine_config()
+    };
+    let sk = scheduler.clone();
+    let mut net = gtt_engine::Network::builder(scenario.topology.clone(), config)
+        .roots(scenario.roots.iter().copied())
+        .traffic_ppm(s.traffic_ppm)
+        .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root))
+        .naive_stepping()
+        .build();
+    net.run_for(SimDuration::from_secs(SIM_SECS));
+}
+
+fn slots_per_sec(c: &mut Criterion) {
+    let grid = Scenario::large_grid();
+    let star = Scenario::large_star();
+    let gt = SchedulerKind::gt_tsch_default();
+    let minimal = SchedulerKind::minimal(16);
+
+    let mut group = c.benchmark_group("slots_per_sec");
+    group.sample_size(10);
+    group.bench_function("large_grid_120_event", |b| {
+        b.iter_batched(|| (), |()| run_event(&grid, &gt), BatchSize::PerIteration)
+    });
+    group.bench_function("large_star_120_event", |b| {
+        b.iter_batched(
+            || (),
+            |()| run_event(&star, &minimal),
+            BatchSize::PerIteration,
+        )
+    });
+    #[cfg(feature = "naive-step")]
+    {
+        group.bench_function("large_grid_120_naive", |b| {
+            b.iter_batched(|| (), |()| run_naive(&grid, &gt), BatchSize::PerIteration)
+        });
+        group.bench_function("large_star_120_naive", |b| {
+            b.iter_batched(
+                || (),
+                |()| run_naive(&star, &minimal),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, slots_per_sec);
+criterion_main!(benches);

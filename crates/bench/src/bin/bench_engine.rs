@@ -1,0 +1,233 @@
+//! Measures the event-driven engine core against the `naive-step`
+//! oracle and emits `BENCH_engine.json`.
+//!
+//! Usage: `bench_engine [--quick] [--out PATH]`
+//!
+//! * `--quick` — shorter simulated window (CI smoke budget).
+//! * `--out PATH` — where to write the JSON (default `BENCH_engine.json`
+//!   in the current directory).
+//!
+//! For each scenario the same seed is simulated once per core; reported
+//! `slots_per_sec` is simulated-slots / wall-seconds and `speedup` is
+//! the ratio event / naive. The sparse-traffic 120-node grid is the
+//! acceptance case (target ≥ 5×); the dense star is included honestly as
+//! the regime where slot skipping cannot win big (every slot has
+//! listeners).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use gtt_engine::{EngineConfig, Network};
+use gtt_sim::SimDuration;
+use gtt_workload::{Scenario, SchedulerKind};
+
+struct Case {
+    scenario: Scenario,
+    scheduler: SchedulerKind,
+    traffic_ppm: f64,
+    /// Steady-state cadences ([`EngineConfig::low_power`]) instead of the
+    /// paper's experiment-accelerating ones — the "sparse traffic" regime.
+    low_power: bool,
+}
+
+struct Measurement {
+    name: String,
+    scheduler: &'static str,
+    traffic_ppm: f64,
+    low_power: bool,
+    nodes: usize,
+    sim_slots: u64,
+    event_slots_per_sec: f64,
+    naive_slots_per_sec: f64,
+    speedup: f64,
+}
+
+fn build(case: &Case, seed: u64, naive: bool) -> Network {
+    let base = if case.low_power {
+        EngineConfig::low_power()
+    } else {
+        case.scheduler.engine_config()
+    };
+    let config = EngineConfig { seed, ..base };
+    let sk = case.scheduler.clone();
+    let mut builder = Network::builder(case.scenario.topology.clone(), config)
+        .roots(case.scenario.roots.iter().copied())
+        .traffic_ppm(case.traffic_ppm)
+        .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root));
+    if naive {
+        builder = builder.naive_stepping();
+    }
+    builder.build()
+}
+
+/// Wall-seconds to simulate `sim` of the case on one core.
+fn time_run(case: &Case, sim: SimDuration, naive: bool) -> f64 {
+    let mut net = build(case, 1, naive);
+    let start = Instant::now();
+    net.run_for(sim);
+    let secs = start.elapsed().as_secs_f64();
+    if std::env::args().any(|a| a == "--stats") {
+        let (mut awake, mut slots, mut txs, mut idle) = (0u64, 0u64, 0u64, 0u64);
+        for node in net.nodes() {
+            let c = node.mac.counters();
+            awake += c.tx_slots + c.rx_busy_slots + c.rx_idle_slots;
+            txs += c.tx_slots;
+            idle += c.rx_idle_slots;
+            slots += c.slots;
+        }
+        let total_slots = slots / net.nodes().len() as u64;
+        eprintln!(
+            "    [{}] {} awake {:.3} tx/slot {:.3} idle/slot {:.2} ns/slot {:.0}",
+            if naive { "naive" } else { "event" },
+            case.scenario.name,
+            awake as f64 / slots.max(1) as f64,
+            txs as f64 / total_slots.max(1) as f64,
+            idle as f64 / total_slots.max(1) as f64,
+            secs * 1e9 / total_slots.max(1) as f64,
+        );
+    }
+    secs
+}
+
+fn measure(case: &Case, sim: SimDuration, slot: SimDuration) -> Measurement {
+    let sim_slots = sim.as_micros() / slot.as_micros();
+    // Best of three per core: the first pass faults in code paths, and
+    // min-of-N filters out scheduler noise from the shared host.
+    let best = |naive: bool| {
+        (0..3)
+            .map(|_| time_run(case, sim, naive))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let event_secs = best(false);
+    let naive_secs = best(true);
+    Measurement {
+        name: case.scenario.name.clone(),
+        scheduler: case.scheduler.name(),
+        traffic_ppm: case.traffic_ppm,
+        low_power: case.low_power,
+        nodes: case.scenario.topology.len(),
+        sim_slots,
+        event_slots_per_sec: sim_slots as f64 / event_secs,
+        naive_slots_per_sec: sim_slots as f64 / naive_secs,
+        speedup: naive_secs / event_secs,
+    }
+}
+
+fn json(measurements: &[Measurement], sim_secs: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"engine_slots_per_sec\",\n");
+    out.push_str(&format!("  \"sim_secs\": {sim_secs},\n"));
+    out.push_str("  \"slot_ms\": 15,\n");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"nodes\": {}, \
+             \"traffic_ppm\": {}, \"low_power\": {}, \"sim_slots\": {}, \
+             \"event_slots_per_sec\": {:.0}, \"naive_slots_per_sec\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.scheduler,
+            m.nodes,
+            m.traffic_ppm,
+            m.low_power,
+            m.sim_slots,
+            m.event_slots_per_sec,
+            m.naive_slots_per_sec,
+            m.speedup,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let sim_secs = if quick { 60 } else { 300 };
+    let sim = SimDuration::from_secs(sim_secs);
+    let slot = SchedulerKind::gt_tsch_default()
+        .engine_config()
+        .mac
+        .slot_duration;
+
+    let cases = [
+        // The acceptance case: 120-node grid in the steady-state
+        // low-power regime (EB 16 s as deployed TSCH networks run it,
+        // one telemetry reading per minute).
+        Case {
+            scenario: Scenario::large_grid(),
+            scheduler: SchedulerKind::gt_tsch_default(),
+            traffic_ppm: 1.0,
+            low_power: true,
+        },
+        // The same grid at the paper's experiment cadences (EB every
+        // 2 s): an order of magnitude chattier, reported honestly as the
+        // regime where slot skipping wins less.
+        Case {
+            scenario: Scenario::large_grid(),
+            scheduler: SchedulerKind::gt_tsch_default(),
+            traffic_ppm: 6.0,
+            low_power: false,
+        },
+        Case {
+            scenario: Scenario::large_grid(),
+            scheduler: SchedulerKind::orchestra_default(),
+            traffic_ppm: 6.0,
+            low_power: false,
+        },
+        Case {
+            scenario: Scenario::large_star(),
+            scheduler: SchedulerKind::minimal(16),
+            traffic_ppm: 6.0,
+            low_power: false,
+        },
+        Case {
+            scenario: Scenario::two_dodag(7),
+            scheduler: SchedulerKind::gt_tsch_default(),
+            traffic_ppm: 30.0,
+            low_power: false,
+        },
+    ];
+
+    eprintln!("bench_engine: {sim_secs} s simulated per core per scenario…");
+    let mut measurements = Vec::new();
+    for case in &cases {
+        let m = measure(case, sim, slot);
+        eprintln!(
+            "  {:<16} {:<10} {:>4} nodes  event {:>9.0} slots/s  naive {:>9.0} slots/s  speedup {:>5.2}x",
+            m.name, m.scheduler, m.nodes, m.event_slots_per_sec, m.naive_slots_per_sec, m.speedup
+        );
+        measurements.push(m);
+    }
+
+    let headline = &measurements[0];
+    println!(
+        "sparse 120-node grid speedup: {:.2}x (target >= 5x)",
+        headline.speedup
+    );
+
+    let body = json(&measurements, sim_secs);
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    file.write_all(body.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+
+    if headline.speedup < 5.0 {
+        eprintln!("WARNING: sparse-grid speedup below the 5x target");
+        // Only full runs gate: --quick (60 s sim, used by the CI smoke
+        // job) is there for the wall-clock budget, and a short window on
+        // a noisy shared runner is no basis for failing the pipeline.
+        if !quick {
+            std::process::exit(1);
+        }
+    }
+}

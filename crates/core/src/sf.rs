@@ -184,9 +184,14 @@ impl GtTschSf {
         if frame.cells().contains(&cell) {
             return;
         }
-        // A different cell at the same slot loses to the negotiated one
-        // (stale grant from a lost response).
-        frame.remove_where(|c| c.slot == cell.slot && c.class == cell.class);
+        // One radio, one action: the incoming cell owns its slot, so any
+        // other cell there loses — a stale grant from a lost response, a
+        // shared-slot reinstall after a parent switch, or a concurrent
+        // transaction whose candidate list predated this install. (An
+        // eviction matching only on class used to let a Data grant
+        // coexist with a SixP cell in the same slot, double-booking the
+        // radio.)
+        frame.remove_where(|c| c.slot == cell.slot);
         frame.add(cell);
     }
 

@@ -1,4 +1,29 @@
-//! The slot-synchronous network engine.
+//! The event-driven network engine.
+//!
+//! The engine is slot-synchronous in *semantics* — all radio activity is
+//! resolved per TSCH timeslot — but event-driven in *execution*: a
+//! binary-heap wake-up queue (keyed by raw `(ASN, node index)`; same-slot
+//! entries are popped together, then sorted and deduplicated into node-id
+//! order) merges each MAC's transmission opportunities
+//! ([`next_radio_wake`](TschMac::next_radio_wake)) with the node's timer
+//! deadlines, and the clock jumps straight to the next slot in which
+//! anything can *happen*. Idle listening is not an event: a scheduled
+//! listen with nothing audible resolves to `Idle` without touching the
+//! medium RNG or any state beyond two duty-cycle counters, so
+//! single-slotframe nodes (*passive listeners*) are not woken for their
+//! Rx slots at all. Instead, each planned transmission wakes exactly the
+//! audible neighbors listening on its channel
+//! ([`Topology::audible_neighbors`] × [`TschMac::listen_channel_at`]),
+//! and every skipped slot's sleeps *and* idle listens are accounted
+//! lazily and exactly ([`TschMac::count_listen_slots`]). Multi-slotframe
+//! schedules (Orchestra), whose cyclic Rx union has no cheap closed
+//! form, keep waking on every active slot. The pre-refactor exhaustive
+//! loop survives behind the `naive-step` feature (and in unit tests) as
+//! an oracle: both cores must produce byte-identical [`NetworkReport`]s
+//! for the same seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use gtt_mac::{Asn, MacCounters, SlotAction, SlotResult, TschMac};
 use gtt_metrics::PacketTracker;
@@ -22,6 +47,52 @@ pub(crate) struct Snapshot {
     pub routing_drops: u64,
 }
 
+/// One entry of the engine's wake-up min-heap: `(wake ASN, node index)`.
+///
+/// Keyed directly by slot number — the slot clock *is* simulation time
+/// (`SimTime = ASN × slot_duration`), and raw `u64` keys keep the heap's
+/// compare/sift hot path free of time-unit conversions. Duplicate and
+/// stale entries are allowed (they cost one pop and a dedup); correctness
+/// only requires that no needed wake-up is *missing*.
+type WakeEntry = Reverse<(u64, u32)>;
+
+/// A due node's planned radio action before listener indices are known.
+#[derive(Debug, Clone, Copy)]
+enum Pre {
+    /// Transmitting; index into the slot's transmission vec.
+    Tx(usize),
+    /// Listening on this channel.
+    Listen(gtt_net::PhysicalChannel),
+    /// Radio off.
+    Sleep,
+}
+
+/// A processed node's action keyed into the medium's outcome vectors.
+#[derive(Debug, Clone, Copy)]
+enum Planned {
+    Tx(usize),
+    Listen(usize),
+    Sleep,
+}
+
+/// Per-slot working memory, reused across slots so the hot loop does not
+/// allocate. Taken out of the [`Network`] for the duration of a slot
+/// (`std::mem::take`) to keep the borrow checker out of the hot path.
+#[derive(Debug, Default)]
+struct SlotScratch {
+    /// Due node indices (sorted, deduplicated, alive).
+    due: Vec<usize>,
+    /// Planned actions of the due nodes, in node order.
+    pre_due: Vec<(usize, Pre)>,
+    /// Probed passive listeners and their listen channels (sorted by
+    /// node index).
+    extras: Vec<(usize, gtt_net::PhysicalChannel)>,
+    /// Merged actions of every processed node, in node order.
+    planned: Vec<(usize, Planned)>,
+    /// Processed nodes whose wake-up chain must be re-queued.
+    resched: Vec<usize>,
+}
+
 /// A simulated TSCH network.
 ///
 /// Construct with [`Network::builder`], drive with [`Network::run_for`] /
@@ -38,6 +109,18 @@ pub struct Network {
     pub(crate) measure_start: Option<SimTime>,
     pub(crate) measure_end: Option<SimTime>,
     pub(crate) snapshots: Vec<Snapshot>,
+    /// The event-driven core's clock: pending per-node wake-ups.
+    wake: BinaryHeap<WakeEntry>,
+    /// Whether the wake queue has been seeded (done lazily on the first
+    /// stepping call, after scheduler `init` hooks installed cells).
+    wake_init: bool,
+    /// Per-node "already woken this slot" scratch (reused, cleared after
+    /// every slot) for the listener probe.
+    wake_scratch: Vec<bool>,
+    /// Per-slot vectors, reused across slots.
+    scratch: SlotScratch,
+    /// Use the exhaustive per-slot oracle loop instead of the wake queue.
+    naive: bool,
 }
 
 /// Builder for [`Network`] (C-BUILDER).
@@ -47,6 +130,7 @@ pub struct NetworkBuilder {
     roots: Vec<NodeId>,
     traffic_ppm: Option<f64>,
     factory: Option<SchedulerFactory>,
+    naive: bool,
 }
 
 /// Produces one scheduling function per node; called with the node id
@@ -62,6 +146,7 @@ impl Network {
             roots: Vec::new(),
             traffic_ppm: None,
             factory: None,
+            naive: false,
         }
     }
 
@@ -95,6 +180,19 @@ impl Network {
     ///
     /// Panics if `id` is out of range.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        // External mutation can invalidate a sleeping node's cached
+        // wake-up (e.g. a test enqueues traffic behind the engine's
+        // back); wake it in the current slot so the event core
+        // re-evaluates. Spurious wake-ups are harmless — the node just
+        // plans an ordinary (possibly sleeping) slot. Settle its lazy
+        // accounting first: the skipped range up to now must be counted
+        // against the *pre-mutation* schedule.
+        if self.wake_init {
+            if self.nodes[id.index()].alive {
+                self.settle_node(id.index(), self.asn.raw());
+            }
+            self.wake.push(Reverse((self.asn.raw(), id.index() as u32)));
+        }
         &mut self.nodes[id.index()]
     }
 
@@ -118,84 +216,398 @@ impl Network {
     }
 
     /// Simulates one timeslot.
+    ///
+    /// In the event-driven core this processes only the nodes whose
+    /// wake-up is due in the current slot (every other node provably
+    /// sleeps); under the `naive-step` oracle it runs the exhaustive
+    /// per-node loop. Either way the ASN advances by exactly one.
     pub fn step(&mut self) {
-        let now = self.now();
-
-        // Phase 1: timers, control plane, application.
-        for i in 0..self.nodes.len() {
-            if !self.nodes[i].alive {
-                continue;
-            }
-            let output = self.nodes[i].upkeep(now);
-            self.apply_upkeep(i, output, now);
+        if self.naive {
+            self.step_naive();
+            return;
         }
-
-        // Phase 2: every MAC plans its slot.
-        let n = self.nodes.len();
-        let mut transmissions: Vec<Transmission<Payload>> = Vec::new();
-        let mut listeners: Vec<Listener> = Vec::new();
-        let mut tx_of: Vec<Option<usize>> = vec![None; n];
-        let mut listen_of: Vec<Option<usize>> = vec![None; n];
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            if !node.alive {
-                continue;
+        self.ensure_wake_queue();
+        let mut s = std::mem::take(&mut self.scratch);
+        self.fill_due(&mut s.due);
+        if !s.due.is_empty() {
+            self.process_slot(&mut s);
+            self.asn = self.asn.next();
+            for &i in &s.resched {
+                self.schedule_node_wake(i);
             }
-            match node.mac.plan_slot(self.asn) {
-                SlotAction::Sleep => {}
-                SlotAction::Transmit { channel, frame, .. } => {
-                    tx_of[i] = Some(transmissions.len());
-                    transmissions.push(Transmission { channel, frame });
-                }
-                SlotAction::Listen { channel, .. } => {
-                    listen_of[i] = Some(listeners.len());
-                    listeners.push(Listener {
-                        node: node.mac.id(),
-                        channel,
-                    });
-                }
-            }
+        } else {
+            self.asn = self.asn.next();
         }
+        self.scratch = s;
+        // Single-step callers observe counters between slots; keep the
+        // lazily-accounted sleep/idle-listen slots exact at this
+        // granularity.
+        self.sync_accounting();
+    }
 
-        // Phase 3: the medium resolves all concurrent activity.
-        let outcomes = self.medium.resolve_slot(transmissions, listeners);
-
-        // Phase 4: feed results back; deliver decoded frames upward.
-        for i in 0..n {
-            let result = if let Some(t) = tx_of[i] {
-                SlotResult::Transmitted {
-                    acked: outcomes.acked[t],
-                }
-            } else if let Some(l) = listen_of[i] {
-                SlotResult::Listened(outcomes.rx[l].1.clone())
-            } else {
-                SlotResult::Slept
+    /// Runs until simulated time reaches `end`, skipping directly from
+    /// wake-up to wake-up.
+    ///
+    /// Equivalent to `while self.now() < end { self.step() }`, but slots
+    /// in which every node sleeps cost nothing: the ASN jumps to the next
+    /// slot in which at least one node transmits, listens or runs a due
+    /// timer. Ends with `now() >= end` on the first slot boundary at or
+    /// after `end`, exactly like the slot-by-slot loop.
+    pub fn run_until(&mut self, end: SimTime) {
+        if self.naive {
+            while self.now() < end {
+                self.step_naive();
+            }
+            return;
+        }
+        self.ensure_wake_queue();
+        let slot = self.config.mac.slot_duration;
+        // `now() < end` ⟺ `asn < at_or_after(end)`: the loop and the heap
+        // work in raw slot numbers, no time conversion per iteration.
+        let end_asn = Asn::at_or_after(end, slot).raw();
+        let mut s = std::mem::take(&mut self.scratch);
+        while self.asn.raw() < end_asn {
+            let Some(&Reverse((wake_asn, _))) = self.wake.peek() else {
+                // Nothing will ever wake again: fast-forward to the end.
+                self.asn = Asn::new(end_asn);
+                break;
             };
-            if let Some(frame) = self.nodes[i].mac.finish_slot(result) {
-                self.deliver(i, frame, now);
+            let wake_asn = wake_asn.max(self.asn.raw());
+            if wake_asn >= end_asn {
+                self.asn = Asn::new(end_asn);
+                break;
+            }
+            self.asn = Asn::new(wake_asn);
+            self.fill_due(&mut s.due);
+            // Empty when every due entry belonged to a dead node; the
+            // slot is then an ordinary sleep/idle-listen slot.
+            if !s.due.is_empty() {
+                self.process_slot(&mut s);
+                self.asn = self.asn.next();
+                for &i in &s.resched {
+                    self.schedule_node_wake(i);
+                }
+            } else {
+                self.asn = self.asn.next();
             }
         }
-
-        self.asn = self.asn.next();
+        self.scratch = s;
+        self.sync_accounting();
     }
 
     /// Runs `slots` timeslots.
     pub fn run_slots(&mut self, slots: u64) {
-        for _ in 0..slots {
-            self.step();
-        }
+        let end = (self.asn + slots).start_time(self.config.mac.slot_duration);
+        self.run_until(end);
     }
 
     /// Runs for (at least) the given simulated duration.
     pub fn run_for(&mut self, duration: SimDuration) {
-        let end = self.now() + duration;
-        while self.now() < end {
-            self.step();
+        self.run_until(self.now() + duration);
+    }
+
+    /// One slot of the pre-refactor exhaustive loop: every alive node
+    /// runs upkeep and plans the slot, whether or not anything is due.
+    /// Kept as the equivalence oracle for the event-driven core. (With
+    /// every alive node already due, the listener probe inside
+    /// [`Network::process_slot`] finds nothing to add, so this *is* the
+    /// old exhaustive loop.)
+    fn step_naive(&mut self) {
+        let mut s = std::mem::take(&mut self.scratch);
+        s.due.clear();
+        s.due
+            .extend((0..self.nodes.len()).filter(|&i| self.nodes[i].alive));
+        self.process_slot(&mut s);
+        self.scratch = s;
+        self.asn = self.asn.next();
+    }
+
+    /// Runs one timeslot for `s.due` (sorted, deduplicated, alive node
+    /// indices), plus any passive listener a planned transmission is
+    /// audible to. Leaves the processed nodes that need a fresh wake-up
+    /// queued in `s.resched` (see phase 5). Nodes not processed at all
+    /// provably either sleep or idle-listen this slot — both are pure
+    /// counter updates, accounted lazily by [`Network::settle_node`].
+    fn process_slot(&mut self, s: &mut SlotScratch) {
+        let now = self.now();
+        let asn_raw = self.asn.raw();
+        debug_assert!(s.due.windows(2).all(|w| w[0] < w[1]), "due not sorted");
+
+        // Phase 0+1: catch up lazy accounting, then run timers, control
+        // plane and application for the due nodes (in node order — packet
+        // ids are handed out here).
+        for &i in &s.due {
+            self.settle_node(i, asn_raw);
+            self.nodes[i].accounted_asn = asn_raw + 1;
+            let output = self.nodes[i].upkeep(now);
+            self.apply_upkeep(i, output, now);
+        }
+
+        // Phase 2: every due MAC plans its slot. Probed listeners never
+        // transmit, so the transmission vec — built in due (= node)
+        // order — is already in its final order here. In the event core,
+        // a due node that provably sleeps (timer-only wake-up) settles
+        // its counters directly instead of a plan/finish round-trip; the
+        // oracle keeps calling `plan_slot` exhaustively.
+        let mut transmissions: Vec<Transmission<Payload>> = Vec::new();
+        s.pre_due.clear();
+        for &i in &s.due {
+            if !self.naive && self.nodes[i].mac.sleeps_at(self.asn) {
+                self.nodes[i].mac.account_skipped(1, 0);
+                s.pre_due.push((i, Pre::Sleep));
+                continue;
+            }
+            match self.nodes[i].mac.plan_slot(self.asn) {
+                SlotAction::Sleep => s.pre_due.push((i, Pre::Sleep)),
+                SlotAction::Transmit { channel, frame, .. } => {
+                    s.pre_due.push((i, Pre::Tx(transmissions.len())));
+                    transmissions.push(Transmission { channel, frame });
+                }
+                SlotAction::Listen { channel, .. } => s.pre_due.push((i, Pre::Listen(channel))),
+            }
+        }
+
+        // Phase 2b: planned transmissions wake the passive listeners that
+        // could hear them. Only listeners with something audible can
+        // touch the medium RNG or receive; everyone else's listen is an
+        // `Idle` counter update, left to lazy accounting. Active
+        // (multi-slotframe) nodes are already in `due` whenever they
+        // listen, so probing only passive nodes is exhaustive. Audibility
+        // is probed from `frame.src`, the same field the medium resolves
+        // against.
+        s.extras.clear();
+        if !transmissions.is_empty() {
+            let topology = self.medium.topology();
+            let nodes = &mut self.nodes;
+            let marked = &mut self.wake_scratch;
+            for &(i, _) in &s.pre_due {
+                marked[i] = true;
+            }
+            for t in &transmissions {
+                for &peer in topology.audible_neighbors(t.frame.src) {
+                    let j = peer.index();
+                    if marked[j] || !nodes[j].alive {
+                        continue;
+                    }
+                    if let Some(ch) = nodes[j].mac.listen_channel_at(self.asn) {
+                        if ch == t.channel {
+                            marked[j] = true;
+                            s.extras.push((j, ch));
+                        }
+                    }
+                }
+            }
+            for &(i, _) in &s.pre_due {
+                marked[i] = false;
+            }
+            for &(j, _) in &s.extras {
+                marked[j] = false;
+            }
+            s.extras.sort_unstable_by_key(|&(j, _)| j);
+            for &(j, _) in &s.extras {
+                self.settle_node(j, asn_raw);
+                self.nodes[j].accounted_asn = asn_raw + 1;
+            }
+        }
+
+        // Phase 3: merge due and probed entries in node-id order — the
+        // exhaustive loop iterates nodes in id order, and the medium's
+        // RNG draws follow listener order, so order is part of
+        // equivalence. Both inputs are sorted; a two-pointer merge avoids
+        // sorting anything.
+        let mut listeners: Vec<Listener> = Vec::new();
+        s.planned.clear();
+        {
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < s.pre_due.len() || b < s.extras.len() {
+                let from_due =
+                    b >= s.extras.len() || (a < s.pre_due.len() && s.pre_due[a].0 < s.extras[b].0);
+                let (i, channel) = if from_due {
+                    let (i, pre) = s.pre_due[a];
+                    a += 1;
+                    match pre {
+                        Pre::Sleep => {
+                            s.planned.push((i, Planned::Sleep));
+                            continue;
+                        }
+                        Pre::Tx(t) => {
+                            s.planned.push((i, Planned::Tx(t)));
+                            continue;
+                        }
+                        Pre::Listen(channel) => (i, channel),
+                    }
+                } else {
+                    let entry = s.extras[b];
+                    b += 1;
+                    entry
+                };
+                s.planned.push((i, Planned::Listen(listeners.len())));
+                listeners.push(Listener {
+                    node: self.nodes[i].mac.id(),
+                    channel,
+                });
+            }
+        }
+
+        // All-sleep slots (timer-only upkeep, nothing on the air) skip
+        // the medium entirely: `finish_slot(Slept)` is a no-op beyond its
+        // sanity assert, and every due node needs requeueing.
+        if transmissions.is_empty() && listeners.is_empty() {
+            s.resched.clear();
+            s.resched.extend(s.planned.iter().map(|&(i, _)| i));
+            return;
+        }
+
+        // Phase 4: the medium resolves all concurrent activity.
+        let mut outcomes = self.medium.resolve_slot(transmissions, listeners);
+
+        // Phase 5: feed results back; deliver decoded frames upward.
+        // `s.resched` collects the nodes whose wake-up chain must be
+        // re-queued: due nodes always (their chain entry was just
+        // consumed); probed listeners only when the slot changed what
+        // they are waiting for — an idle/faded/overheard listen touches
+        // nothing but counters, and even a delivery only matters if it
+        // left traffic queued or moved a timer deadline. Their existing
+        // heap entry covers everything else, and skipping the re-push
+        // also avoids a later spurious wake-up from the stale duplicate.
+        s.resched.clear();
+        for &(i, ref p) in &s.planned {
+            let is_extra = s.extras.binary_search_by_key(&i, |&(j, _)| j).is_ok();
+            if is_extra {
+                // A probed listen completes without a plan/finish
+                // round-trip; only a delivery that left traffic queued or
+                // moved a timer deadline invalidates the listener's
+                // existing heap entry.
+                let Planned::Listen(l) = *p else {
+                    unreachable!("probed listener must listen");
+                };
+                let deadline_before = self.nodes[i].next_timer_deadline();
+                if let Some(frame) = self.nodes[i].mac.finish_probed_listen(outcomes.take_rx(l)) {
+                    self.deliver(i, frame, now);
+                    if self.nodes[i].mac.data_queue_len() > 0
+                        || self.nodes[i].mac.control_queue_len() > 0
+                        || self.nodes[i].next_timer_deadline() != deadline_before
+                    {
+                        s.resched.push(i);
+                    }
+                }
+                continue;
+            }
+            let result = match *p {
+                Planned::Tx(t) => SlotResult::Transmitted {
+                    acked: outcomes.acked[t],
+                },
+                Planned::Listen(l) => SlotResult::Listened(outcomes.take_rx(l)),
+                Planned::Sleep => SlotResult::Slept,
+            };
+            if let Some(frame) = self.nodes[i].mac.finish_slot(result) {
+                self.deliver(i, frame, now);
+            }
+            s.resched.push(i);
+        }
+    }
+
+    /// Seeds the wake queue on first use: every alive node is woken in
+    /// the current slot (one exhaustive slot), after which each reports
+    /// its own next wake-up.
+    fn ensure_wake_queue(&mut self) {
+        if self.wake_init {
+            return;
+        }
+        self.wake_init = true;
+        let asn = self.asn.raw();
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].alive {
+                self.wake.push(Reverse((asn, i as u32)));
+            }
+        }
+    }
+
+    /// Pops every wake-up due in the current slot into `due` (cleared
+    /// first): the sorted, deduplicated indices of the alive nodes among
+    /// them.
+    fn fill_due(&mut self, due: &mut Vec<usize>) {
+        due.clear();
+        let now = self.asn.raw();
+        while let Some(&Reverse((asn, idx))) = self.wake.peek() {
+            if asn > now {
+                break;
+            }
+            self.wake.pop();
+            let i = idx as usize;
+            if self.nodes[i].alive {
+                due.push(i);
+            }
+        }
+        due.sort_unstable();
+        due.dedup();
+    }
+
+    /// Computes and enqueues node `i`'s next wake-up: the earlier of its
+    /// MAC's next radio wake (transmission opportunities for passive
+    /// listeners, any active slot otherwise) and its next timer deadline
+    /// (rounded up to the slot boundary where a slot-synchronous loop
+    /// would observe it).
+    fn schedule_node_wake(&mut self, i: usize) {
+        if !self.nodes[i].alive {
+            return;
+        }
+        let mac = self.nodes[i].mac.next_radio_wake(self.asn).map(Asn::raw);
+        let timer = self.nodes[i].next_timer_deadline().map(|d| {
+            let memo = &mut self.nodes[i].timer_wake_memo;
+            let asn = match *memo {
+                Some((at, asn)) if at == d => asn,
+                _ => {
+                    let asn = Asn::at_or_after(d, self.config.mac.slot_duration).raw();
+                    *memo = Some((d, asn));
+                    asn
+                }
+            };
+            asn.max(self.asn.raw())
+        });
+        let wake = match (mac, timer) {
+            (Some(m), Some(t)) => m.min(t),
+            (Some(m), None) => m,
+            (None, Some(t)) => t,
+            (None, None) => return,
+        };
+        self.wake.push(Reverse((wake, i as u32)));
+    }
+
+    /// Catches node `i`'s lazily-accounted counters up to `upto_raw`:
+    /// every skipped slot was a sleep or (for passive listeners with a
+    /// scheduled Rx cell) an idle listen, counted exactly from the MAC's
+    /// Rx index.
+    fn settle_node(&mut self, i: usize, upto_raw: u64) {
+        let node = &mut self.nodes[i];
+        let from = node.accounted_asn;
+        if upto_raw > from {
+            let listens = node
+                .mac
+                .count_listen_slots(Asn::new(from), Asn::new(upto_raw));
+            node.mac.account_skipped(upto_raw - from, listens);
+            node.accounted_asn = upto_raw;
+        }
+    }
+
+    /// Brings every alive node's MAC counters up to the current ASN by
+    /// accounting the sleep and idle-listen slots the event core skipped.
+    /// Idempotent; called at the end of every public stepping call and at
+    /// measurement boundaries so external observers never see stale
+    /// duty-cycle numbers.
+    pub fn sync_accounting(&mut self) {
+        let asn_raw = self.asn.raw();
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].alive {
+                self.settle_node(i, asn_raw);
+            }
         }
     }
 
     /// Begins the measurement window: packets generated from now on are
     /// tracked and per-node counters are snapshotted.
     pub fn start_measurement(&mut self) {
+        self.sync_accounting();
         let now = self.now();
         self.measure_start = Some(now);
         self.measure_end = None;
@@ -217,6 +629,7 @@ impl Network {
     ///
     /// Panics if [`Network::start_measurement`] was not called.
     pub fn finish_measurement(&mut self) {
+        self.sync_accounting();
         let start = self
             .measure_start
             .expect("start_measurement must be called first");
@@ -242,7 +655,14 @@ impl Network {
     ///
     /// Panics if `node` is out of range.
     pub fn kill_node(&mut self, node: NodeId) {
-        self.nodes[node.index()].alive = false;
+        let i = node.index();
+        // Freeze the counters exactly at the kill slot: a slot-by-slot
+        // loop would have counted every slot up to (excluding) the
+        // current one while the node was still alive.
+        if self.nodes[i].alive {
+            self.settle_node(i, self.asn.raw());
+        }
+        self.nodes[i].alive = false;
     }
 
     /// Fault injection: overrides the PRR of the directed link `a → b`
@@ -354,6 +774,19 @@ impl NetworkBuilder {
         self
     }
 
+    /// Uses the exhaustive slot-by-slot oracle loop instead of the
+    /// event-driven core.
+    ///
+    /// Only for equivalence testing and benchmarking: both cores must
+    /// produce byte-identical [`NetworkReport`]s for the same seed. Gated
+    /// behind the `naive-step` feature so the oracle cannot leak into
+    /// production use.
+    #[cfg(any(test, feature = "naive-step"))]
+    pub fn naive_stepping(mut self) -> Self {
+        self.naive = true;
+        self
+    }
+
     /// Builds the network and runs every scheduler's `init` hook.
     ///
     /// # Panics
@@ -379,10 +812,16 @@ impl NetworkBuilder {
         let medium_rng = master.split();
         let n = self.topology.len();
 
+        // Root membership as a bitset: the per-node loop below must not
+        // rescan the root list for every node (O(n · roots)).
+        let mut is_root_bits = vec![false; n];
+        for r in &self.roots {
+            is_root_bits[r.index()] = true;
+        }
+
         let mut nodes = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, &is_root) in is_root_bits.iter().enumerate() {
             let id = NodeId::from_index(i);
-            let is_root = self.roots.contains(&id);
             let mut rng = master.split();
             let mac = TschMac::new(
                 id,
@@ -401,11 +840,13 @@ impl NetworkBuilder {
             let mut node = Node::new(mac, rpl, sixtop, scheduler, rng);
 
             // Stagger periodic timers with per-node phase jitter so the
-            // whole network does not beacon in the same slot.
+            // whole network does not beacon in the same slot. The span is
+            // clamped into [2, u32::MAX] µs: sub-2 µs periods must not
+            // produce an empty RNG range, and periods beyond ~71 minutes
+            // must not truncate into one when cast.
             let jitter = |rng: &mut Pcg32, period: SimDuration| {
-                SimDuration::from_micros(
-                    rng.gen_range_u32(0, period.as_micros().max(2) as u32) as u64
-                )
+                let span = period.as_micros().clamp(2, u32::MAX as u64) as u32;
+                SimDuration::from_micros(rng.gen_range_u32(0, span) as u64)
             };
             node.eb_period = self.config.eb_period;
             let eb_phase = jitter(&mut node.rng, self.config.eb_period);
@@ -435,10 +876,112 @@ impl NetworkBuilder {
             measure_start: None,
             measure_end: None,
             snapshots: Vec::new(),
+            wake: BinaryHeap::new(),
+            wake_init: false,
+            wake_scratch: vec![false; n],
+            scratch: SlotScratch::default(),
+            naive: self.naive,
         };
         for i in 0..net.nodes.len() {
             net.nodes[i].with_scheduler(SimTime::ZERO, |sf, ctx| sf.init(ctx));
         }
         net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimal::MinimalSchedule;
+    use gtt_net::{LinkModel, Position, TopologyBuilder};
+
+    fn star_topology(leaves: usize) -> Topology {
+        let mut b = TopologyBuilder::new(40.0).link_model(LinkModel::default());
+        b = b.node(Position::new(0.0, 0.0));
+        for i in 0..leaves {
+            let angle = i as f64 * std::f64::consts::TAU / leaves as f64;
+            b = b.node(Position::new(25.0 * angle.cos(), 25.0 * angle.sin()));
+        }
+        b.build()
+    }
+
+    fn build(naive: bool, seed: u64) -> Network {
+        let config = EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        };
+        let mut builder = Network::builder(star_topology(5), config)
+            .root(NodeId::new(0))
+            .traffic_ppm(30.0)
+            .scheduler_factory(|_, _| Box::new(MinimalSchedule::new(8)));
+        if naive {
+            builder = builder.naive_stepping();
+        }
+        builder.build()
+    }
+
+    fn measured_report(net: &mut Network) -> NetworkReport {
+        net.run_for(SimDuration::from_secs(30));
+        net.start_measurement();
+        net.run_for(SimDuration::from_secs(30));
+        net.finish_measurement();
+        net.report()
+    }
+
+    /// The crown invariant of the event-driven refactor: for the same
+    /// seed, the wake-queue core and the exhaustive oracle loop must be
+    /// indistinguishable — identical reports, counters and final clock.
+    #[test]
+    fn event_core_matches_naive_oracle() {
+        for seed in [1u64, 7, 23] {
+            let mut event = build(false, seed);
+            let mut naive = build(true, seed);
+            let re = measured_report(&mut event);
+            let rn = measured_report(&mut naive);
+            assert_eq!(re, rn, "seed {seed}: reports diverge");
+            assert_eq!(event.asn(), naive.asn(), "seed {seed}: clocks diverge");
+        }
+    }
+
+    /// Stepping one slot at a time through the event core must also match
+    /// the oracle (exercises the step() path rather than run_until()).
+    #[test]
+    fn single_stepping_matches_oracle() {
+        let mut event = build(false, 5);
+        let mut naive = build(true, 5);
+        for _ in 0..2_000 {
+            event.step();
+            naive.step();
+        }
+        assert_eq!(event.asn(), naive.asn());
+        for (a, b) in event.nodes().iter().zip(naive.nodes()) {
+            assert_eq!(a.mac.counters(), b.mac.counters(), "node {}", a.id());
+        }
+    }
+
+    /// Killing a node mid-run freezes its counters identically in both
+    /// cores and the survivors stay equivalent.
+    #[test]
+    fn kill_node_keeps_cores_equivalent() {
+        let mut event = build(false, 9);
+        let mut naive = build(true, 9);
+        event.run_for(SimDuration::from_secs(20));
+        naive.run_for(SimDuration::from_secs(20));
+        event.kill_node(NodeId::new(3));
+        naive.kill_node(NodeId::new(3));
+        let re = measured_report(&mut event);
+        let rn = measured_report(&mut naive);
+        assert_eq!(re, rn);
+    }
+
+    /// An idle network (no traffic, no schedulers installing cells beyond
+    /// broadcast) still advances its clock to exactly the requested end.
+    #[test]
+    fn run_slots_lands_on_exact_asn() {
+        let mut net = build(false, 2);
+        net.run_slots(12_345);
+        assert_eq!(net.asn(), Asn::new(12_345));
+        net.run_for(SimDuration::from_millis(150)); // 10 slots of 15 ms
+        assert_eq!(net.asn(), Asn::new(12_355));
     }
 }

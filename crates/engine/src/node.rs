@@ -48,6 +48,12 @@ impl AppTraffic {
         self.due(now)
     }
 
+    /// When the next packet becomes due (always in the future of the last
+    /// [`AppTraffic::due_packets`] query).
+    pub fn next_due(&self) -> SimTime {
+        self.next
+    }
+
     /// Number of packets due at or before `now`; advances the phase.
     fn due(&mut self, now: SimTime) -> u32 {
         let mut n = 0;
@@ -84,6 +90,14 @@ pub struct Node {
     pub(crate) routing_drops: u64,
     /// Packets this node generated (lifetime, unwindowed).
     pub(crate) generated_total: u64,
+    /// First ASN not yet reflected in the MAC's slot counters: the
+    /// event-driven engine accounts skipped sleep slots lazily, and this
+    /// is the low-water mark (see `Network::sync_accounting`).
+    pub(crate) accounted_asn: u64,
+    /// Memo of the last timer-deadline → wake-slot conversion, so
+    /// rescheduling a node whose deadlines did not move skips the
+    /// division (deadlines change on timer fires, not on every wake).
+    pub(crate) timer_wake_memo: Option<(SimTime, u64)>,
 }
 
 /// What a node wants transmitted / recorded after an upkeep pass.
@@ -118,7 +132,27 @@ impl Node {
             sf_timer: Timer::disarmed(),
             routing_drops: 0,
             generated_total: 0,
+            accounted_asn: 0,
+            timer_wake_memo: None,
         }
+    }
+
+    /// The earliest instant at which [`Node::upkeep`] would do anything:
+    /// the minimum over the EB, RPL-poll and SF-period timers, pending 6P
+    /// transaction deadlines and the application's next packet. Strictly
+    /// before this instant, `upkeep` is a no-op (no state change, no RNG
+    /// draw), which is what lets the event-driven engine skip it.
+    pub(crate) fn next_timer_deadline(&self) -> Option<SimTime> {
+        [
+            self.eb_timer.deadline(),
+            self.rpl_poll_timer.deadline(),
+            self.sf_timer.deadline(),
+            self.sixtop.next_deadline(),
+            self.app.as_ref().map(AppTraffic::next_due),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// This node's id.

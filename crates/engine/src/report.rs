@@ -8,7 +8,7 @@ use gtt_rpl::Rank;
 use crate::network::Network;
 
 /// Per-node diagnostics included in a [`NetworkReport`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSummary {
     /// The node.
     pub id: NodeId,
@@ -36,7 +36,12 @@ pub struct NodeSummary {
 
 /// The outcome of one measured run: the paper's six series plus per-node
 /// diagnostics.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (floats bit-for-bit via `==`): two
+/// reports are equal only when the runs were behaviorally identical.
+/// The `step_equivalence` tests rely on this to pin the event-driven
+/// engine to the `naive-step` oracle.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkReport {
     /// Scheduler name (from the root node's scheduling function).
     pub scheduler: &'static str,

@@ -69,6 +69,21 @@ impl Asn {
         assert!(!slot_duration.is_zero(), "slot duration must be positive");
         Asn(time.saturating_since(SimTime::ZERO).as_micros() / slot_duration.as_micros())
     }
+
+    /// The first slot whose *start* is at or after `time` — the slot in
+    /// which a slot-synchronous loop first observes a deadline at `time`.
+    /// Used by the event-driven engine to convert timer deadlines into
+    /// wake-up slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_duration` is zero.
+    pub fn at_or_after(time: SimTime, slot_duration: SimDuration) -> Asn {
+        assert!(!slot_duration.is_zero(), "slot duration must be positive");
+        let us = time.saturating_since(SimTime::ZERO).as_micros();
+        let dur = slot_duration.as_micros();
+        Asn(us.div_ceil(dur))
+    }
 }
 
 impl SlotOffset {

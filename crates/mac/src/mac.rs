@@ -1,7 +1,5 @@
 //! The per-node TSCH MAC state machine.
 
-use std::collections::BTreeMap;
-
 use gtt_net::{Dest, Frame, NodeId, PacketQueue, PhysicalChannel, RxOutcome};
 use gtt_sim::Pcg32;
 
@@ -9,7 +7,7 @@ use crate::asn::Asn;
 use crate::backoff::SharedCellBackoff;
 use crate::cell::{Cell, CellClass};
 use crate::config::MacConfig;
-use crate::hopping::HoppingSequence;
+use crate::hopping::{ChannelOffset, HoppingSequence};
 use crate::slotframe::Schedule;
 use crate::stats::LinkStats;
 use crate::traffic::TrafficClass;
@@ -105,6 +103,30 @@ struct InFlight<P> {
     shared_cell: bool,
 }
 
+/// Schedule-derived wake tables, cached against [`Schedule::version`].
+#[derive(Debug, Clone)]
+struct WakeCache {
+    version: u64,
+    /// `Some` when the schedule has at most one slotframe: the node is a
+    /// *passive listener* whose Rx slots are statically enumerable, so an
+    /// event-driven engine can account its idle listens without waking it
+    /// (see [`TschMac::next_radio_wake`]). `None` for multi-slotframe
+    /// schedules (Orchestra): the cyclic union of several frame lengths
+    /// has no cheap closed form, so such nodes wake on every Rx slot.
+    rx_table: Option<RxTable>,
+}
+
+/// Sorted Rx-slot index of a single-slotframe schedule.
+#[derive(Debug, Clone)]
+struct RxTable {
+    sf_len: u64,
+    /// `(slot offset, channel offset)` per listening slot, sorted by
+    /// offset. The channel offset is that of the first Rx cell at the
+    /// offset — exactly the listen cell [`TschMac::plan_slot`] picks when
+    /// no transmission takes priority.
+    slots: Vec<(u64, ChannelOffset)>,
+}
+
 /// The TSCH MAC for one node.
 ///
 /// Drive it slot by slot:
@@ -149,8 +171,12 @@ pub struct TschMac<P> {
     backoff: SharedCellBackoff,
     rng: Pcg32,
     in_flight: Option<InFlight<P>>,
-    link_stats: BTreeMap<NodeId, LinkStats>,
+    /// Per-neighbor link statistics, indexed by `NodeId::index()` and
+    /// grown on demand — the RPL layer reads ETX for every neighbor on
+    /// every housekeeping poll, which makes this lookup a hot path.
+    link_stats: Vec<Option<LinkStats>>,
     counters: MacCounters,
+    wake_cache: Option<WakeCache>,
 }
 
 impl<P: Clone> TschMac<P> {
@@ -174,8 +200,9 @@ impl<P: Clone> TschMac<P> {
             schedule: Schedule::new(),
             rng,
             in_flight: None,
-            link_stats: BTreeMap::new(),
+            link_stats: Vec::new(),
             counters: MacCounters::default(),
+            wake_cache: None,
         }
     }
 
@@ -209,15 +236,28 @@ impl<P: Clone> TschMac<P> {
         self.counters
     }
 
-    /// Per-neighbor link statistics.
-    pub fn link_stats(&self) -> &BTreeMap<NodeId, LinkStats> {
-        &self.link_stats
+    /// Per-neighbor link statistics, in node-id order.
+    pub fn link_stats(&self) -> impl Iterator<Item = (NodeId, &LinkStats)> + '_ {
+        self.link_stats
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (NodeId::from_index(i), s)))
+    }
+
+    /// The (created-on-first-touch) stats slot for `peer`.
+    fn stats_entry(&mut self, peer: NodeId) -> &mut LinkStats {
+        let i = peer.index();
+        if i >= self.link_stats.len() {
+            self.link_stats.resize_with(i + 1, || None);
+        }
+        self.link_stats[i].get_or_insert_with(LinkStats::default)
     }
 
     /// ETX estimate towards `neighbor` (1.0 before any sample).
     pub fn etx(&self, neighbor: NodeId) -> f64 {
         self.link_stats
-            .get(&neighbor)
+            .get(neighbor.index())
+            .and_then(|s| s.as_ref())
             .map_or(1.0, |s| s.etx.value())
     }
 
@@ -309,6 +349,211 @@ impl<P: Clone> TschMac<P> {
         on / self.counters.slots as f64
     }
 
+    /// The earliest slot at or after `from` in which this MAC would do
+    /// anything other than an effect-free sleep — the heart of the
+    /// event-driven engine's slot skipping.
+    ///
+    /// A slot is *active* when some scheduled cell there either
+    ///
+    /// * listens (`rx`), or
+    /// * transmits (`tx`) **and** a queued frame matches the cell's
+    ///   queue-matching rule.
+    ///
+    /// Shared-cell backoff deliberately does not defer the answer: a
+    /// shared Tx cell with pending traffic consumes one backoff unit even
+    /// when the window forbids transmitting, so the node must still wake
+    /// there for [`TschMac::plan_slot`] to drain the window exactly as a
+    /// slot-by-slot loop would.
+    ///
+    /// `None` means the node sleeps forever unless its queues or schedule
+    /// change. The answer is stable while the node sleeps: queues and
+    /// schedule only change when the node itself runs (upkeep, reception,
+    /// scheduler hooks), so a woken engine can cache it until the node's
+    /// next wake-up.
+    pub fn next_active_asn(&self, from: Asn) -> Option<Asn> {
+        self.schedule
+            .next_active_asn(from, |cell| self.cell_is_active(cell))
+    }
+
+    /// True if `cell` would keep the radio from an effect-free sleep.
+    fn cell_is_active(&self, cell: &Cell) -> bool {
+        cell.options.rx || (cell.options.tx && self.has_frame_for(cell))
+    }
+
+    /// Bulk-accounts `slots` skipped slots, of which `idle_listens` were
+    /// scheduled listens that would have resolved to
+    /// [`RxOutcome::Idle`] (nothing audible) and the rest were sleeps.
+    ///
+    /// Equivalent to `slots` consecutive `plan_slot`/`finish_slot` rounds
+    /// in which the node either slept or idle-listened: both touch only
+    /// the duty-cycle counters — no queue, backoff, link-stat or RNG
+    /// state — which is what makes them safe to skip. The caller (the
+    /// event-driven engine) is responsible for the count being exact;
+    /// [`TschMac::count_listen_slots`] computes it for passive listeners.
+    pub fn account_skipped(&mut self, slots: u64, idle_listens: u64) {
+        debug_assert!(
+            self.in_flight.is_none(),
+            "cannot skip slots with a packet in flight"
+        );
+        debug_assert!(idle_listens <= slots, "more listens than slots");
+        self.counters.slots += slots;
+        self.counters.rx_idle_slots += idle_listens;
+        self.counters.sleep_slots += slots - idle_listens;
+    }
+
+    /// Rebuilds the schedule-derived wake tables if the schedule changed.
+    fn refresh_wake_cache(&mut self) {
+        let version = self.schedule.version();
+        if self
+            .wake_cache
+            .as_ref()
+            .is_some_and(|c| c.version == version)
+        {
+            return;
+        }
+        let rx_table = if self.schedule.num_slotframes() <= 1 {
+            let mut sf_len = 1u64;
+            let mut slots: Vec<(u64, ChannelOffset)> = Vec::new();
+            if let Some((_, frame)) = self.schedule.iter().next() {
+                sf_len = frame.length() as u64;
+                for cell in frame.cells() {
+                    if cell.options.rx {
+                        let off = cell.slot.raw() as u64;
+                        // First Rx cell per offset wins, like plan_slot.
+                        if !slots.iter().any(|&(o, _)| o == off) {
+                            slots.push((off, cell.channel_offset));
+                        }
+                    }
+                }
+                slots.sort_unstable_by_key(|&(o, _)| o);
+            }
+            Some(RxTable { sf_len, slots })
+        } else {
+            None
+        };
+        self.wake_cache = Some(WakeCache { version, rx_table });
+    }
+
+    /// True when the node's Rx slots are statically enumerable (at most
+    /// one slotframe) so the engine may treat it as a *passive listener*:
+    /// skip its idle listens and wake it only for transmissions it could
+    /// hear, timers, or its own pending traffic.
+    pub fn is_passive_listener(&mut self) -> bool {
+        self.refresh_wake_cache();
+        self.wake_cache
+            .as_ref()
+            .is_some_and(|c| c.rx_table.is_some())
+    }
+
+    /// The next slot at or after `from` for which the *engine* must wake
+    /// this node on the MAC's account.
+    ///
+    /// For a passive listener ([`TschMac::is_passive_listener`]) that is
+    /// only its transmission opportunities: the next slot where a Tx cell
+    /// has a matching queued frame (`None` with empty queues — idle
+    /// listens are accounted lazily, and audible traffic wakes the node
+    /// through the transmitter's side). For multi-slotframe schedules it
+    /// falls back to [`TschMac::next_active_asn`], i.e. every listen slot
+    /// is a wake-up.
+    pub fn next_radio_wake(&mut self, from: Asn) -> Option<Asn> {
+        if self.is_passive_listener() {
+            if self.data_queue.is_empty() && self.control_queue.is_empty() {
+                return None;
+            }
+            self.schedule
+                .next_active_asn(from, |cell| cell.options.tx && self.has_frame_for(cell))
+        } else {
+            self.next_active_asn(from)
+        }
+    }
+
+    /// The physical channel this node would listen on in slot `asn`, or
+    /// `None` when it would not listen (no Rx cell, or not a passive
+    /// listener — active nodes are heap-woken for every listen slot, so
+    /// the engine never needs to probe them).
+    ///
+    /// Only valid for slots in which the node has no transmission
+    /// opportunity (the engine guarantees this: such slots are wake-ups,
+    /// not probes).
+    pub fn listen_channel_at(&mut self, asn: Asn) -> Option<PhysicalChannel> {
+        self.refresh_wake_cache();
+        let table = self.wake_cache.as_ref()?.rx_table.as_ref()?;
+        let off = asn.raw() % table.sf_len;
+        match table.slots.binary_search_by_key(&off, |&(o, _)| o) {
+            Ok(i) => Some(self.hopping.channel(asn, table.slots[i].1)),
+            Err(_) => None,
+        }
+    }
+
+    /// True when `plan_slot(asn)` would provably return
+    /// [`SlotAction::Sleep`] with no side effect beyond the sleep
+    /// counters: the node is a passive listener, both queues are empty
+    /// (no transmission, no backoff consumption) and no Rx cell is
+    /// scheduled at `asn`. The engine uses this to settle a timer-only
+    /// wake-up with [`TschMac::account_skipped`]`(1, 0)` instead of a
+    /// plan/finish round-trip.
+    pub fn sleeps_at(&mut self, asn: Asn) -> bool {
+        self.is_passive_listener()
+            && self.data_queue.is_empty()
+            && self.control_queue.is_empty()
+            && self.listen_channel_at(asn).is_none()
+    }
+
+    /// Completes a probed listen slot in one call: exactly
+    /// [`TschMac::plan_slot`] selecting the slot's listen cell (which
+    /// only increments the slot counter) followed by
+    /// [`TschMac::finish_slot`] with `Listened(outcome)`.
+    ///
+    /// Only valid when the node would listen at the current slot
+    /// ([`TschMac::listen_channel_at`] returned the channel) — the
+    /// engine's listener probe guarantees it.
+    pub fn finish_probed_listen(&mut self, outcome: RxOutcome<P>) -> Option<Frame<P>> {
+        debug_assert!(
+            self.in_flight.is_none(),
+            "probed listen with a packet in flight"
+        );
+        self.counters.slots += 1;
+        self.handle_rx_outcome(outcome)
+    }
+
+    /// How many slots in `[from, to)` this passive listener would listen
+    /// in, assuming it is never woken inside the range (0 for active
+    /// nodes, which are woken on every listen slot and therefore never
+    /// skip one).
+    ///
+    /// Pure cyclic arithmetic over the cached Rx index: O(log cells).
+    pub fn count_listen_slots(&mut self, from: Asn, to: Asn) -> u64 {
+        if to.raw() <= from.raw() {
+            return 0;
+        }
+        self.refresh_wake_cache();
+        let Some(table) = self.wake_cache.as_ref().and_then(|c| c.rx_table.as_ref()) else {
+            return 0;
+        };
+        let k = table.slots.len() as u64;
+        if k == 0 {
+            return 0;
+        }
+        let len = table.sf_len;
+        let span = to.raw() - from.raw();
+        let offsets_below = |x: u64| table.slots.partition_point(|&(o, _)| o < x) as u64;
+        let start = from.raw() % len;
+        // Skipped ranges are usually shorter than one slotframe; keep the
+        // hot path to a single modulo (above) and no division.
+        let (full, rem) = if span < len {
+            (0, span)
+        } else {
+            (span / len, span % len)
+        };
+        let end = start + rem;
+        let partial = if end <= len {
+            offsets_below(end) - offsets_below(start)
+        } else {
+            (k - offsets_below(start)) + offsets_below(end - len)
+        };
+        full * k + partial
+    }
+
     /// Plans the node's action for slot `asn`.
     ///
     /// Cell selection follows Contiki-NG's rule: scan candidate cells in
@@ -354,8 +599,7 @@ impl<P: Clone> TschMac<P> {
                         Dest::Broadcast => self.counters.broadcast_tx += 1,
                         Dest::Unicast(peer) => {
                             self.counters.unicast_tx += 1;
-                            let stats = self.link_stats.entry(peer).or_default();
-                            stats.tx_attempts += 1;
+                            self.stats_entry(peer).tx_attempts += 1;
                         }
                     }
                     self.in_flight = Some(InFlight {
@@ -493,7 +737,7 @@ impl<P: Clone> TschMac<P> {
             }
             (Dest::Unicast(peer), Some(true)) => {
                 let attempts = fl.packet.attempts;
-                let stats = self.link_stats.entry(peer).or_default();
+                let stats = self.stats_entry(peer);
                 stats.acked += 1;
                 stats.etx.record_success(attempts.max(1));
                 self.counters.unicast_acked += 1;
@@ -507,7 +751,7 @@ impl<P: Clone> TschMac<P> {
                     self.backoff.on_failure(&mut self.rng);
                 }
                 if fl.packet.attempts > self.config.max_retries as u32 {
-                    let stats = self.link_stats.entry(peer).or_default();
+                    let stats = self.stats_entry(peer);
                     stats.tx_failures += 1;
                     stats.etx.record_failure();
                     self.counters.drops_retry_exhausted += 1;
@@ -550,7 +794,7 @@ impl<P: Clone> TschMac<P> {
                 };
                 if accept {
                     self.counters.rx_accepted += 1;
-                    self.link_stats.entry(frame.src).or_default().rx_frames += 1;
+                    self.stats_entry(frame.src).rx_frames += 1;
                     Some(frame)
                 } else {
                     self.counters.rx_overheard += 1;
@@ -844,6 +1088,163 @@ mod tests {
         let to_old_parent = m.drain_data_where(|f| f.dst == Dest::Unicast(NodeId::new(0)));
         assert_eq!(to_old_parent.len(), 1);
         assert_eq!(m.data_queue_len(), 1);
+    }
+
+    #[test]
+    fn next_active_asn_skips_idle_tx_cells() {
+        let mut m = mac();
+        install_schedule(&mut m);
+        // Slots 0 (broadcast, Rx) and 2 (data Rx) are always active; the
+        // dedicated Tx cell at slot 1 only matters once traffic is queued.
+        assert_eq!(m.next_active_asn(Asn::new(0)), Some(Asn::new(0)));
+        assert_eq!(m.next_active_asn(Asn::new(1)), Some(Asn::new(2)));
+        assert_eq!(m.next_active_asn(Asn::new(3)), Some(Asn::new(4)));
+        m.enqueue_data(data_frame(0, 7)).unwrap();
+        assert_eq!(m.next_active_asn(Asn::new(1)), Some(Asn::new(1)));
+        // A frame towards a peer with no matching cell does not wake slot 1.
+        let mut m2 = mac();
+        install_schedule(&mut m2);
+        m2.enqueue_data(data_frame(9, 8)).unwrap();
+        assert_eq!(m2.next_active_asn(Asn::new(1)), Some(Asn::new(2)));
+    }
+
+    #[test]
+    fn next_active_asn_none_without_schedule() {
+        let m = mac();
+        assert_eq!(m.next_active_asn(Asn::ZERO), None);
+    }
+
+    #[test]
+    fn next_active_agrees_with_plan_slot() {
+        // In every slot that next_active_asn classifies as inactive,
+        // plan_slot must sleep without side effects beyond the counters.
+        let mut m = mac();
+        install_schedule(&mut m);
+        m.enqueue_data(data_frame(0, 1)).unwrap();
+        for raw in 0..32u64 {
+            let asn = Asn::new(raw);
+            let active = m.next_active_asn(asn) == Some(asn);
+            let action = m.plan_slot(asn);
+            // No shared Tx cell carries the queued unicast frame here, so
+            // backoff never blocks a transmission and "active" collapses
+            // to "does not sleep".
+            assert_eq!(active, !action.is_sleep(), "disagreement at {asn}");
+            match action {
+                SlotAction::Sleep => {
+                    m.finish_slot(SlotResult::Slept);
+                }
+                SlotAction::Transmit { .. } => {
+                    m.finish_slot(SlotResult::Transmitted { acked: Some(false) });
+                }
+                SlotAction::Listen { .. } => {
+                    m.finish_slot(SlotResult::Listened(RxOutcome::Idle));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn account_skipped_matches_planned_sleeps_and_idle_listens() {
+        let mut a = mac();
+        install_schedule(&mut a);
+        let mut b = a.clone();
+        // a: plan/finish slots 2..6 — slot 2 is an idle listen (data Rx),
+        // 3 is cell-free, 4 is the broadcast listen, 5 is an empty Tx.
+        for raw in 2u64..6 {
+            match a.plan_slot(Asn::new(raw)) {
+                SlotAction::Listen { .. } => {
+                    a.finish_slot(SlotResult::Listened(RxOutcome::Idle));
+                }
+                SlotAction::Sleep => {
+                    a.finish_slot(SlotResult::Slept);
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        // b: bulk-account the same four slots (2 listens, 2 sleeps) —
+        // count_listen_slots must agree with what plan_slot did.
+        let listens = b.count_listen_slots(Asn::new(2), Asn::new(6));
+        assert_eq!(listens, 2);
+        b.account_skipped(4, listens);
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn count_listen_slots_cyclic_ranges() {
+        let mut m = mac();
+        install_schedule(&mut m);
+        // Listens at offsets 0 (broadcast) and 2 (data Rx) of a 4-slot
+        // frame.
+        assert_eq!(m.count_listen_slots(Asn::new(0), Asn::new(4)), 2);
+        assert_eq!(m.count_listen_slots(Asn::new(0), Asn::new(40)), 20);
+        assert_eq!(m.count_listen_slots(Asn::new(1), Asn::new(3)), 1);
+        assert_eq!(m.count_listen_slots(Asn::new(3), Asn::new(5)), 1);
+        assert_eq!(m.count_listen_slots(Asn::new(3), Asn::new(9)), 3);
+        assert_eq!(m.count_listen_slots(Asn::new(5), Asn::new(5)), 0);
+        // Empty schedule: never listens.
+        let mut empty = mac();
+        assert_eq!(empty.count_listen_slots(Asn::new(0), Asn::new(100)), 0);
+    }
+
+    #[test]
+    fn passive_listener_wakes_only_for_traffic() {
+        let mut m = mac();
+        install_schedule(&mut m);
+        assert!(m.is_passive_listener(), "single slotframe is passive");
+        // Queues empty: the engine never needs to wake it for the MAC.
+        assert_eq!(m.next_radio_wake(Asn::new(0)), None);
+        // Queued data towards the dedicated Tx peer: wake at slot 1.
+        m.enqueue_data(data_frame(0, 7)).unwrap();
+        assert_eq!(m.next_radio_wake(Asn::new(0)), Some(Asn::new(1)));
+        assert_eq!(m.next_radio_wake(Asn::new(2)), Some(Asn::new(5)));
+        // A frame no Tx cell matches never wakes the node.
+        let mut m2 = mac();
+        install_schedule(&mut m2);
+        m2.enqueue_data(data_frame(9, 8)).unwrap();
+        assert_eq!(m2.next_radio_wake(Asn::new(0)), None);
+    }
+
+    #[test]
+    fn listen_channel_matches_plan_slot() {
+        let mut m = mac();
+        install_schedule(&mut m);
+        for raw in 0..8u64 {
+            let asn = Asn::new(raw);
+            let probed = m.listen_channel_at(asn);
+            match m.plan_slot(asn) {
+                SlotAction::Listen { channel, .. } => {
+                    assert_eq!(probed, Some(channel), "slot {raw}");
+                    m.finish_slot(SlotResult::Listened(RxOutcome::Idle));
+                }
+                SlotAction::Sleep => {
+                    assert_eq!(probed, None, "slot {raw}");
+                    m.finish_slot(SlotResult::Slept);
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_slotframe_schedule_is_not_passive() {
+        let mut m = mac();
+        install_schedule(&mut m);
+        let mut sf2 = Slotframe::new(8);
+        sf2.add(Cell::data_rx(
+            SlotOffset::new(5),
+            ChannelOffset::new(2),
+            NodeId::new(3),
+        ));
+        m.schedule_mut().add_slotframe(SlotframeHandle::new(1), sf2);
+        assert!(!m.is_passive_listener());
+        // Falls back to full next_active_asn semantics: woken for every
+        // listen slot, counts no skippable listens.
+        assert_eq!(
+            m.next_radio_wake(Asn::new(0)),
+            m.next_active_asn(Asn::new(0))
+        );
+        assert_eq!(m.count_listen_slots(Asn::new(0), Asn::new(64)), 0);
+        assert_eq!(m.listen_channel_at(Asn::new(0)), None);
     }
 
     #[test]

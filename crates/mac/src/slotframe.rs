@@ -106,6 +106,21 @@ impl Slotframe {
         asn.slot_offset(self.length)
     }
 
+    /// The earliest slot at or after `from` holding a cell that satisfies
+    /// `pred`, or `None` when no cell does.
+    ///
+    /// The slotframe is cyclic, so whenever at least one cell matches the
+    /// answer is at most one slotframe length away.
+    pub fn next_slot_matching(&self, from: Asn, pred: impl Fn(&Cell) -> bool) -> Option<Asn> {
+        let len = self.length as u64;
+        let from_offset = self.slot_of(from).raw() as u64;
+        self.cells
+            .iter()
+            .filter(|c| pred(c))
+            .map(|c| from + (c.slot.raw() as u64 + len - from_offset) % len)
+            .min()
+    }
+
     /// Number of cells.
     pub fn len(&self) -> usize {
         self.cells.len()
@@ -126,12 +141,24 @@ impl Slotframe {
 #[derive(Debug, Clone, Default)]
 pub struct Schedule {
     frames: Vec<(SlotframeHandle, Slotframe)>,
+    /// Bumped on every mutation path (including handing out `frame_mut`,
+    /// conservatively). Cheap staleness check for caches derived from the
+    /// schedule — see [`Schedule::version`].
+    version: u64,
 }
 
 impl Schedule {
     /// Creates an empty schedule.
     pub fn new() -> Self {
-        Schedule { frames: Vec::new() }
+        Schedule::default()
+    }
+
+    /// Monotonic mutation counter: changes whenever the schedule *may*
+    /// have changed (cell or slotframe added/removed, or mutable frame
+    /// access handed out). Consumers caching schedule-derived data (the
+    /// MAC's wake tables) compare versions instead of diffing cells.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Adds a slotframe under `handle`, keeping handles sorted.
@@ -144,6 +171,7 @@ impl Schedule {
             self.frame(handle).is_none(),
             "slotframe handle {handle} already in use"
         );
+        self.version += 1;
         self.frames.push((handle, frame));
         self.frames.sort_by_key(|(h, _)| *h);
     }
@@ -151,6 +179,7 @@ impl Schedule {
     /// Removes the slotframe under `handle`, returning it if present.
     pub fn remove_slotframe(&mut self, handle: SlotframeHandle) -> Option<Slotframe> {
         let idx = self.frames.iter().position(|(h, _)| *h == handle)?;
+        self.version += 1;
         Some(self.frames.remove(idx).1)
     }
 
@@ -163,7 +192,12 @@ impl Schedule {
     }
 
     /// Mutable access to the slotframe under `handle`.
+    ///
+    /// Bumps [`Schedule::version`] even if the caller ends up not
+    /// mutating — spurious cache rebuilds are cheap, stale caches are a
+    /// correctness bug.
     pub fn frame_mut(&mut self, handle: SlotframeHandle) -> Option<&mut Slotframe> {
+        self.version += 1;
         self.frames
             .iter_mut()
             .find(|(h, _)| *h == handle)
@@ -184,6 +218,22 @@ impl Schedule {
             out.extend(frame.cells_at(slot).map(|c| (*handle, *c)));
         }
         out
+    }
+
+    /// The earliest slot at or after `from` in which *any* slotframe holds
+    /// a cell satisfying `active`, or `None` when no cell in the whole
+    /// schedule does.
+    ///
+    /// This is the schedule half of the MAC's
+    /// [`next_active_asn`](crate::TschMac::next_active_asn) query: the
+    /// caller supplies the per-cell relevance predicate (typically "could
+    /// this cell make the radio turn on?"), the schedule does the cyclic
+    /// arithmetic across slotframes of different lengths.
+    pub fn next_active_asn(&self, from: Asn, active: impl Fn(&Cell) -> bool) -> Option<Asn> {
+        self.frames
+            .iter()
+            .filter_map(|(_, f)| f.next_slot_matching(from, &active))
+            .min()
     }
 
     /// Total number of cells across all slotframes.
@@ -294,6 +344,61 @@ mod tests {
         assert_eq!(f.length(), 4);
         assert!(sched.frame(SlotframeHandle::new(3)).is_none());
         assert_eq!(sched.num_slotframes(), 0);
+    }
+
+    #[test]
+    fn next_slot_matching_wraps_cyclically() {
+        let mut sf = Slotframe::new(8);
+        sf.add(cell(2, 0));
+        sf.add(cell(5, 0));
+        // Inside the frame: nearest matching slot at or after `from`.
+        assert_eq!(
+            sf.next_slot_matching(Asn::new(0), |_| true),
+            Some(Asn::new(2))
+        );
+        assert_eq!(
+            sf.next_slot_matching(Asn::new(2), |_| true),
+            Some(Asn::new(2))
+        );
+        assert_eq!(
+            sf.next_slot_matching(Asn::new(3), |_| true),
+            Some(Asn::new(5))
+        );
+        // Past the last cell: wraps to slot 2 of the next cycle.
+        assert_eq!(
+            sf.next_slot_matching(Asn::new(6), |_| true),
+            Some(Asn::new(10))
+        );
+        // Predicate filters.
+        assert_eq!(
+            sf.next_slot_matching(Asn::new(0), |c| c.slot.raw() == 5),
+            Some(Asn::new(5))
+        );
+        assert_eq!(sf.next_slot_matching(Asn::new(0), |_| false), None);
+    }
+
+    #[test]
+    fn schedule_next_active_takes_min_across_slotframes() {
+        let mut sched = Schedule::new();
+        let mut sf3 = Slotframe::new(3);
+        sf3.add(cell(1, 0));
+        let mut sf5 = Slotframe::new(5);
+        sf5.add(cell(0, 1));
+        sched.add_slotframe(SlotframeHandle::new(0), sf3);
+        sched.add_slotframe(SlotframeHandle::new(1), sf5);
+        // From asn2: sf3 fires at 4 (2→offset 2, next offset-1 slot is 4);
+        // sf5 fires at 5. Min is 4.
+        assert_eq!(
+            sched.next_active_asn(Asn::new(2), |_| true),
+            Some(Asn::new(4))
+        );
+        // From asn5: sf5 matches immediately (5 % 5 == 0).
+        assert_eq!(
+            sched.next_active_asn(Asn::new(5), |_| true),
+            Some(Asn::new(5))
+        );
+        assert_eq!(sched.next_active_asn(Asn::new(0), |_| false), None);
+        assert_eq!(Schedule::new().next_active_asn(Asn::new(0), |_| true), None);
     }
 
     #[test]

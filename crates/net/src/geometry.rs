@@ -38,7 +38,14 @@ impl Position {
 
     /// Euclidean distance to `other` in metres.
     pub fn distance_to(self, other: Position) -> f64 {
-        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared euclidean distance to `other` in m² — range checks on the
+    /// medium's hot path compare against a squared radius to skip the
+    /// square root.
+    pub fn distance_sq(self, other: Position) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
     }
 
     /// Returns this position translated by `(dx, dy)`.

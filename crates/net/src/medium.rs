@@ -77,6 +77,22 @@ pub struct SlotOutcomes<P> {
     pub acked: Vec<Option<bool>>,
 }
 
+impl<P> SlotOutcomes<P> {
+    /// Takes listener `idx`'s outcome by value, leaving
+    /// [`RxOutcome::Idle`] behind.
+    ///
+    /// Each listener's outcome is consumed exactly once per slot, so
+    /// moving the (payload-carrying) frame out beats cloning it on every
+    /// successful listen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn take_rx(&mut self, idx: usize) -> RxOutcome<P> {
+        std::mem::replace(&mut self.rx[idx].1, RxOutcome::Idle)
+    }
+}
+
 /// The shared radio medium.
 ///
 /// Owns its own PRNG stream so that link-error draws are independent of
@@ -174,24 +190,28 @@ impl RadioMedium {
                 rx.push((listener.node, RxOutcome::Idle));
                 continue;
             }
-            let audible: Vec<usize> = transmissions
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| {
-                    t.channel == listener.channel
-                        && self.topology.audible(t.frame.src, listener.node)
-                })
-                .map(|(i, _)| i)
-                .collect();
+            // Count audible transmissions without collecting them — only
+            // the single-transmission case needs an index.
+            let mut audible = 0usize;
+            let mut first = usize::MAX;
+            for (i, t) in transmissions.iter().enumerate() {
+                if t.channel == listener.channel
+                    && self.topology.audible(t.frame.src, listener.node)
+                {
+                    audible += 1;
+                    if audible == 1 {
+                        first = i;
+                    }
+                }
+            }
 
-            let outcome = match audible.len() {
+            let outcome = match audible {
                 0 => RxOutcome::Idle,
                 1 => {
-                    let idx = audible[0];
-                    let tx = &transmissions[idx];
+                    let tx = &transmissions[first];
                     let prr = self.topology.prr(tx.frame.src, listener.node);
                     if prr > 0.0 && self.rng.gen_bool(prr) {
-                        decoded[idx].push(listener.node);
+                        decoded[first].push(listener.node);
                         RxOutcome::Received(tx.frame.clone())
                     } else {
                         RxOutcome::Faded
@@ -423,6 +443,19 @@ mod tests {
             vec![listener(1, CH)],
         );
         assert_eq!(out.rx[0].1, RxOutcome::Collision(2));
+    }
+
+    #[test]
+    fn take_rx_moves_outcome_out() {
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let mut out = m.resolve_slot(
+            vec![tx(0, Dest::Unicast(NodeId::new(1)), CH)],
+            vec![listener(1, CH)],
+        );
+        let taken = out.take_rx(0);
+        assert!(matches!(taken, RxOutcome::Received(_)));
+        assert_eq!(out.rx[0].1, RxOutcome::Idle, "slot left empty behind");
+        assert_eq!(out.rx[0].0, NodeId::new(1), "listener id untouched");
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct Topology {
     interference_factor: f64,
     link_model: LinkModel,
     prr_overrides: BTreeMap<(NodeId, NodeId), f64>,
+    /// Per-node audible peers (within interference range), in id order —
+    /// precomputed at build time. Positions are immutable after build, so
+    /// this never goes stale; PRR overrides affect link quality, not
+    /// audibility. The event-driven engine walks this to find the
+    /// listeners a transmission could reach without scanning all nodes.
+    audible_adj: Vec<Vec<NodeId>>,
 }
 
 impl Topology {
@@ -120,7 +126,11 @@ impl Topology {
     /// within interference range. Audible-but-not-in-range transmissions
     /// corrupt concurrent receptions without being decodable.
     pub fn audible(&self, tx: NodeId, listener: NodeId) -> bool {
-        tx != listener && self.distance(tx, listener) <= self.interference_range()
+        // Squared-distance compare: this runs per (listener × transmission)
+        // in the medium's slot resolution; the sqrt is pure overhead.
+        tx != listener
+            && self.positions[tx.index()].distance_sq(self.positions[listener.index()])
+                <= self.interference_range() * self.interference_range()
     }
 
     /// Packet reception ratio of the directed link `a → b`.
@@ -132,8 +142,12 @@ impl Topology {
         if a == b {
             return 0.0;
         }
-        if let Some(&p) = self.prr_overrides.get(&(a, b)) {
-            return p;
+        // Overrides are a fault-injection niche; don't walk the map on
+        // every reception draw of an override-free run.
+        if !self.prr_overrides.is_empty() {
+            if let Some(&p) = self.prr_overrides.get(&(a, b)) {
+                return p;
+            }
         }
         self.link_model.prr_at(self.distance(a, b), self.range)
     }
@@ -157,6 +171,17 @@ impl Topology {
         self.node_ids()
             .filter(|&other| self.in_range(node, other))
             .collect()
+    }
+
+    /// All nodes a transmission by `node` is audible at (interference
+    /// range), in id order. Precomputed: O(degree) to walk, no distance
+    /// math.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn audible_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.audible_adj[node.index()]
     }
 
     /// True if the connectivity graph is connected (ignoring link quality).
@@ -287,13 +312,19 @@ impl TopologyBuilder {
 
     /// Finalizes the topology.
     pub fn build(self) -> Topology {
-        Topology {
+        let mut topo = Topology {
             positions: self.positions,
             range: self.range,
             interference_factor: self.interference_factor,
             link_model: self.link_model,
             prr_overrides: self.prr_overrides,
-        }
+            audible_adj: Vec::new(),
+        };
+        topo.audible_adj = topo
+            .node_ids()
+            .map(|a| topo.node_ids().filter(|&b| topo.audible(a, b)).collect())
+            .collect();
+        topo
     }
 }
 
@@ -315,6 +346,26 @@ mod tests {
         assert_eq!(t.neighbors(n1), vec![NodeId::new(0), NodeId::new(2)]);
         assert!(!t.in_range(NodeId::new(0), NodeId::new(2)));
         assert!(!t.in_range(n1, n1), "a node is not its own neighbor");
+    }
+
+    #[test]
+    fn audible_neighbors_precomputed_in_id_order() {
+        let t = TopologyBuilder::new(30.0)
+            .interference_factor(2.0)
+            .nodes((0..4).map(|i| Position::new(i as f64 * 35.0, 0.0)))
+            .build();
+        // Comm range 30 m, interference 60 m: each node "hears" nodes up
+        // to one position away (35 m) but not two (70 m).
+        assert_eq!(
+            t.audible_neighbors(NodeId::new(1)),
+            [NodeId::new(0), NodeId::new(2)]
+        );
+        assert_eq!(t.audible_neighbors(NodeId::new(0)), [NodeId::new(1)]);
+        for id in t.node_ids() {
+            for &peer in t.audible_neighbors(id) {
+                assert!(t.audible(id, peer));
+            }
+        }
     }
 
     #[test]

@@ -96,6 +96,13 @@ pub struct RplNode {
     dao_timer: Timer,
     rng: Pcg32,
     parent_changes: u64,
+    /// True when something that feeds parent selection changed since the
+    /// last poll-time reselect: a neighbor entry (rank/ETX) was inserted,
+    /// refreshed to a different value or expired, a child registered or
+    /// expired, or the parent was lost. While false, re-running
+    /// [`RplNode::reselect_parent`] is provably a no-op (its inputs are
+    /// bit-identical), so housekeeping polls skip it.
+    reselect_dirty: bool,
 }
 
 impl RplNode {
@@ -119,6 +126,7 @@ impl RplNode {
             dao_timer: Timer::disarmed(),
             rng: Pcg32::with_stream(id.raw() as u64, 0x5259_0001),
             parent_changes: 0,
+            reselect_dirty: true,
         }
     }
 
@@ -206,6 +214,7 @@ impl RplNode {
                 last_heard: now,
             },
         );
+        self.reselect_dirty = true;
         self.trickle.consistent_heard();
 
         if self.is_root {
@@ -217,9 +226,9 @@ impl RplNode {
     /// Processes a received DAO from `src`.
     pub fn handle_dao(&mut self, src: NodeId, dao: Dao, now: SimTime) {
         if dao.no_path {
-            self.children.remove(&dao.child);
+            self.reselect_dirty |= self.children.remove(&dao.child).is_some();
         } else {
-            self.children.insert(dao.child, now);
+            self.reselect_dirty |= self.children.insert(dao.child, now).is_none();
         }
         let _ = src;
     }
@@ -232,19 +241,36 @@ impl RplNode {
     pub fn poll(&mut self, now: SimTime, etx: &dyn Fn(NodeId) -> f64) -> Vec<RplAction> {
         let mut actions = Vec::new();
 
-        // Expire stale neighbors (but never the root's self-knowledge).
+        // Expire stale neighbors (but never the root's self-knowledge),
+        // refreshing survivors' ETX estimates from the MAC in the same
+        // pass (non-roots only; polls are frequent enough that the extra
+        // map walk showed up in engine profiles).
         let timeout = self.config.neighbor_timeout;
-        self.neighbors
-            .retain(|_, n| now.saturating_since(n.last_heard) <= timeout);
+        let mut dirty = self.reselect_dirty;
+        if self.is_root {
+            self.neighbors
+                .retain(|_, n| now.saturating_since(n.last_heard) <= timeout);
+        } else {
+            self.neighbors.retain(|&n, entry| {
+                if now.saturating_since(entry.last_heard) > timeout {
+                    dirty = true;
+                    return false;
+                }
+                let refreshed = etx(n).max(1.0);
+                if refreshed != entry.etx {
+                    entry.etx = refreshed;
+                    dirty = true;
+                }
+                true
+            });
+        }
         let child_timeout = self.config.child_timeout;
+        let children_before = self.children.len();
         self.children
             .retain(|_, heard| now.saturating_since(*heard) <= child_timeout);
+        dirty |= self.children.len() != children_before;
 
-        if !self.is_root {
-            // Refresh stored ETX estimates from the MAC.
-            for (&n, entry) in self.neighbors.iter_mut() {
-                entry.etx = etx(n).max(1.0);
-            }
+        if !self.is_root && dirty {
             // Parent may have expired or its metrics drifted.
             if let Some(p) = self.parent {
                 if !self.neighbors.contains_key(&p) {
@@ -260,6 +286,7 @@ impl RplNode {
                     self.rank = new_rank;
                 }
             }
+            self.reselect_dirty = false;
         }
 
         // Trickle-paced DIO.

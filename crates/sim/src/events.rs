@@ -106,6 +106,21 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Removes and returns every event firing at or before `now`, in
+    /// firing order (FIFO among ties) — the batch form of
+    /// [`EventQueue::pop_due`].
+    ///
+    /// (The network engine keys its wake-up heap by raw slot number
+    /// instead of `SimTime` and therefore rolls its own drain; this stays
+    /// for `SimTime`-domain users.)
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
+        let mut due = Vec::new();
+        while let Some(e) = self.pop_due(now) {
+            due.push(e);
+        }
+        due
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -181,6 +196,20 @@ mod tests {
         );
         assert_eq!(q.pop_due(SimTime::from_millis(15)), None);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_due_takes_batch_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "b");
+        q.schedule(SimTime::from_millis(5), "a");
+        q.schedule(SimTime::from_millis(10), "c");
+        q.schedule(SimTime::from_millis(20), "late");
+        let due = q.drain_due(SimTime::from_millis(10));
+        let names: Vec<_> = due.iter().map(|(_, e)| *e).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(q.len(), 1);
+        assert!(q.drain_due(SimTime::from_millis(15)).is_empty());
     }
 
     #[test]

@@ -212,6 +212,16 @@ impl SixtopLayer {
         }
     }
 
+    /// The earliest retry/failure deadline across outstanding
+    /// transactions, or `None` when nothing is pending.
+    ///
+    /// [`SixtopLayer::poll`] is a no-op strictly before this instant, so
+    /// an event-driven engine can sleep until it (or until a message
+    /// arrives) instead of polling every slot.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.values().map(|p| p.deadline).min()
+    }
+
     /// Drives timeouts. Returns retransmissions to enqueue and failure
     /// events for transactions that exhausted their retries.
     pub fn poll(&mut self, now: SimTime) -> (Vec<(NodeId, SixpMessage)>, Vec<SixtopEvent>) {
@@ -400,6 +410,25 @@ mod tests {
             }
         ));
         assert!(!l.is_busy_with(NodeId::new(1)));
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest_pending() {
+        let mut l = SixtopLayer::new(NodeId::new(2), SixtopConfig::default());
+        assert_eq!(l.next_deadline(), None);
+        l.start_request(NodeId::new(1), add_req(1), SimTime::ZERO);
+        l.start_request(NodeId::new(3), add_req(1), SimTime::from_secs(1));
+        assert_eq!(
+            l.next_deadline(),
+            Some(SimTime::ZERO + SixtopConfig::default().timeout)
+        );
+        // Completing the earlier transaction moves the deadline out.
+        let m = SixpMessage::new(0, add_ok());
+        l.handle_message(NodeId::new(1), m);
+        assert_eq!(
+            l.next_deadline(),
+            Some(SimTime::from_secs(1) + SixtopConfig::default().timeout)
+        );
     }
 
     #[test]

@@ -102,6 +102,48 @@ impl Scenario {
         }
     }
 
+    /// A `cols × rows` grid with `spacing` metres between orthogonal
+    /// neighbours, rooted at the corner node 0.
+    ///
+    /// With the built-in 40 m radio range and the default 30 m spacing,
+    /// only the 4-neighbourhood is audible (diagonals are ~42.4 m away),
+    /// so the DODAG is genuinely multi-hop — the scaling shape the
+    /// heterogeneous-mobility and HRL-TSCH evaluations sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(cols: usize, rows: usize, spacing: f64) -> Scenario {
+        assert!(cols >= 1 && rows >= 1, "grid needs positive dimensions");
+        let positions = (0..rows).flat_map(|r| {
+            (0..cols).map(move |c| Position::new(c as f64 * spacing, r as f64 * spacing))
+        });
+        Scenario {
+            name: format!("grid-{cols}x{rows}"),
+            topology: TopologyBuilder::new(RANGE).nodes(positions).build(),
+            roots: vec![NodeId::new(0)],
+        }
+    }
+
+    /// The 120-node sparse-traffic grid (12 × 10, 30 m spacing): the
+    /// event-driven engine's headline scaling scenario. Most nodes sleep
+    /// in most slots, which is exactly the regime where slot skipping
+    /// beats the exhaustive per-slot loop.
+    pub fn large_grid() -> Scenario {
+        let mut s = Scenario::grid(12, 10, 30.0);
+        s.name = "large-grid-120".into();
+        s
+    }
+
+    /// A 120-node single-hop star (root + 119 leaves): the dense
+    /// counterpart to [`Scenario::large_grid`], stressing the medium
+    /// resolution rather than the DODAG depth.
+    pub fn large_star() -> Scenario {
+        let mut s = Scenario::star(119);
+        s.name = "large-star-120".into();
+        s
+    }
+
     /// `n` nodes placed uniformly at random in a `side × side` square
     /// (root at the centre), re-drawn until connected.
     ///
@@ -231,6 +273,30 @@ mod tests {
         assert_eq!(star.topology.len(), 7);
         for leaf in 1..7u16 {
             assert!(star.topology.in_range(NodeId::new(0), NodeId::new(leaf)));
+        }
+    }
+
+    #[test]
+    fn large_grid_is_120_nodes_multihop_and_connected() {
+        let s = Scenario::large_grid();
+        assert_eq!(s.topology.len(), 120);
+        assert_eq!(s.name, "large-grid-120");
+        assert!(s.topology.is_connected());
+        // Orthogonal neighbours are audible, diagonals are not.
+        assert!(s.topology.in_range(NodeId::new(0), NodeId::new(1)));
+        assert!(s.topology.in_range(NodeId::new(0), NodeId::new(12)));
+        assert!(!s.topology.in_range(NodeId::new(0), NodeId::new(13)));
+        // The far corner is many hops from the root.
+        assert!(!s.topology.in_range(NodeId::new(0), NodeId::new(119)));
+    }
+
+    #[test]
+    fn large_star_is_120_nodes_single_hop() {
+        let s = Scenario::large_star();
+        assert_eq!(s.topology.len(), 120);
+        assert_eq!(s.senders(), 119);
+        for leaf in 1..120u16 {
+            assert!(s.topology.in_range(NodeId::new(0), NodeId::new(leaf)));
         }
     }
 

@@ -1,0 +1,180 @@
+//! Event-driven core vs `naive-step` oracle equivalence.
+//!
+//! The engine's slot-skipping refactor is only sound if it is
+//! *observationally identical* to the exhaustive per-slot loop it
+//! replaced: same seed in, byte-identical [`NetworkReport`] out — PDR,
+//! delay, queue loss, duty cycle, per-node MAC counters, parents, ranks,
+//! final clock. These tests pin that across every workload scenario
+//! family, including the 120-node sparse-traffic grid the refactor was
+//! built to unlock.
+//!
+//! Requires the `naive-step` feature (CI runs
+//! `cargo test -p gtt-tests --features naive-step`): the oracle switch is
+//! not exposed in default builds.
+
+use gtt_engine::{EngineConfig, Network, NetworkReport};
+use gtt_sim::SimDuration;
+use gtt_workload::{RunSpec, Scenario, SchedulerKind};
+
+/// Builds the scenario's network, optionally on the oracle loop.
+fn build(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec, naive: bool) -> Network {
+    let config = EngineConfig {
+        seed: spec.seed,
+        ..scheduler.engine_config()
+    };
+    let sk = scheduler.clone();
+    let mut builder = Network::builder(scenario.topology.clone(), config)
+        .roots(scenario.roots.iter().copied())
+        .traffic_ppm(spec.traffic_ppm)
+        .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root));
+    if naive {
+        builder = builder.naive_stepping();
+    }
+    builder.build()
+}
+
+/// Warm-up + measured window; returns the report and the final ASN.
+fn measured(net: &mut Network, spec: &RunSpec) -> (NetworkReport, gtt_mac::Asn) {
+    net.run_for(SimDuration::from_secs(spec.warmup_secs));
+    net.start_measurement();
+    net.run_for(SimDuration::from_secs(spec.measure_secs));
+    net.finish_measurement();
+    (net.report(), net.asn())
+}
+
+/// The property: both cores produce identical reports for the same seed.
+fn assert_equivalent(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec) {
+    let (event_report, event_asn) = measured(&mut build(scenario, scheduler, spec, false), spec);
+    let (naive_report, naive_asn) = measured(&mut build(scenario, scheduler, spec, true), spec);
+    assert_eq!(
+        event_report,
+        naive_report,
+        "{} / {} / seed {}: event-driven and oracle reports diverge",
+        scenario.name,
+        scheduler.name(),
+        spec.seed
+    );
+    assert_eq!(
+        event_asn,
+        naive_asn,
+        "{} / {}: final clocks diverge",
+        scenario.name,
+        scheduler.name()
+    );
+}
+
+fn spec(seed: u64) -> RunSpec {
+    RunSpec {
+        traffic_ppm: 30.0,
+        warmup_secs: 30,
+        measure_secs: 60,
+        seed,
+    }
+}
+
+#[test]
+fn star_minimal_equivalent_across_seeds() {
+    let scenario = Scenario::star(6);
+    for seed in [1, 2, 3, 5, 8, 13] {
+        assert_equivalent(&scenario, &SchedulerKind::minimal(8), &spec(seed));
+    }
+}
+
+#[test]
+fn star_gt_tsch_equivalent_across_seeds() {
+    let scenario = Scenario::star(6);
+    for seed in [1, 4, 9] {
+        assert_equivalent(&scenario, &SchedulerKind::gt_tsch_default(), &spec(seed));
+    }
+}
+
+#[test]
+fn two_dodag_gt_tsch_equivalent() {
+    let scenario = Scenario::two_dodag(7);
+    for seed in [1, 2] {
+        assert_equivalent(&scenario, &SchedulerKind::gt_tsch_default(), &spec(seed));
+    }
+}
+
+#[test]
+fn two_dodag_orchestra_equivalent() {
+    let scenario = Scenario::two_dodag(6);
+    for seed in [1, 2] {
+        assert_equivalent(&scenario, &SchedulerKind::orchestra_default(), &spec(seed));
+    }
+}
+
+#[test]
+fn large_grid_low_power_equivalent() {
+    // The benches' acceptance case: the 120-node grid under the
+    // steady-state low-power cadences (EngineConfig::low_power) and
+    // 1 packet/min telemetry.
+    let scenario = Scenario::large_grid();
+    let scheduler = SchedulerKind::gt_tsch_default();
+    let spec = RunSpec {
+        traffic_ppm: 1.0,
+        warmup_secs: 20,
+        measure_secs: 25,
+        seed: 7,
+    };
+    let mut reports = Vec::new();
+    for naive in [false, true] {
+        let config = EngineConfig {
+            seed: spec.seed,
+            ..EngineConfig::low_power()
+        };
+        let sk = scheduler.clone();
+        let mut builder = Network::builder(scenario.topology.clone(), config)
+            .roots(scenario.roots.iter().copied())
+            .traffic_ppm(spec.traffic_ppm)
+            .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root));
+        if naive {
+            builder = builder.naive_stepping();
+        }
+        reports.push(measured(&mut builder.build(), &spec));
+    }
+    assert_eq!(reports[0], reports[1], "low-power runs diverge");
+}
+
+#[test]
+fn large_grid_gt_tsch_equivalent() {
+    // The 120-node sparse-traffic scenario the event core was built for.
+    // Short window: the oracle leg is O(nodes × slots).
+    let scenario = Scenario::large_grid();
+    let spec = RunSpec {
+        traffic_ppm: 6.0,
+        warmup_secs: 20,
+        measure_secs: 20,
+        seed: 1,
+    };
+    assert_equivalent(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+}
+
+#[test]
+fn large_star_minimal_equivalent() {
+    let scenario = Scenario::large_star();
+    let spec = RunSpec {
+        traffic_ppm: 6.0,
+        warmup_secs: 10,
+        measure_secs: 15,
+        seed: 3,
+    };
+    assert_equivalent(&scenario, &SchedulerKind::minimal(16), &spec);
+}
+
+#[test]
+fn mid_run_fault_injection_stays_equivalent() {
+    // kill_node + PRR override exercise the lazy-accounting freeze path.
+    let scenario = Scenario::star(6);
+    let s = spec(11);
+    let scheduler = SchedulerKind::minimal(8);
+    let mut reports = Vec::new();
+    for naive in [false, true] {
+        let mut net = build(&scenario, &scheduler, &s, naive);
+        net.run_for(SimDuration::from_secs(20));
+        net.kill_node(gtt_net::NodeId::new(4));
+        net.set_link_prr_symmetric(gtt_net::NodeId::new(0), gtt_net::NodeId::new(2), 0.5);
+        reports.push(measured(&mut net, &s));
+    }
+    assert_eq!(reports[0], reports[1], "fault-injected runs diverge");
+}
