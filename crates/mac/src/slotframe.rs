@@ -1,9 +1,14 @@
-//! Slotframes and per-node schedules.
+//! Slotframes and per-node schedules, plus the cyclic-union Rx index
+//! that lets the event-driven engine treat multi-slotframe schedules
+//! (Orchestra) as passive listeners: per-frame listen chains merged by
+//! exact cyclic arithmetic (CRT over the frame lengths), honoring the
+//! slotframe priority rule (EB < common < unicast).
 
 use std::fmt;
 
 use crate::asn::{Asn, SlotOffset};
 use crate::cell::Cell;
+use crate::hopping::ChannelOffset;
 
 /// Identifier of a slotframe within a node's [`Schedule`].
 ///
@@ -245,6 +250,269 @@ impl Schedule {
     pub fn num_slotframes(&self) -> usize {
         self.frames.len()
     }
+
+    /// Builds the schedule's cyclic-union Rx index, if its listen slots
+    /// are exactly enumerable within the [`RxUnion`] complexity caps.
+    /// See [`RxUnion::build`]; chains inherit the schedule's priority
+    /// order, so lookups honor the same EB < common < unicast rule as
+    /// [`Schedule::cells_at`].
+    pub(crate) fn rx_union(&self) -> Option<RxUnion> {
+        RxUnion::build(self.frames.iter().map(|(_, f)| f))
+    }
+}
+
+/// One slotframe's *listen chain*: the sorted slot offsets at which the
+/// frame schedules an Rx cell, each with the channel offset of the first
+/// Rx cell at that offset — exactly the listen cell
+/// [`plan_slot`](crate::TschMac::plan_slot) picks when no transmission
+/// takes priority.
+#[derive(Debug, Clone)]
+pub(crate) struct RxChain {
+    /// Slotframe length in slots.
+    len: u64,
+    /// `(slot offset, channel offset)`, sorted by offset, deduplicated.
+    slots: Vec<(u64, ChannelOffset)>,
+}
+
+impl RxChain {
+    /// Extracts the listen chain of one slotframe.
+    fn of(frame: &Slotframe) -> RxChain {
+        let mut slots: Vec<(u64, ChannelOffset)> = Vec::new();
+        for cell in frame.cells() {
+            if cell.options.rx {
+                let off = cell.slot.raw() as u64;
+                // First Rx cell per offset wins, like plan_slot.
+                if !slots.iter().any(|&(o, _)| o == off) {
+                    slots.push((off, cell.channel_offset));
+                }
+            }
+        }
+        slots.sort_unstable_by_key(|&(o, _)| o);
+        RxChain {
+            len: frame.length() as u64,
+            slots,
+        }
+    }
+
+    /// The channel offset this chain listens on at `asn_raw`, if any.
+    fn channel_offset_at(&self, asn_raw: u64) -> Option<ChannelOffset> {
+        let off = asn_raw % self.len;
+        self.slots
+            .binary_search_by_key(&off, |&(o, _)| o)
+            .ok()
+            .map(|i| self.slots[i].1)
+    }
+
+    /// How many slots in `[from, to)` this chain listens in. Pure cyclic
+    /// arithmetic: O(log slots), no per-slot work.
+    fn count_in(&self, from: u64, to: u64) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let k = self.slots.len() as u64;
+        if k == 0 {
+            return 0;
+        }
+        let len = self.len;
+        let span = to - from;
+        let offsets_below = |x: u64| self.slots.partition_point(|&(o, _)| o < x) as u64;
+        let start = from % len;
+        // Skipped ranges are usually shorter than one slotframe; keep the
+        // hot path to a single modulo (above) and no division.
+        let (full, rem) = if span < len {
+            (0, span)
+        } else {
+            (span / len, span % len)
+        };
+        let end = start + rem;
+        let partial = if end <= len {
+            offsets_below(end) - offsets_below(start)
+        } else {
+            (k - offsets_below(start)) + offsets_below(end - len)
+        };
+        full * k + partial
+    }
+}
+
+/// The cyclic union of a schedule's per-frame listen chains, in priority
+/// order: the event-driven engine's exact answer to "when would this
+/// (possibly multi-slotframe) node listen, and on which channel?" without
+/// materializing the `lcm`-length hyperperiod.
+///
+/// Counting listens over a skipped range uses inclusion–exclusion across
+/// chains: per-chain counts are closed-form ([`RxChain::count_in`]), and
+/// every cross-chain overlap is a simultaneous congruence solved exactly
+/// by the Chinese Remainder Theorem over the (not necessarily coprime)
+/// frame lengths.
+#[derive(Debug, Clone)]
+pub(crate) struct RxUnion {
+    /// Rx-bearing chains in slotframe priority order (frames without Rx
+    /// cells can never supply a listen and are dropped at build time).
+    chains: Vec<RxChain>,
+    /// Precomputed inclusion–exclusion correction terms for cross-chain
+    /// overlaps: `(sign, residue, modulus)` per solvable CRT system of a
+    /// ≥2-chain subset. Solving the congruences once at build time keeps
+    /// [`RxUnion::count_in`] — the engine's per-wake lazy-accounting hot
+    /// path — to one closed-form count per chain plus one per overlap
+    /// class, with no per-call gcd/inverse work.
+    overlaps: Vec<(i8, u64, u64)>,
+}
+
+/// Inclusion–exclusion enumerates one CRT system per combination of one
+/// Rx offset per chain subset; schedules whose combination count exceeds
+/// this bound (or with more than [`MAX_CHAINS`] Rx-bearing frames) fall
+/// back to always-wake semantics instead. Orchestra's three frames with a
+/// handful of Rx cells each sit orders of magnitude below both caps.
+const MAX_TUPLE_WORK: u64 = 4096;
+/// Chain-count cap: 2^4 − 1 = 15 subsets at most.
+const MAX_CHAINS: usize = 4;
+
+impl RxUnion {
+    /// Builds the union over `frames` (must be in priority order), or
+    /// `None` when the schedule exceeds the complexity caps and the
+    /// caller should treat the node as always-waking instead.
+    fn build<'a>(frames: impl Iterator<Item = &'a Slotframe>) -> Option<RxUnion> {
+        let mut chains = Vec::new();
+        let mut tuple_work: u64 = 1;
+        for frame in frames {
+            let chain = RxChain::of(frame);
+            if chain.slots.is_empty() {
+                continue;
+            }
+            tuple_work = tuple_work.saturating_mul(chain.slots.len() as u64 + 1);
+            chains.push(chain);
+        }
+        if chains.len() > MAX_CHAINS || tuple_work > MAX_TUPLE_WORK {
+            return None;
+        }
+        // Pre-solve every ≥2-chain CRT system (schedules change rarely,
+        // counts run on every wake).
+        let mut overlaps = Vec::new();
+        if chains.len() > 1 {
+            let full = (1u32 << chains.len()) - 1;
+            for mask in 1..=full {
+                if mask.count_ones() < 2 {
+                    continue;
+                }
+                let sign: i8 = if mask.count_ones() % 2 == 1 { 1 } else { -1 };
+                collect_crt_tuples(&chains, mask, 0, 1, &mut |r, m| overlaps.push((sign, r, m)));
+            }
+        }
+        Some(RxUnion { chains, overlaps })
+    }
+
+    /// The channel offset the node would listen on at `asn_raw`, or
+    /// `None` when no chain schedules an Rx there. The first chain in
+    /// priority order wins, matching `plan_slot`'s candidate scan.
+    pub(crate) fn channel_offset_at(&self, asn_raw: u64) -> Option<ChannelOffset> {
+        self.chains
+            .iter()
+            .find_map(|c| c.channel_offset_at(asn_raw))
+    }
+
+    /// Exact number of slots in `[from, to)` in which at least one chain
+    /// listens: inclusion–exclusion with the single-chain terms in
+    /// closed form and the pre-solved cross-chain overlap classes from
+    /// build time. Chains within a subset contribute one CRT system per
+    /// offset tuple; offsets within one chain are disjoint residues of
+    /// the same modulus, so no finer splitting is needed.
+    pub(crate) fn count_in(&self, from: u64, to: u64) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        if to == from + 1 {
+            // Frequently-woken nodes settle one slot at a time; a single
+            // membership probe beats the inclusion–exclusion sums.
+            return u64::from(self.channel_offset_at(from).is_some());
+        }
+        let singles: u64 = self.chains.iter().map(|c| c.count_in(from, to)).sum();
+        let mut correction: i64 = 0;
+        for &(sign, r, m) in &self.overlaps {
+            correction += sign as i64 * count_congruent(from, to, r, m) as i64;
+        }
+        let total = singles as i64 + correction;
+        debug_assert!(total >= 0, "inclusion-exclusion went negative");
+        total as u64
+    }
+}
+
+/// Walks every combination of one Rx offset per chain indexed by a set
+/// bit of `mask`, calling `out(r, m)` for each solvable simultaneous
+/// congruence system — the build-time half of the inclusion–exclusion in
+/// [`RxUnion::count_in`].
+fn collect_crt_tuples(
+    chains: &[RxChain],
+    mask: u32,
+    r: u64,
+    m: u64,
+    out: &mut impl FnMut(u64, u64),
+) {
+    if mask == 0 {
+        out(r, m);
+        return;
+    }
+    let i = mask.trailing_zeros() as usize;
+    let rest = mask & (mask - 1);
+    let chain = &chains[i];
+    for &(offset, _) in &chain.slots {
+        if let Some((r2, m2)) = crt_combine(r, m, offset, chain.len) {
+            collect_crt_tuples(chains, rest, r2, m2, out);
+        }
+    }
+}
+
+/// Number of `x` in `[from, to)` with `x ≡ r (mod m)` (`r < m`).
+fn count_congruent(from: u64, to: u64, r: u64, m: u64) -> u64 {
+    debug_assert!(r < m, "residue must be reduced");
+    let below = |n: u64| if n > r { (n - 1 - r) / m + 1 } else { 0 };
+    below(to).saturating_sub(below(from))
+}
+
+/// Solves `x ≡ r1 (mod m1)`, `x ≡ r2 (mod m2)` for possibly non-coprime
+/// moduli: `Some((r, lcm(m1, m2)))` with `r < lcm`, or `None` when the
+/// congruences are incompatible (`r1 ≢ r2 mod gcd`). Intermediates use
+/// `u128`/`i128`: with ≤ [`MAX_CHAINS`] chains of `u16` lengths the lcm
+/// stays below 2⁶⁴, but products en route do not.
+fn crt_combine(r1: u64, m1: u64, r2: u64, m2: u64) -> Option<(u64, u64)> {
+    let g = gcd(m1, m2);
+    let diff = r2 as i128 - r1 as i128;
+    if diff.rem_euclid(g as i128) != 0 {
+        return None;
+    }
+    let lcm = m1 / g * m2;
+    let m2g = m2 / g;
+    if m2g == 1 {
+        // m2 divides m1: the first congruence already implies the second.
+        return Some((r1, m1));
+    }
+    let inv = mod_inv((m1 / g) % m2g, m2g).expect("m1/g and m2/g are coprime");
+    let t =
+        (diff.div_euclid(g as i128).rem_euclid(m2g as i128)) as u128 * inv as u128 % m2g as u128;
+    let x = (r1 as u128 + m1 as u128 * t) % lcm as u128;
+    Some((x as u64, lcm))
+}
+
+/// Greatest common divisor.
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Modular inverse of `a` modulo `m` (extended Euclid), if it exists.
+fn mod_inv(a: u64, m: u64) -> Option<u64> {
+    let (mut t, mut new_t) = (0i128, 1i128);
+    let (mut r, mut new_r) = (m as i128, (a % m) as i128);
+    while new_r != 0 {
+        let q = r / new_r;
+        (t, new_t) = (new_t, t - q * new_t);
+        (r, new_r) = (new_r, r - q * new_r);
+    }
+    if r != 1 {
+        return None;
+    }
+    Some(t.rem_euclid(m as i128) as u64)
 }
 
 #[cfg(test)]
@@ -399,6 +667,137 @@ mod tests {
         );
         assert_eq!(sched.next_active_asn(Asn::new(0), |_| false), None);
         assert_eq!(Schedule::new().next_active_asn(Asn::new(0), |_| true), None);
+    }
+
+    fn rx_cell(slot: u16, co: u8) -> Cell {
+        Cell::new(
+            SlotOffset::new(slot),
+            ChannelOffset::new(co),
+            CellOptions::RX,
+            Dest::Broadcast,
+            CellClass::Data,
+        )
+    }
+
+    /// The whole point of the cyclic-union index: its closed-form counts
+    /// and priority-resolved channel lookups must agree, slot by slot,
+    /// with brute-force enumeration of the schedule — including
+    /// non-coprime frame lengths where CRT systems can be incompatible.
+    #[test]
+    fn rx_union_matches_brute_force_enumeration() {
+        /// One slotframe: (length, [(rx slot, channel offset)]).
+        type FrameShape = (u16, &'static [(u16, u8)]);
+        // Frames of lengths 5, 3, 2 (orchestra-shaped) and 6, 4 (shared
+        // factor 2) exercise both coprime and non-coprime merging.
+        let shapes: &[&[FrameShape]] = &[
+            &[(5, &[(0, 0), (3, 1)]), (3, &[(0, 2)]), (2, &[(1, 3)])],
+            &[(6, &[(2, 0), (4, 1)]), (4, &[(0, 2), (2, 4)])],
+            &[(7, &[(6, 0)]), (31, &[(0, 1)]), (41, &[(5, 2)])],
+        ];
+        for shape in shapes {
+            let mut sched = Schedule::new();
+            for (i, (len, cells)) in shape.iter().enumerate() {
+                let mut f = Slotframe::new(*len);
+                for &(slot, co) in *cells {
+                    f.add(rx_cell(slot, co));
+                }
+                sched.add_slotframe(SlotframeHandle::new(i as u8), f);
+            }
+            let union = sched.rx_union().expect("within caps");
+            // Brute-force listen map over a few hyperperiods.
+            let horizon = 3 * shape.iter().map(|(l, _)| *l as u64).product::<u64>();
+            let expect_co = |asn: u64| {
+                sched
+                    .cells_at(Asn::new(asn))
+                    .into_iter()
+                    .find(|(_, c)| c.options.rx)
+                    .map(|(_, c)| c.channel_offset)
+            };
+            // prefix[a] = number of listen slots in [0, a).
+            let mut prefix = vec![0u64; horizon as usize + 1];
+            for asn in 0..horizon {
+                let co = expect_co(asn);
+                assert_eq!(
+                    union.channel_offset_at(asn),
+                    co,
+                    "channel lookup diverges at asn {asn}"
+                );
+                prefix[asn as usize + 1] = prefix[asn as usize] + u64::from(co.is_some());
+            }
+            for from in (0..horizon).step_by(7) {
+                for to in [from, from + 1, from + 13, from + 97, horizon] {
+                    let to = to.min(horizon);
+                    let expected = prefix[to as usize] - prefix[from as usize];
+                    let got = union.count_in(from, to);
+                    assert_eq!(got, expected, "count diverges on [{from}, {to})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rx_union_priority_prefers_lower_handles() {
+        // Both frames listen at ASN 0 on different channel offsets; the
+        // lower handle must win, like plan_slot's candidate scan.
+        let mut sched = Schedule::new();
+        let mut hi = Slotframe::new(4);
+        hi.add(rx_cell(0, 7));
+        let mut lo = Slotframe::new(2);
+        lo.add(rx_cell(0, 9));
+        sched.add_slotframe(SlotframeHandle::new(1), lo);
+        sched.add_slotframe(SlotframeHandle::new(0), hi);
+        let union = sched.rx_union().expect("within caps");
+        assert_eq!(union.channel_offset_at(0), Some(ChannelOffset::new(7)));
+        // ASN 2: only the length-2 frame listens.
+        assert_eq!(union.channel_offset_at(2), Some(ChannelOffset::new(9)));
+        // Overlaps are not double-counted: slots 0,2 in [0,4), not 3.
+        assert_eq!(union.count_in(0, 4), 2);
+    }
+
+    #[test]
+    fn rx_union_caps_degrade_to_none() {
+        // 5 Rx-bearing frames exceed MAX_CHAINS.
+        let mut sched = Schedule::new();
+        for i in 0..5u8 {
+            let mut f = Slotframe::new(2 + i as u16);
+            f.add(rx_cell(0, i));
+            sched.add_slotframe(SlotframeHandle::new(i), f);
+        }
+        assert!(sched.rx_union().is_none(), "cap exceeded ⇒ always-wake");
+        // Rx-less frames do not count against the caps.
+        let mut sparse = Schedule::new();
+        for i in 0..6u8 {
+            let mut f = Slotframe::new(2 + i as u16);
+            f.add(cell(0, i)); // Tx-only
+            sparse.add_slotframe(SlotframeHandle::new(i), f);
+        }
+        let union = sparse.rx_union().expect("tx-only frames are free");
+        assert_eq!(union.count_in(0, 1_000), 0, "never listens");
+        assert_eq!(union.channel_offset_at(0), None);
+    }
+
+    #[test]
+    fn crt_combine_handles_non_coprime_moduli() {
+        // x ≡ 2 (mod 6) ∧ x ≡ 0 (mod 4) ⇒ x ≡ 8 (mod 12).
+        assert_eq!(crt_combine(2, 6, 0, 4), Some((8, 12)));
+        // Incompatible parity: x ≡ 1 (mod 6) ∧ x ≡ 0 (mod 4) has no
+        // solution (both constrain x mod 2 differently).
+        assert_eq!(crt_combine(1, 6, 0, 4), None);
+        // m2 divides m1: first congruence subsumes the second.
+        assert_eq!(crt_combine(5, 12, 1, 4), Some((5, 12)));
+        assert_eq!(crt_combine(5, 12, 0, 4), None);
+        // Coprime: plain CRT.
+        assert_eq!(crt_combine(2, 3, 3, 5), Some((8, 15)));
+    }
+
+    #[test]
+    fn count_congruent_closed_form() {
+        // Multiples of 5 in [0, 21): 0,5,10,15,20.
+        assert_eq!(count_congruent(0, 21, 0, 5), 5);
+        assert_eq!(count_congruent(1, 21, 0, 5), 4);
+        assert_eq!(count_congruent(6, 6, 0, 5), 0);
+        assert_eq!(count_congruent(7, 8, 2, 5), 1);
+        assert_eq!(count_congruent(8, 12, 2, 5), 0);
     }
 
     #[test]

@@ -166,6 +166,22 @@ impl Topology {
         self.prr_overrides.insert((a, b), prr);
     }
 
+    /// The explicit runtime override installed on `a → b`, if any
+    /// (distinct from [`Topology::prr`], which falls back to the
+    /// distance model).
+    pub fn link_prr_override(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.prr_overrides.get(&(a, b)).copied()
+    }
+
+    /// Removes the runtime override on `a → b`, restoring the distance
+    /// model's PRR. Links without an override are ignored. Prefer this
+    /// over re-inserting the nominal value when undoing fault injection:
+    /// an emptied override map keeps [`Topology::prr`]'s override-free
+    /// fast path alive on the reception hot path.
+    pub fn clear_link_prr(&mut self, a: NodeId, b: NodeId) {
+        self.prr_overrides.remove(&(a, b));
+    }
+
     /// All in-range neighbors of `node`, in id order.
     pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
         self.node_ids()

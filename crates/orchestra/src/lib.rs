@@ -22,6 +22,16 @@
 //! which is the §VIII bottleneck that collapses Orchestra's PDR under
 //! load. This implementation follows the Contiki-NG one the paper
 //! compared against (receiver-based unicast, default rule set).
+//!
+//! Because every cell lives in one of three short prioritized
+//! slotframes, an Orchestra node's Rx slots vastly outnumber audible
+//! transmissions. The MAC's cyclic-union Rx index enumerates the
+//! three-frame listen union exactly, so the event-driven engine treats
+//! Orchestra nodes as *passive listeners* — asleep through inaudible Rx
+//! slots, with idle-listen energy settled lazily — the same way it
+//! treats GT-TSCH's single slotframe (see
+//! `gtt_engine`'s engine docs; pinned by `orchestra_macs_are_passive_listeners`
+//! below and the 120-node `step_equivalence` suites).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -470,6 +480,65 @@ mod tests {
         let before = h.mac.schedule().total_cells();
         h.with(|sf, ctx| sf.on_dao(ctx, NodeId::new(7), false));
         assert_eq!(h.mac.schedule().total_cells(), before);
+    }
+
+    #[test]
+    fn orchestra_macs_are_passive_listeners() {
+        use gtt_mac::{Asn, SlotAction, SlotResult};
+        use gtt_net::RxOutcome;
+
+        // Joined non-root: all three slotframes installed, EB-Rx and
+        // unicast-Tx cells tracking the parent.
+        let mut h = Harness::new(4);
+        h.join(1);
+        assert!(
+            h.mac.is_passive_listener(),
+            "three-slotframe Orchestra schedule must be indexable"
+        );
+        // With empty queues the engine never wakes it on the MAC's
+        // account: its listens are driven purely by audible traffic.
+        assert_eq!(h.mac.next_radio_wake(Asn::new(0)), None);
+
+        // The index must agree with plan_slot across one full
+        // hyperperiod of the three frames (41 × 31 × 7 = 8897 slots),
+        // honoring the EB < common < unicast priority rule.
+        let mut reference = h.mac.clone();
+        let mut listens = 0u64;
+        let hyper = 41 * 31 * 7u64;
+        for raw in 0..hyper {
+            let asn = Asn::new(raw);
+            let probed = h.mac.listen_channel_at(asn);
+            match reference.plan_slot(asn) {
+                SlotAction::Listen { channel, .. } => {
+                    assert_eq!(probed, Some(channel), "slot {raw}");
+                    listens += 1;
+                    reference.finish_slot(SlotResult::Listened(RxOutcome::Idle));
+                }
+                SlotAction::Sleep => {
+                    assert_eq!(probed, None, "slot {raw}");
+                    reference.finish_slot(SlotResult::Slept);
+                }
+                other => panic!("queues are empty, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            h.mac.count_listen_slots(Asn::new(0), Asn::new(hyper)),
+            listens,
+            "cyclic-union count must match the exhaustive walk"
+        );
+        assert!(listens > 0, "orchestra nodes do listen");
+
+        // A sender-based root with several per-child Rx cells stays
+        // within the index caps too.
+        let mut root = Harness::new(1);
+        root.sf = OrchestraSf::new(OrchestraConfig {
+            sender_based: true,
+            ..OrchestraConfig::paper_default()
+        });
+        for child in [7, 9, 12] {
+            root.with(|sf, ctx| sf.on_dao(ctx, NodeId::new(child), false));
+        }
+        assert!(root.mac.is_passive_listener());
     }
 
     #[test]

@@ -79,9 +79,14 @@ struct NeighborEntry {
 
 /// The RPL routing state of one node.
 ///
-/// Feed it DIOs/DAOs as they arrive and call [`RplNode::poll`] at a
-/// regular cadence (the engine does so once per slotframe); collect the
-/// returned [`RplAction`]s.
+/// Feed it DIOs/DAOs as they arrive; all time-driven work (neighbor and
+/// child aging, ETX-driven rank refresh, Trickle-paced DIOs, periodic
+/// DAOs) is *deadline-driven*: [`RplNode::next_deadline`] reports the
+/// exact earliest instant at which [`RplNode::fire_due`] would do
+/// anything, and strictly before that instant `fire_due` is a provable
+/// no-op — no state change, no RNG draw. The engine therefore wakes a
+/// node for RPL work only when that deadline arrives, instead of polling
+/// on a period.
 #[derive(Debug, Clone)]
 pub struct RplNode {
     id: NodeId,
@@ -97,12 +102,29 @@ pub struct RplNode {
     rng: Pcg32,
     parent_changes: u64,
     /// True when something that feeds parent selection changed since the
-    /// last poll-time reselect: a neighbor entry (rank/ETX) was inserted,
-    /// refreshed to a different value or expired, a child registered or
-    /// expired, or the parent was lost. While false, re-running
-    /// [`RplNode::reselect_parent`] is provably a no-op (its inputs are
-    /// bit-identical), so housekeeping polls skip it.
+    /// last housekeeping reselect: a neighbor entry (rank/ETX) was
+    /// inserted, refreshed to a different value or expired, a child
+    /// registered or expired, or the parent was lost. While false,
+    /// re-running [`RplNode::reselect_parent`] is provably a no-op (its
+    /// inputs are bit-identical), so housekeeping skips it. A set flag
+    /// makes [`RplNode::next_deadline`] report "due now". Never set on
+    /// roots (they select no parent).
     reselect_dirty: bool,
+    /// True when the MAC's link statistics may have drifted since the
+    /// last ETX refresh ([`RplNode::mark_link_stats_dirty`]) — the
+    /// engine sets it whenever this node completes a unicast
+    /// transmission, the only event that moves an ETX estimate. A set
+    /// flag makes [`RplNode::next_deadline`] report "due now"; the next
+    /// [`RplNode::fire_due`] re-reads every neighbor's ETX. Never set on
+    /// roots (they never consume ETX).
+    etx_dirty: bool,
+    /// Memoized [`RplNode::next_deadline`] result (`None` = stale).
+    /// The deadline scan walks the neighbor and child maps — O(degree)
+    /// per call, and the engine consults the deadline on every wake-up —
+    /// but its inputs only change through the four mutating entry points
+    /// (`handle_dio`, `handle_dao`, `fire_due` past its gate,
+    /// `mark_link_stats_dirty`), each of which invalidates this cell.
+    deadline_memo: std::cell::Cell<Option<Option<SimTime>>>,
 }
 
 impl RplNode {
@@ -126,7 +148,9 @@ impl RplNode {
             dao_timer: Timer::disarmed(),
             rng: Pcg32::with_stream(id.raw() as u64, 0x5259_0001),
             parent_changes: 0,
-            reselect_dirty: true,
+            reselect_dirty: false,
+            etx_dirty: false,
+            deadline_memo: std::cell::Cell::new(None),
         }
     }
 
@@ -195,6 +219,7 @@ impl RplNode {
     /// Processes a received DIO from `src` over a link whose current ETX
     /// estimate is `etx`.
     pub fn handle_dio(&mut self, src: NodeId, dio: Dio, etx: f64, now: SimTime) -> Vec<RplAction> {
+        self.deadline_memo.set(None);
         // Adopt the DODAG if we have none (non-roots only).
         if !self.is_root && self.dodag.is_none() {
             self.dodag = Some((dio.dodag_root, dio.version));
@@ -214,55 +239,144 @@ impl RplNode {
                 last_heard: now,
             },
         );
-        self.reselect_dirty = true;
         self.trickle.consistent_heard();
 
         if self.is_root {
             return Vec::new();
         }
-        self.reselect_parent(now)
+        // Settle the new information in full right here — reselect, then
+        // the Rank refresh through the (possibly unchanged) parent —
+        // instead of raising `reselect_dirty`: the flag would pin
+        // `next_deadline` at "now" and buy one guaranteed-no-op wake-up
+        // plus an O(degree) reselect over bit-identical inputs next
+        // slot, per DIO heard, network-wide.
+        let actions = self.reselect_parent(now);
+        if let Some(entry) = self.parent_entry() {
+            let new_rank = entry.rank.advertised_through(entry.etx);
+            if new_rank != self.rank {
+                self.rank = new_rank;
+            }
+        }
+        actions
     }
 
     /// Processes a received DAO from `src`.
     pub fn handle_dao(&mut self, src: NodeId, dao: Dao, now: SimTime) {
-        if dao.no_path {
-            self.reselect_dirty |= self.children.remove(&dao.child).is_some();
+        self.deadline_memo.set(None);
+        let changed = if dao.no_path {
+            self.children.remove(&dao.child).is_some()
         } else {
-            self.reselect_dirty |= self.children.insert(dao.child, now).is_none();
-        }
+            self.children.insert(dao.child, now).is_none()
+        };
+        // A child set change feeds parent selection (children are never
+        // eligible parents) — roots select no parent, so only non-roots
+        // need the reselect wake-up.
+        self.reselect_dirty |= changed && !self.is_root;
         let _ = src;
     }
 
-    /// Periodic housekeeping: expire neighbors/children, re-run parent
-    /// selection, fire Trickle DIOs and DAO refreshes.
+    /// Flags that the MAC's link statistics may have moved an ETX
+    /// estimate (the engine calls this when the node completes a unicast
+    /// transmission — the only event that changes an ETX). The next
+    /// [`RplNode::fire_due`] refreshes every neighbor entry; until then
+    /// [`RplNode::next_deadline`] reports "due now". No-op on roots,
+    /// which never consume ETX.
+    pub fn mark_link_stats_dirty(&mut self) {
+        if !self.is_root {
+            self.etx_dirty = true;
+            self.deadline_memo.set(None);
+        }
+    }
+
+    /// The exact earliest instant at which [`RplNode::fire_due`] would do
+    /// anything: the minimum over pending reselect/ETX-refresh work
+    /// ("now"), the Trickle timer's fire or interval boundary, the
+    /// periodic DAO refresh, and the earliest neighbor or child expiry.
+    /// `None` means this layer will never act again unless a message
+    /// arrives or the engine marks the link statistics dirty. Memoized
+    /// between mutations — the engine consults it on every wake-up.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        if let Some(memo) = self.deadline_memo.get() {
+            return memo;
+        }
+        let deadline = self.compute_next_deadline();
+        self.deadline_memo.set(Some(deadline));
+        deadline
+    }
+
+    /// The uncached deadline scan behind [`RplNode::next_deadline`].
+    fn compute_next_deadline(&self) -> Option<SimTime> {
+        if self.reselect_dirty || self.etx_dirty {
+            return Some(SimTime::ZERO);
+        }
+        // Expiry uses a strict comparison (`since > timeout`), so the
+        // first *effective* instant is one microsecond past the timeout.
+        let tick = SimDuration::from_micros(1);
+        let neighbor_expiry = self
+            .neighbors
+            .values()
+            .map(|n| n.last_heard)
+            .min()
+            .map(|t| t + self.config.neighbor_timeout + tick);
+        let child_expiry = self
+            .children
+            .values()
+            .copied()
+            .min()
+            .map(|t| t + self.config.child_timeout + tick);
+        [
+            self.trickle.next_deadline(),
+            self.dao_timer.deadline(),
+            neighbor_expiry,
+            child_expiry,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    /// Deadline-driven housekeeping: expire neighbors/children, re-run
+    /// parent selection, fire Trickle DIOs and DAO refreshes. Strictly
+    /// before [`RplNode::next_deadline`] this is a provable no-op (no
+    /// state change, no RNG draw), which is what lets the event-driven
+    /// engine skip every slot in between.
     ///
     /// `etx` maps a neighbor id to the current MAC ETX estimate towards
-    /// it (the engine closes over the MAC's link statistics).
-    pub fn poll(&mut self, now: SimTime, etx: &dyn Fn(NodeId) -> f64) -> Vec<RplAction> {
+    /// it (the engine closes over the MAC's link statistics); it is only
+    /// consulted after [`RplNode::mark_link_stats_dirty`].
+    pub fn fire_due(&mut self, now: SimTime, etx: &dyn Fn(NodeId) -> f64) -> Vec<RplAction> {
+        match self.next_deadline() {
+            Some(d) if d <= now => {}
+            _ => return Vec::new(),
+        }
         let mut actions = Vec::new();
 
-        // Expire stale neighbors (but never the root's self-knowledge),
-        // refreshing survivors' ETX estimates from the MAC in the same
-        // pass (non-roots only; polls are frequent enough that the extra
-        // map walk showed up in engine profiles).
+        // Expire stale neighbors (but never the root's self-knowledge).
+        // When the engine flagged a completed unicast transmission,
+        // refresh survivors' ETX estimates from the MAC in the same pass
+        // (non-roots only — roots never consume ETX).
         let timeout = self.config.neighbor_timeout;
         let mut dirty = self.reselect_dirty;
         if self.is_root {
             self.neighbors
                 .retain(|_, n| now.saturating_since(n.last_heard) <= timeout);
         } else {
+            let refresh = self.etx_dirty;
             self.neighbors.retain(|&n, entry| {
                 if now.saturating_since(entry.last_heard) > timeout {
                     dirty = true;
                     return false;
                 }
-                let refreshed = etx(n).max(1.0);
-                if refreshed != entry.etx {
-                    entry.etx = refreshed;
-                    dirty = true;
+                if refresh {
+                    let refreshed = etx(n).max(1.0);
+                    if refreshed != entry.etx {
+                        entry.etx = refreshed;
+                        dirty = true;
+                    }
                 }
                 true
             });
+            self.etx_dirty = false;
         }
         let child_timeout = self.config.child_timeout;
         let children_before = self.children.len();
@@ -310,6 +424,8 @@ impl RplNode {
             }
         }
 
+        // Everything above may have moved a deadline input.
+        self.deadline_memo.set(None);
         actions
     }
 
@@ -416,7 +532,7 @@ mod tests {
         let mut sent = false;
         for s in 0..200 {
             let t = SimTime::from_millis(100 * s);
-            for a in root.poll(t, &flat_etx) {
+            for a in root.fire_due(t, &flat_etx) {
                 if matches!(a, RplAction::BroadcastDio(_)) {
                     sent = true;
                 }
@@ -511,7 +627,7 @@ mod tests {
         let timeout = cfg.child_timeout;
         let mut p = RplNode::new_root(NodeId::new(0), cfg, SimTime::ZERO);
         p.handle_dao(NodeId::new(1), Dao::announce(NodeId::new(1)), SimTime::ZERO);
-        p.poll(
+        p.fire_due(
             SimTime::ZERO + timeout + SimDuration::from_secs(1),
             &flat_etx,
         );
@@ -526,7 +642,7 @@ mod tests {
         let late =
             SimTime::ZERO + RplConfig::default().neighbor_timeout + SimDuration::from_secs(5);
         n.handle_dio(NodeId::new(1), dio(0, Rank::new(512)), 1.0, late);
-        let actions = n.poll(late + SimDuration::from_secs(1), &flat_etx);
+        let actions = n.fire_due(late + SimDuration::from_secs(1), &flat_etx);
         assert_eq!(n.parent(), Some(NodeId::new(1)), "fails over to the relay");
         assert!(actions
             .iter()
@@ -554,13 +670,83 @@ mod tests {
         n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
         let mut daos = 0;
         for s in 1..=35 {
-            for a in n.poll(SimTime::from_secs(s), &flat_etx) {
+            for a in n.fire_due(SimTime::from_secs(s), &flat_etx) {
                 if matches!(a, RplAction::SendDao { dao, .. } if !dao.no_path) {
                     daos += 1;
                 }
             }
         }
         assert!(daos >= 3, "expected ≥3 DAO refreshes in 35 s, got {daos}");
+    }
+
+    #[test]
+    fn fire_due_is_noop_strictly_before_next_deadline() {
+        let mut n = RplNode::new(NodeId::new(1), RplConfig::default());
+        // Fresh non-root: nothing armed, no deadline, fire_due does nothing.
+        assert_eq!(n.next_deadline(), None);
+        assert!(n.fire_due(SimTime::from_secs(1_000), &flat_etx).is_empty());
+
+        n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        // handle_dio settles reselect and rank inline, so the next
+        // deadline is a real future instant (trickle/DAO/expiry), not a
+        // pinned "wake me next slot".
+        let d = n.next_deadline().expect("joined node has deadlines");
+        assert!(d > SimTime::ZERO, "DIO work settles inline");
+        // Strictly before the deadline the call is a provable no-op.
+        let before = format!("{n:?}");
+        let just_before = SimTime::from_micros(d.as_micros() - 1);
+        assert!(n.fire_due(just_before, &flat_etx).is_empty());
+        assert_eq!(format!("{n:?}"), before, "no state change, no RNG draw");
+    }
+
+    #[test]
+    fn etx_refresh_waits_for_link_stats_dirty_mark() {
+        let mut n = RplNode::new(NodeId::new(2), RplConfig::default());
+        n.handle_dio(NodeId::new(0), dio(0, Rank::ROOT), 1.0, SimTime::ZERO);
+        n.fire_due(SimTime::ZERO, &flat_etx);
+        assert_eq!(n.rank().raw(), 512);
+        // The link degrades, but without a dirty mark nothing is due and
+        // the rank stays put.
+        let worse = |_: NodeId| 3.0;
+        let d = n.next_deadline().expect("deadline");
+        assert!(n
+            .fire_due(SimTime::from_micros(d.as_micros() - 1), &worse)
+            .is_empty());
+        assert_eq!(n.rank().raw(), 512, "no refresh without the mark");
+        // Marking makes it due immediately; the refresh re-reads ETX and
+        // the rank tracks the drift.
+        n.mark_link_stats_dirty();
+        assert_eq!(n.next_deadline(), Some(SimTime::ZERO));
+        n.fire_due(SimTime::from_secs(1), &worse);
+        assert_eq!(n.rank().raw(), 256 + 3 * 256, "rank tracks refreshed ETX");
+    }
+
+    #[test]
+    fn roots_never_go_permanently_dirty() {
+        let mut root = RplNode::new_root(NodeId::new(0), RplConfig::default(), SimTime::ZERO);
+        root.handle_dio(NodeId::new(1), dio(0, Rank::new(512)), 1.0, SimTime::ZERO);
+        root.handle_dao(NodeId::new(1), Dao::announce(NodeId::new(1)), SimTime::ZERO);
+        root.mark_link_stats_dirty();
+        // None of the above may pin the root's deadline at "now": its next
+        // work is the trickle timer (and far-future expiries).
+        let d = root.next_deadline().expect("trickle runs on roots");
+        assert!(d > SimTime::ZERO, "root deadline must be a real instant");
+    }
+
+    #[test]
+    fn neighbor_expiry_deadline_is_exact() {
+        let cfg = RplConfig::default();
+        let timeout = cfg.neighbor_timeout;
+        let mut root = RplNode::new_root(NodeId::new(0), cfg, SimTime::ZERO);
+        let heard = SimTime::from_secs(5);
+        root.handle_dio(NodeId::new(1), dio(0, Rank::new(512)), 1.0, heard);
+        let expiry = heard + timeout + SimDuration::from_micros(1);
+        // At expiry-1µs the neighbor must survive a fire; at expiry it
+        // must be dropped (strict `>` aging).
+        root.fire_due(heard + timeout, &flat_etx);
+        assert!(root.neighbor_rank(NodeId::new(1)).is_some());
+        root.fire_due(expiry, &flat_etx);
+        assert_eq!(root.neighbor_rank(NodeId::new(1)), None);
     }
 
     #[test]

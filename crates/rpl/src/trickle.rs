@@ -83,6 +83,24 @@ impl TrickleTimer {
         self.fire_at
     }
 
+    /// The earliest instant at which [`TrickleTimer::poll`] would do
+    /// anything: the randomized fire point if still pending, else the end
+    /// of the current interval (where the interval doubles and the next
+    /// fire point is drawn). Strictly before this instant, `poll` is a
+    /// no-op — no state change, no RNG draw — which lets a
+    /// deadline-driven caller sleep until exactly this time instead of
+    /// polling on a period.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        if !self.running {
+            return None;
+        }
+        let interval_end = self.interval_start + self.interval;
+        Some(match self.fire_at {
+            Some(t) => t.min(interval_end),
+            None => interval_end,
+        })
+    }
+
     /// Starts (or restarts) the timer at `now` from the minimum interval.
     pub fn start(&mut self, now: SimTime, rng: &mut Pcg32) {
         self.running = true;
@@ -223,6 +241,45 @@ mod tests {
         // Poll through the entire first interval: suppressed.
         let fired = run_until_fire(&mut t, &mut rng, SimTime::ZERO, 4);
         assert_eq!(fired, None, "k consistent messages suppress the DIO");
+    }
+
+    #[test]
+    fn next_deadline_is_exact_no_op_boundary() {
+        let (mut t, mut rng) = timer();
+        assert_eq!(t.next_deadline(), None, "not running ⇒ no deadline");
+        t.start(SimTime::ZERO, &mut rng);
+        // Deadline-driven polling: jumping straight from deadline to
+        // deadline must fire exactly like 1 ms exhaustive polling does.
+        let mut exhaustive = t.clone();
+        let mut rng2 = rng.clone();
+        let mut fires = Vec::new();
+        let mut now = SimTime::ZERO;
+        loop {
+            let d = t.next_deadline().expect("running timer has a deadline");
+            assert!(d > now, "deadline must be in the future");
+            if d >= SimTime::from_secs(40) {
+                break; // both legs observe the same [0, 40 s) window
+            }
+            now = d;
+            if t.poll(now, &mut rng) {
+                fires.push(now);
+            }
+        }
+        let mut exhaustive_fires = Vec::new();
+        let mut en = SimTime::ZERO;
+        while en < SimTime::from_secs(40) {
+            if exhaustive.poll(en, &mut rng2) {
+                exhaustive_fires.push(en);
+            }
+            en += SimDuration::from_millis(1);
+        }
+        assert!(!fires.is_empty(), "trickle must fire in 40 s");
+        // Same fires, same order; the exhaustive leg observes each fire at
+        // the first grid tick at or after the exact deadline.
+        assert_eq!(fires.len(), exhaustive_fires.len(), "fire counts match");
+        for (f, e) in fires.iter().zip(&exhaustive_fires) {
+            assert!(*e >= *f && *e < *f + SimDuration::from_millis(1));
+        }
     }
 
     #[test]

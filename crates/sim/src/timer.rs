@@ -175,11 +175,12 @@ impl<K: Ord + Clone> TimerWheel<K> {
             .arm_periodic(now, period);
     }
 
-    /// Cancels the timer `key`. Unknown keys are ignored.
+    /// Cancels the timer `key`, dropping its entry. Unknown keys are
+    /// ignored. (Removal, not just disarming: [`TimerWheel::fire_due_into`]
+    /// only sweeps disarmed entries when a firing produced one, so a
+    /// cancelled entry left behind would linger in the map forever.)
     pub fn cancel(&mut self, key: &K) {
-        if let Some(t) = self.timers.get_mut(key) {
-            t.cancel();
-        }
+        self.timers.remove(key);
     }
 
     /// True if `key` exists and is armed.
@@ -195,14 +196,28 @@ impl<K: Ord + Clone> TimerWheel<K> {
     /// Fires every due timer and returns their keys in key order.
     pub fn fire_due(&mut self, now: SimTime) -> Vec<K> {
         let mut fired = Vec::new();
+        self.fire_due_into(now, &mut fired);
+        fired
+    }
+
+    /// Allocation-free variant of [`TimerWheel::fire_due`]: clears
+    /// `fired` and fills it with the due keys in key order. Callers on a
+    /// hot path (the engine fires every node's wheel on every wake-up)
+    /// keep one scratch `Vec` alive across calls instead of allocating a
+    /// fresh one per fire.
+    pub fn fire_due_into(&mut self, now: SimTime, fired: &mut Vec<K>) {
+        fired.clear();
+        let mut any_disarmed = false;
         for (k, t) in self.timers.iter_mut() {
             if t.fire_due(now) {
                 fired.push(k.clone());
+                any_disarmed |= !t.is_armed();
             }
         }
         // Drop fully-disarmed one-shot entries to keep the map small.
-        self.timers.retain(|_, t| t.is_armed());
-        fired
+        if any_disarmed {
+            self.timers.retain(|_, t| t.is_armed());
+        }
     }
 
     /// Earliest armed deadline across all timers.
@@ -285,6 +300,45 @@ mod tests {
         assert_eq!(wheel.fire_due(SimTime::from_secs(2)), vec!["eb"]);
         assert_eq!(wheel.len(), 1);
         assert_eq!(wheel.next_deadline(), Some(SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn fire_due_into_reuses_scratch_and_clears_it() {
+        let mut wheel: TimerWheel<u8> = TimerWheel::new();
+        wheel.arm_one_shot(2, SimTime::from_millis(1));
+        wheel.arm_periodic(1, SimTime::ZERO, SimDuration::from_millis(1));
+        let mut scratch = vec![99, 98]; // stale content must be cleared
+        wheel.fire_due_into(SimTime::from_millis(1), &mut scratch);
+        assert_eq!(scratch, vec![1, 2]);
+        // The one-shot is gone, the periodic re-armed.
+        wheel.fire_due_into(SimTime::from_millis(2), &mut scratch);
+        assert_eq!(scratch, vec![1]);
+        wheel.fire_due_into(SimTime::from_micros(2_100), &mut scratch);
+        assert!(scratch.is_empty(), "nothing due leaves scratch empty");
+    }
+
+    #[test]
+    fn cancelled_entries_do_not_accumulate() {
+        // arm + cancel before the deadline, many times over: the map
+        // must not grow (cancel removes; firing never sweeps these).
+        let mut wheel: TimerWheel<u32> = TimerWheel::new();
+        let mut scratch = Vec::new();
+        for k in 0..1_000 {
+            wheel.arm_one_shot(k, SimTime::from_secs(100));
+            wheel.cancel(&k);
+            wheel.fire_due_into(SimTime::from_secs(1), &mut scratch);
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.next_deadline(), None);
+        // The map itself must be empty, not just free of armed timers —
+        // a thousand lingering dead entries would balloon the debug dump.
+        assert!(
+            format!("{wheel:?}").len() < 100,
+            "cancelled entries must be removed, not merely disarmed"
+        );
+        // And a live timer still works alongside.
+        wheel.arm_one_shot(7, SimTime::from_secs(2));
+        assert_eq!(wheel.len(), 1);
     }
 
     #[test]

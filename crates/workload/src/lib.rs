@@ -29,7 +29,7 @@
 pub mod scenario;
 pub mod schedulers;
 
-pub use scenario::Scenario;
+pub use scenario::{NoiseBurst, Scenario};
 pub use schedulers::SchedulerKind;
 
 use gtt_engine::{EngineConfig, Network, NetworkReport};

@@ -14,7 +14,7 @@
 
 use gtt_engine::{EngineConfig, Network, NetworkReport};
 use gtt_sim::SimDuration;
-use gtt_workload::{RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{NoiseBurst, RunSpec, Scenario, SchedulerKind};
 
 /// Builds the scenario's network, optionally on the oracle loop.
 fn build(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec, naive: bool) -> Network {
@@ -160,6 +160,66 @@ fn large_star_minimal_equivalent() {
         seed: 3,
     };
     assert_equivalent(&scenario, &SchedulerKind::minimal(16), &spec);
+}
+
+#[test]
+fn large_grid_orchestra_equivalent() {
+    // The Rx-wake-bound case the multi-slotframe passive-listen index
+    // targets: 120 Orchestra nodes whose three-frame schedules listen in
+    // roughly one slot in five, almost always to silence.
+    let scenario = Scenario::large_grid();
+    let spec = RunSpec {
+        traffic_ppm: 6.0,
+        warmup_secs: 20,
+        measure_secs: 20,
+        seed: 2,
+    };
+    assert_equivalent(&scenario, &SchedulerKind::orchestra_default(), &spec);
+}
+
+#[test]
+fn large_star_orchestra_equivalent() {
+    // Dense single-hop counterpart: every transmission is audible to all
+    // 120 nodes, so the listener probe and the cyclic-union index carry
+    // the whole load.
+    let scenario = Scenario::large_star();
+    let spec = RunSpec {
+        traffic_ppm: 6.0,
+        warmup_secs: 10,
+        measure_secs: 15,
+        seed: 5,
+    };
+    assert_equivalent(&scenario, &SchedulerKind::orchestra_default(), &spec);
+}
+
+#[test]
+fn interference_bursts_stay_equivalent() {
+    // The 120-node interference scenario: NoiseBurst rewrites every
+    // link PRR twice per window; both cores must absorb the repeated
+    // mid-run mutations identically, at scale.
+    let scenario = Scenario::interference_grid();
+    let s = RunSpec {
+        traffic_ppm: 6.0,
+        warmup_secs: 10,
+        measure_secs: 12,
+        seed: 17,
+    };
+    let noise = NoiseBurst {
+        quiet: SimDuration::from_secs(3),
+        burst: SimDuration::from_secs(2),
+        prr_factor: 0.1,
+    };
+    let scheduler = SchedulerKind::gt_tsch_default();
+    let mut reports = Vec::new();
+    for naive in [false, true] {
+        let mut net = build(&scenario, &scheduler, &s, naive);
+        net.run_for(SimDuration::from_secs(s.warmup_secs));
+        net.start_measurement();
+        noise.run(&mut net, SimDuration::from_secs(s.measure_secs));
+        net.finish_measurement();
+        reports.push((net.report(), net.asn()));
+    }
+    assert_eq!(reports[0], reports[1], "noise-burst runs diverge");
 }
 
 #[test]
