@@ -34,6 +34,7 @@ fn main() {
                     measure_secs: 300,
                     seed: 0,
                 },
+                noise: None,
             });
         }
     }

@@ -1,11 +1,14 @@
 //! Measures the event-driven engine core against the `naive-step`
 //! oracle and emits `BENCH_engine.json`.
 //!
-//! Usage: `bench_engine [--quick] [--out PATH]`
+//! Usage: `bench_engine [--quick] [--out PATH] [--only SUBSTR] [--stats]`
 //!
 //! * `--quick` — shorter simulated window (CI smoke budget).
 //! * `--out PATH` — where to write the JSON (default `BENCH_engine.json`
 //!   in the current directory).
+//! * `--only SUBSTR` — run only the cases whose `name/scheduler/ppm`
+//!   label contains `SUBSTR` (profiling aid; gates are skipped).
+//! * `--stats` — per-run activity diagnostics (awake and tx per slot).
 //!
 //! For each scenario the same seed is simulated once per core; reported
 //! `slots_per_sec` is simulated-slots / wall-seconds and `speedup` is
@@ -94,15 +97,16 @@ fn time_run(case: &Case, sim: SimDuration, naive: bool) -> f64 {
 
 fn measure(case: &Case, sim: SimDuration, slot: SimDuration) -> Measurement {
     let sim_slots = sim.as_micros() / slot.as_micros();
-    // Best of three per core: the first pass faults in code paths, and
-    // min-of-N filters out scheduler noise from the shared host.
-    let best = |naive: bool| {
-        (0..3)
-            .map(|_| time_run(case, sim, naive))
-            .fold(f64::INFINITY, f64::min)
-    };
-    let event_secs = best(false);
-    let naive_secs = best(true);
+    // Best of three per core, with the event and naive repetitions
+    // *interleaved*: the first pass faults in code paths, min-of-N
+    // filters out scheduler noise from the shared host, and pairing the
+    // legs in time keeps a noisy few minutes from skewing one core's
+    // numbers but not the other's (the ratio is the product).
+    let (mut event_secs, mut naive_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        event_secs = event_secs.min(time_run(case, sim, false));
+        naive_secs = naive_secs.min(time_run(case, sim, true));
+    }
     Measurement {
         name: case.scenario.name.clone(),
         scheduler: case.scheduler.name(),
@@ -153,6 +157,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let sim_secs = if quick { 60 } else { 300 };
     let sim = SimDuration::from_secs(sim_secs);
@@ -210,6 +220,20 @@ fn main() {
             traffic_ppm: 6.0,
             low_power: false,
         },
+        // Dense broadcast-heavy slots: 119 minimal-schedule leaves all
+        // listening on the shared cell, a handful of EB/control
+        // transmitters per busy slot — the case the per-channel listener
+        // index and the medium's single-transmitter fast path target.
+        Case {
+            scenario: {
+                let mut s = Scenario::large_star();
+                s.name = "bcast-star-120".into();
+                s
+            },
+            scheduler: SchedulerKind::minimal(8),
+            traffic_ppm: 1.0,
+            low_power: false,
+        },
         Case {
             scenario: Scenario::two_dodag(7),
             scheduler: SchedulerKind::gt_tsch_default(),
@@ -221,12 +245,28 @@ fn main() {
     eprintln!("bench_engine: {sim_secs} s simulated per core per scenario…");
     let mut measurements = Vec::new();
     for case in &cases {
+        if let Some(filter) = &only {
+            let label = format!(
+                "{}/{}/{}",
+                case.scenario.name,
+                case.scheduler.name(),
+                case.traffic_ppm
+            );
+            if !label.contains(filter.as_str()) {
+                continue;
+            }
+        }
         let m = measure(case, sim, slot);
         eprintln!(
             "  {:<16} {:<10} {:>4} nodes  event {:>9.0} slots/s  naive {:>9.0} slots/s  speedup {:>5.2}x",
             m.name, m.scheduler, m.nodes, m.event_slots_per_sec, m.naive_slots_per_sec, m.speedup
         );
         measurements.push(m);
+    }
+
+    if only.is_some() {
+        // Profiling mode: no JSON, no gates.
+        return;
     }
 
     let headline = &measurements[0];
@@ -238,10 +278,9 @@ fn main() {
     // sparse low-power traffic, where Orchestra's listen slots vastly
     // outnumber audible transmissions. The always-wake core managed only
     // ~1.05x on Orchestra runs, so 1.6x here certifies a >1.5x further
-    // gain. The chatty 6-ppm star is reported but not gated: at 1.8
-    // transmissions per slot it is activity-bound, the regime where slot
-    // skipping honestly cannot win big (compare the minimal-schedule
-    // star).
+    // gain. The chatty 6-ppm star (~1.8 transmissions per slot,
+    // activity-bound) gates at 1.8x below, the output-sensitive
+    // resolution acceptance threshold.
     let orchestra_star = measurements
         .iter()
         .find(|m| m.scheduler == "orchestra" && m.name == "large-star-120" && m.low_power)
@@ -250,6 +289,29 @@ fn main() {
         "orchestra 120-node low-power star speedup: {:.2}x (target >= 1.6x; \
          the always-wake core measured ~1.05x on orchestra runs)",
         orchestra_star.speedup
+    );
+    // The activity-bound row the output-sensitive slot resolution
+    // targets: ~1.8 transmissions/slot kept the pre-grouping engine at
+    // ~1.4x; per-channel resolution, zero-alloc slot buffers and
+    // closed-form backoff settling lift it past 1.8x.
+    let chatty_star = measurements
+        .iter()
+        .find(|m| m.scheduler == "orchestra" && m.name == "large-star-120" && !m.low_power)
+        .expect("orchestra chatty star case must be in the matrix");
+    println!(
+        "orchestra 120-node chatty star speedup: {:.2}x (target >= 1.8x; \
+         was activity-bound at ~1.4x before output-sensitive resolution)",
+        chatty_star.speedup
+    );
+    // The dense broadcast-heavy row: many common-cell listeners, few
+    // transmitters — the per-channel listener index's home turf.
+    let bcast_star = measurements
+        .iter()
+        .find(|m| m.name == "bcast-star-120")
+        .expect("broadcast-heavy star case must be in the matrix");
+    println!(
+        "broadcast-heavy 120-node star speedup: {:.2}x (target >= 2.5x)",
+        bcast_star.speedup
     );
 
     let body = json(&measurements, sim_secs);
@@ -266,6 +328,14 @@ fn main() {
     }
     if orchestra_star.speedup < 1.6 {
         eprintln!("WARNING: orchestra-star speedup below the 1.6x target");
+        failed = true;
+    }
+    if chatty_star.speedup < 1.8 {
+        eprintln!("WARNING: chatty orchestra-star speedup below the 1.8x target");
+        failed = true;
+    }
+    if bcast_star.speedup < 2.5 {
+        eprintln!("WARNING: broadcast-heavy star speedup below the 2.5x target");
         failed = true;
     }
     // Only full runs gate: --quick (60 s sim, used by the CI smoke job)

@@ -1,17 +1,19 @@
 //! Regenerates the paper's Fig. 10 (all six sub-figures).
 //!
-//! Usage: `fig10 [--quick]` — `--quick` averages 2 seeds instead of 5.
+//! Usage: `fig10 [--quick] [--no-cache]` — `--quick` averages 2 seeds
+//! instead of 5; `(point, seed)` cells are served from / written to the
+//! persistent sweep cache under `target/sweep-cache` unless
+//! `--no-cache` is given.
 
 use gtt_bench::{fig10, render_figure_tables, SweepConfig};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick {
-        SweepConfig::quick()
-    } else {
-        SweepConfig::default()
-    };
+    let config = SweepConfig::from_args();
     eprintln!("running fig10 sweep ({} seeds/point)…", config.seeds.len());
     let results = fig10(&config);
     print!("{}", render_figure_tables("10", &results));
+    eprintln!(
+        "sweep cache: {} hits, {} misses",
+        results.cache_hits, results.cache_misses
+    );
 }

@@ -1,0 +1,23 @@
+//! The interference-robustness figure: GT-TSCH vs Orchestra under
+//! periodic wideband noise bursts, sweeping burst depth and period.
+//!
+//! Usage: `fig_noise [--quick] [--no-cache]` — `--quick` averages 2
+//! seeds instead of 5; results are served from / written to the
+//! persistent sweep cache under `target/sweep-cache` unless
+//! `--no-cache` is given.
+
+use gtt_bench::{fig_noise_depth, fig_noise_period, render_figure_tables, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::from_args();
+    eprintln!("running noise sweeps ({} seeds/point)…", config.seeds.len());
+    let depth = fig_noise_depth(&config);
+    print!("{}", render_figure_tables("noise-depth", &depth));
+    let period = fig_noise_period(&config);
+    print!("{}", render_figure_tables("noise-period", &period));
+    eprintln!(
+        "sweep cache: {} hits, {} misses",
+        depth.cache_hits + period.cache_hits,
+        depth.cache_misses + period.cache_misses
+    );
+}

@@ -6,7 +6,8 @@
 
 use gt_tsch::{GameWeights, GtTschConfig};
 use gtt_orchestra::OrchestraConfig;
-use gtt_workload::{RunSpec, Scenario, SchedulerKind};
+use gtt_sim::SimDuration;
+use gtt_workload::{NoiseBurst, RunSpec, Scenario, SchedulerKind};
 
 use crate::sweep::{run_sweep, SweepConfig, SweepPoint, SweepResults};
 
@@ -41,6 +42,7 @@ pub fn fig8(config: &SweepConfig) -> SweepResults {
                 scheduler: sched,
                 scenario: scenario.clone(),
                 spec: spec(ppm),
+                noise: None,
             });
         }
     }
@@ -62,6 +64,7 @@ pub fn fig9(config: &SweepConfig) -> SweepResults {
                 scheduler: sched,
                 scenario: scenario.clone(),
                 spec: spec(120.0),
+                noise: None,
             });
         }
     }
@@ -81,15 +84,78 @@ pub fn fig10(config: &SweepConfig) -> SweepResults {
             scheduler: SchedulerKind::GtTsch(GtTschConfig::with_slotframe_len(len * 4)),
             scenario: scenario.clone(),
             spec: spec(120.0),
+            noise: None,
         });
         points.push(SweepPoint {
             x_label: len.to_string(),
             scheduler: SchedulerKind::Orchestra(OrchestraConfig::with_unicast_len(len)),
             scenario: scenario.clone(),
             spec: spec(120.0),
+            noise: None,
         });
     }
     run_sweep("unicast slotframe", points, config)
+}
+
+/// **Noise figure** — interference-burst depth sweep: GT-TSCH vs
+/// Orchestra on the Fig. 8 network under periodic wideband noise
+/// windows of increasing severity (`prr_factor` = fraction of nominal
+/// PRR surviving a burst; 2 s bursts every 10 s, the Wi-Fi-beacon-like
+/// duty cycle of [`NoiseBurst::wifi_like`]). The first consumer of the
+/// cached sweep runner: the clean `1.0` column is byte-shared with any
+/// other figure that ran the same points.
+pub fn fig_noise_depth(config: &SweepConfig) -> SweepResults {
+    let scenario = Scenario::two_dodag(7);
+    let mut points = Vec::new();
+    for &prr_factor in &[1.0, 0.5, 0.2, 0.05] {
+        for sched in [
+            SchedulerKind::gt_tsch_default(),
+            SchedulerKind::orchestra_default(),
+        ] {
+            points.push(SweepPoint {
+                x_label: format!("{prr_factor:.2}"),
+                scheduler: sched,
+                scenario: scenario.clone(),
+                spec: spec(120.0),
+                // `prr_factor == 1.0` would be a no-op overlay; keep the
+                // clean column literally noise-free so it shares cache
+                // cells with non-noise sweeps of the same points.
+                noise: (prr_factor < 1.0).then_some(NoiseBurst {
+                    quiet: SimDuration::from_secs(8),
+                    burst: SimDuration::from_secs(2),
+                    prr_factor,
+                }),
+            });
+        }
+    }
+    run_sweep("burst PRR factor", points, config)
+}
+
+/// **Noise figure** — interference-burst period sweep: fixed 20% PRR
+/// bursts of 2 s arriving every `quiet + 2` seconds, from rare to
+/// near-continuous.
+pub fn fig_noise_period(config: &SweepConfig) -> SweepResults {
+    let scenario = Scenario::two_dodag(7);
+    let mut points = Vec::new();
+    for &quiet_secs in &[18u64, 8, 3, 1] {
+        for sched in [
+            SchedulerKind::gt_tsch_default(),
+            SchedulerKind::orchestra_default(),
+        ] {
+            points.push(SweepPoint {
+                x_label: format!("{}s", quiet_secs + 2),
+                scheduler: sched,
+                scenario: scenario.clone(),
+                spec: spec(120.0),
+                noise: Some(NoiseBurst {
+                    quiet: SimDuration::from_secs(quiet_secs),
+                    burst: SimDuration::from_secs(2),
+                    prr_factor: 0.2,
+                }),
+            });
+        }
+    }
+    run_sweep("burst period", points, config)
 }
 
 /// **Ablation (§VII-D)** — the α/β/γ preference weights of the payoff
@@ -142,6 +208,7 @@ pub fn ablation_weights(config: &SweepConfig) -> SweepResults {
             scheduler: SchedulerKind::GtTsch(cfg),
             scenario: scenario.clone(),
             spec: spec(120.0),
+            noise: None,
         });
     }
     run_sweep("weights", points, config)
@@ -158,6 +225,7 @@ pub fn ablation_channel(config: &SweepConfig) -> SweepResults {
             scheduler: SchedulerKind::GtTsch(GtTschConfig::paper_default()),
             scenario: scenario.clone(),
             spec: spec(ppm),
+            noise: None,
         });
         points.push(SweepPoint {
             x_label: format!("{ppm:.0}"),
@@ -167,6 +235,7 @@ pub fn ablation_channel(config: &SweepConfig) -> SweepResults {
             }),
             scenario: scenario.clone(),
             spec: spec(ppm),
+            noise: None,
         });
     }
     // Distinguish the two variants by name for the table.
@@ -200,6 +269,7 @@ mod tests {
                 measure_secs: 60,
                 seed: 0,
             },
+            noise: None,
         }];
         let results = run_sweep(
             "ppm/node",
@@ -207,6 +277,7 @@ mod tests {
             &SweepConfig {
                 seeds: vec![1],
                 threads: 1,
+                cache_dir: None,
             },
         );
         let p = &results.points[0];

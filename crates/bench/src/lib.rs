@@ -7,6 +7,7 @@
 //! | `fig8`  | Fig. 8a–f  | traffic 30/75/120/165 ppm per node |
 //! | `fig9`  | Fig. 9a–f  | DODAG size 6/7/8/9 nodes (× 2 DODAGs) |
 //! | `fig10` | Fig. 10a–f | Orchestra unicast slotframe 8/12/16/20, GT-TSCH at 4× |
+//! | `fig_noise` | — (robustness) | interference-burst depth and period |
 //! | `ablation_weights` | §VII-D discussion | α/β/γ settings of the payoff |
 //! | `ablation_channel` | §III strategies | Algorithm 1 vs hash-based channels |
 //! | `diagnose` | — | one verbose run with per-node breakdown |
@@ -23,6 +24,8 @@ pub mod figures;
 pub mod sweep;
 pub mod table;
 
-pub use figures::{ablation_channel, ablation_weights, fig10, fig8, fig9};
+pub use figures::{
+    ablation_channel, ablation_weights, fig10, fig8, fig9, fig_noise_depth, fig_noise_period,
+};
 pub use sweep::{PointResult, SweepConfig, SweepPoint, SweepResults};
 pub use table::render_figure_tables;

@@ -1,8 +1,31 @@
-//! Parallel sweep execution.
+//! Parallel sweep execution with a persistent per-`(point, seed)`
+//! result cache.
+//!
+//! Every cell of a sweep matrix is a pure function of its inputs —
+//! scenario, scheduler configuration, run spec, noise overlay and seed —
+//! so re-running a figure only needs to simulate the cells those inputs
+//! changed for. With [`SweepConfig::cache_dir`] set, each finished cell
+//! is written to one small file keyed by a hash of all inputs (values
+//! stored as exact `f64` bit patterns, so cached and fresh runs average
+//! to byte-identical rows), and later sweeps serve unchanged cells from
+//! disk. The serialization is hand-rolled hex-on-text because the
+//! vendored `serde` stand-in is marker-only (see `crates/compat`).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
 use gtt_metrics::{FigureRow, Summary};
-use gtt_workload::{run, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{run_with_noise, NoiseBurst, RunSpec, Scenario, SchedulerKind};
+
+/// Bump when the cached quantities or the simulator's *observable
+/// behavior* change — every old cell then misses. The key hashes the
+/// experiment's inputs, not the simulator's code, so a behavior-changing
+/// commit without a schema bump would silently serve pre-change rows;
+/// `--no-cache` (or deleting `target/sweep-cache`) forces fresh runs,
+/// and CI's figure smoke always passes `--no-cache` for this reason.
+const CACHE_SCHEMA: &str = "gtt-sweep-cache v1";
 
 /// One (x-value, scheduler) point of a sweep.
 #[derive(Debug, Clone)]
@@ -15,6 +38,9 @@ pub struct SweepPoint {
     pub scenario: Scenario,
     /// Traffic + timing (seed field is overwritten per repetition).
     pub spec: RunSpec,
+    /// Optional interference-burst overlay driven over the measurement
+    /// window (the noise figure sweeps its period and depth).
+    pub noise: Option<NoiseBurst>,
 }
 
 /// Sweep-wide settings.
@@ -25,6 +51,10 @@ pub struct SweepConfig {
     /// Worker threads (`0` = one per available core, capped at the
     /// number of runs).
     pub threads: usize,
+    /// Directory of the persistent per-`(point, seed)` result cache
+    /// (`None` disables caching). The figure binaries default to
+    /// `target/sweep-cache`.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -32,6 +62,7 @@ impl Default for SweepConfig {
         SweepConfig {
             seeds: vec![1, 2, 3, 4, 5],
             threads: 0,
+            cache_dir: None,
         }
     }
 }
@@ -42,6 +73,31 @@ impl SweepConfig {
         SweepConfig {
             seeds: vec![1, 2],
             threads: 0,
+            cache_dir: None,
+        }
+    }
+
+    /// Enables the persistent result cache under `dir`.
+    pub fn cached(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The figure binaries' shared configuration: `--quick` selects the
+    /// 2-seed smoke set, and the persistent cache under
+    /// `target/sweep-cache` is on unless `--no-cache` is given.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let no_cache = std::env::args().any(|a| a == "--no-cache");
+        let config = if quick {
+            SweepConfig::quick()
+        } else {
+            SweepConfig::default()
+        };
+        if no_cache {
+            config
+        } else {
+            config.cached("target/sweep-cache")
         }
     }
 }
@@ -81,6 +137,11 @@ pub struct SweepResults {
     pub x_axis: String,
     /// Results in input order.
     pub points: Vec<PointResult>,
+    /// `(point, seed)` cells served from the persistent cache.
+    pub cache_hits: usize,
+    /// Cells that had to be simulated (and were written back when
+    /// caching is enabled).
+    pub cache_misses: usize,
 }
 
 impl SweepResults {
@@ -114,8 +175,95 @@ impl SweepResults {
     }
 }
 
+/// One cached cell: what [`PointResult`] needs per seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CellResult {
+    row: FigureRow,
+    join_ratio: f64,
+    generated: u64,
+}
+
+/// FNV-1a over `bytes`, from an arbitrary offset basis (two different
+/// bases give two independent 64-bit digests — 128 bits of key).
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key of a `(point, seed)` cell: every input that can affect
+/// the simulation, serialized via `Debug` (the topology debug form
+/// includes positions, range, link model and PRR overrides) and hashed.
+fn cell_key(point: &SweepPoint, seed: u64) -> String {
+    let spec = RunSpec { seed, ..point.spec };
+    let desc = format!(
+        "{CACHE_SCHEMA}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        point.scenario.topology, point.scenario.roots, point.scheduler, spec, point.noise,
+    );
+    format!(
+        "{:016x}{:016x}",
+        fnv1a(desc.as_bytes(), 0xcbf2_9ce4_8422_2325),
+        fnv1a(desc.as_bytes(), 0x9ae1_6a3b_2f90_404f),
+    )
+}
+
+/// Loads a cached cell, or `None` on any mismatch (treated as a miss).
+fn cache_load(dir: &std::path::Path, key: &str) -> Option<CellResult> {
+    let text = std::fs::read_to_string(dir.join(key)).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != CACHE_SCHEMA {
+        return None;
+    }
+    let _human = lines.next()?; // descriptive line, not parsed
+    let mut values = lines.next()?.split_whitespace();
+    let mut next_f64 = || -> Option<f64> {
+        let bits = u64::from_str_radix(values.next()?, 16).ok()?;
+        Some(f64::from_bits(bits))
+    };
+    let row = FigureRow {
+        pdr_percent: next_f64()?,
+        delay_ms: next_f64()?,
+        loss_per_min: next_f64()?,
+        duty_cycle_percent: next_f64()?,
+        queue_loss: next_f64()?,
+        received_per_min: next_f64()?,
+    };
+    let join_ratio = next_f64()?;
+    let generated = u64::from_str_radix(values.next()?, 16).ok()?;
+    Some(CellResult {
+        row,
+        join_ratio,
+        generated,
+    })
+}
+
+/// Writes a finished cell; errors are ignored (the cache is an
+/// optimization, never a correctness dependency).
+fn cache_store(dir: &std::path::Path, key: &str, point: &SweepPoint, seed: u64, c: &CellResult) {
+    let r = &c.row;
+    let body = format!(
+        "{CACHE_SCHEMA}\n{} {} seed {}\n{:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:x}\n",
+        point.scenario.name,
+        point.scheduler.name(),
+        seed,
+        r.pdr_percent.to_bits(),
+        r.delay_ms.to_bits(),
+        r.loss_per_min.to_bits(),
+        r.duty_cycle_percent.to_bits(),
+        r.queue_loss.to_bits(),
+        r.received_per_min.to_bits(),
+        c.join_ratio.to_bits(),
+        c.generated,
+    );
+    let _ = std::fs::File::create(dir.join(key)).and_then(|mut f| f.write_all(body.as_bytes()));
+}
+
 /// Runs every `(point, seed)` combination, in parallel, and averages per
-/// point.
+/// point. With [`SweepConfig::cache_dir`] set, cells whose inputs are
+/// unchanged are served from the persistent cache instead of simulated.
 ///
 /// # Panics
 ///
@@ -124,6 +272,12 @@ impl SweepResults {
 pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) -> SweepResults {
     assert!(!points.is_empty(), "sweep needs at least one point");
     assert!(!config.seeds.is_empty(), "sweep needs at least one seed");
+
+    let cache_dir = config.cache_dir.as_deref();
+    if let Some(dir) = cache_dir {
+        // Best effort: an unwritable cache degrades to plain reruns.
+        let _ = std::fs::create_dir_all(dir);
+    }
 
     // Flatten into (point index, seed) jobs.
     let jobs: Vec<(usize, u64)> = (0..points.len())
@@ -138,9 +292,11 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
         config.threads.min(jobs.len())
     };
 
-    // Per-point accumulator of (seed, row, join ratio, generated).
-    type SeedRuns = Vec<(u64, FigureRow, f64, u64)>;
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    // Per-point accumulator of (seed, cell result).
+    type SeedRuns = Vec<(u64, CellResult)>;
+    let next = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
     let results: Vec<std::sync::Mutex<SeedRuns>> = (0..points.len())
         .map(|_| std::sync::Mutex::new(Vec::new()))
         .collect();
@@ -148,20 +304,46 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
     thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
-                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let j = next.fetch_add(1, Ordering::Relaxed);
                 if j >= jobs.len() {
                     break;
                 }
                 let (i, seed) = jobs[j];
                 let point = &points[i];
-                let spec = RunSpec { seed, ..point.spec };
-                let report = run(&point.scenario, &point.scheduler, &spec);
-                results[i].lock().expect("no poisoned result lock").push((
-                    seed,
-                    report.row,
-                    report.join_ratio,
-                    report.generated,
-                ));
+                let key = cache_dir.map(|_| cell_key(point, seed));
+                let cached = match (cache_dir, &key) {
+                    (Some(dir), Some(k)) => cache_load(dir, k),
+                    _ => None,
+                };
+                let cell = match cached {
+                    Some(cell) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        cell
+                    }
+                    None => {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                        let spec = RunSpec { seed, ..point.spec };
+                        let report = run_with_noise(
+                            &point.scenario,
+                            &point.scheduler,
+                            &spec,
+                            point.noise.as_ref(),
+                        );
+                        let cell = CellResult {
+                            row: report.row,
+                            join_ratio: report.join_ratio,
+                            generated: report.generated,
+                        };
+                        if let (Some(dir), Some(k)) = (cache_dir, &key) {
+                            cache_store(dir, k, point, seed, &cell);
+                        }
+                        cell
+                    }
+                };
+                results[i]
+                    .lock()
+                    .expect("no poisoned result lock")
+                    .push((seed, cell));
             });
         }
     })
@@ -172,14 +354,14 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
         .zip(results)
         .map(|(point, cell)| {
             let mut runs = cell.into_inner().expect("no poisoned result lock");
-            runs.sort_by_key(|(seed, ..)| *seed); // deterministic order
-            let rows: Vec<FigureRow> = runs.iter().map(|(_, r, ..)| *r).collect();
+            runs.sort_by_key(|(seed, _)| *seed); // deterministic order
+            let rows: Vec<FigureRow> = runs.iter().map(|(_, c)| c.row).collect();
             PointResult {
                 x_label: point.x_label.clone(),
                 scheduler: point.scheduler.name(),
                 mean: FigureRow::mean(rows.iter()),
-                join_ratio: runs.iter().map(|(_, _, j, _)| j).sum::<f64>() / runs.len() as f64,
-                generated: runs.iter().map(|(_, _, _, g)| *g as f64).sum::<f64>()
+                join_ratio: runs.iter().map(|(_, c)| c.join_ratio).sum::<f64>() / runs.len() as f64,
+                generated: runs.iter().map(|(_, c)| c.generated as f64).sum::<f64>()
                     / runs.len() as f64,
                 rows,
             }
@@ -189,6 +371,8 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
     SweepResults {
         x_axis: x_axis.to_string(),
         points: point_results,
+        cache_hits: hits.into_inner(),
+        cache_misses: misses.into_inner(),
     }
 }
 
@@ -209,6 +393,7 @@ mod tests {
                     measure_secs: 30,
                     seed: 0,
                 },
+                noise: None,
             },
             SweepPoint {
                 x_label: "20".into(),
@@ -220,6 +405,7 @@ mod tests {
                     measure_secs: 30,
                     seed: 0,
                 },
+                noise: None,
             },
         ]
     }
@@ -229,6 +415,7 @@ mod tests {
         let cfg = SweepConfig {
             seeds: vec![1, 2],
             threads: 2,
+            cache_dir: None,
         };
         let results = run_sweep("traffic", tiny_points(), &cfg);
         assert_eq!(results.points.len(), 2);
@@ -248,10 +435,12 @@ mod tests {
         let one = SweepConfig {
             seeds: vec![7],
             threads: 1,
+            cache_dir: None,
         };
         let many = SweepConfig {
             seeds: vec![7],
             threads: 4,
+            cache_dir: None,
         };
         let a = run_sweep("x", tiny_points(), &one);
         let b = run_sweep("x", tiny_points(), &many);
@@ -264,5 +453,56 @@ mod tests {
     #[should_panic(expected = "at least one point")]
     fn empty_sweep_rejected() {
         let _ = run_sweep("x", vec![], &SweepConfig::default());
+    }
+
+    /// A throwaway cache directory, unique per test, emptied on entry.
+    fn scratch_cache(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gtt-sweep-cache-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn second_identical_sweep_is_served_from_cache() {
+        let cfg = SweepConfig {
+            seeds: vec![1, 2],
+            threads: 2,
+            cache_dir: None,
+        }
+        .cached(scratch_cache("identical"));
+        let first = run_sweep("traffic", tiny_points(), &cfg);
+        assert_eq!(first.cache_hits, 0, "cold cache cannot hit");
+        assert_eq!(first.cache_misses, 4, "2 points x 2 seeds");
+        let second = run_sweep("traffic", tiny_points(), &cfg);
+        assert_eq!(second.cache_hits, 4, "warm cache must serve every cell");
+        assert_eq!(second.cache_misses, 0);
+        for (a, b) in first.points.iter().zip(&second.points) {
+            assert_eq!(a.mean, b.mean, "cached rows must average identically");
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.join_ratio, b.join_ratio);
+            assert_eq!(a.generated, b.generated);
+        }
+    }
+
+    #[test]
+    fn changed_inputs_invalidate_exactly_their_cells() {
+        let cfg = SweepConfig {
+            seeds: vec![1],
+            threads: 1,
+            cache_dir: None,
+        }
+        .cached(scratch_cache("invalidate"));
+        let _ = run_sweep("traffic", tiny_points(), &cfg);
+        // Change one point's traffic rate: only that cell re-runs.
+        let mut points = tiny_points();
+        points[1].spec.traffic_ppm = 25.0;
+        let second = run_sweep("traffic", points, &cfg);
+        assert_eq!(second.cache_hits, 1, "unchanged point still cached");
+        assert_eq!(second.cache_misses, 1, "changed point re-ran");
+        // A noise overlay is part of the key too.
+        let mut points = tiny_points();
+        points[0].noise = Some(NoiseBurst::wifi_like());
+        let third = run_sweep("traffic", points, &cfg);
+        assert_eq!(third.cache_misses, 1, "noisy variant is a distinct cell");
     }
 }

@@ -62,6 +62,8 @@ mod tests {
             received_per_min: 400.0,
         };
         SweepResults {
+            cache_hits: 0,
+            cache_misses: 0,
             x_axis: "traffic".into(),
             points: vec![
                 PointResult {

@@ -31,7 +31,9 @@ use std::collections::BinaryHeap;
 
 use gtt_mac::{Asn, MacCounters, SlotAction, SlotResult, TschMac};
 use gtt_metrics::PacketTracker;
-use gtt_net::{Dest, Frame, Listener, NodeId, PacketId, RadioMedium, Topology, Transmission};
+use gtt_net::{
+    Dest, Frame, Listener, NodeId, PacketId, RadioMedium, SlotOutcomes, Topology, Transmission,
+};
 use gtt_rpl::{RplConfig, RplNode};
 use gtt_sim::{Pcg32, SimDuration, SimTime};
 use gtt_sixtop::SixtopLayer;
@@ -75,8 +77,32 @@ enum Pre {
 #[derive(Debug, Clone, Copy)]
 enum Planned {
     Tx(usize),
+    /// A due node's scheduled listen.
     Listen(usize),
+    /// A probed passive listener's listen (no plan/finish round-trip).
+    ProbedListen(usize),
     Sleep,
+}
+
+/// One row of the engine's dense listener-probe index: the node's next
+/// listen slot and the channel offset it will use there (physical
+/// channel = shared hopping sequence at that slot). Rows go stale when
+/// their node is *processed* — the only way its schedule can change —
+/// and are recomputed lazily on the next probe; until then every probe
+/// of a sleeping peer is an O(1) array read that never touches the node.
+#[derive(Debug, Clone, Copy)]
+struct ProbeEntry {
+    /// Raw ASN of the next listen ([`u64::MAX`] = never listens).
+    next: u64,
+    /// Channel offset of that listen.
+    offset: gtt_mac::ChannelOffset,
+}
+
+impl ProbeEntry {
+    const NEVER: ProbeEntry = ProbeEntry {
+        next: u64::MAX,
+        offset: gtt_mac::ChannelOffset::new(0),
+    };
 }
 
 /// Per-slot working memory, reused across slots so the hot loop does not
@@ -95,6 +121,16 @@ struct SlotScratch {
     planned: Vec<(usize, Planned)>,
     /// Processed nodes whose wake-up chain must be re-queued.
     resched: Vec<usize>,
+    /// The slot's transmissions, in due (= node) order.
+    transmissions: Vec<Transmission<Payload>>,
+    /// The slot's listeners, in node order.
+    listeners: Vec<Listener>,
+    /// The medium's per-listener / per-transmission outcomes.
+    outcomes: SlotOutcomes<Payload>,
+    /// Schedule versions of the due nodes (aligned with `due`), captured
+    /// before any processing so phase 5 can invalidate exactly the
+    /// probe-index rows whose schedule actually changed.
+    due_versions: Vec<u64>,
 }
 
 /// A simulated TSCH network.
@@ -118,14 +154,29 @@ pub struct Network {
     /// Whether the wake queue has been seeded (done lazily on the first
     /// stepping call, after scheduler `init` hooks installed cells).
     wake_init: bool,
-    /// Per-node "already woken this slot" scratch (reused, cleared after
-    /// every slot) for the listener probe.
-    wake_scratch: Vec<bool>,
-    /// Per-node listen-channel memo for the listener probe, keyed by
-    /// `ASN + 1` (0 = never probed): in a dense slot several
-    /// transmissions probe the same audible neighborhood, and a node's
-    /// listen channel is a pure function of the slot.
-    probe_cache: Vec<(u64, Option<gtt_net::PhysicalChannel>)>,
+    /// Per-node "due or already probed this slot" stamp (`ASN + 1`; 0 =
+    /// never) for the listener probe — stamping instead of clearing
+    /// makes the per-slot reset free.
+    wake_scratch: Vec<u64>,
+    /// Dense listener-probe index, one [`ProbeEntry`] per node.
+    probe_index: Vec<ProbeEntry>,
+    /// Per-node staleness of `probe_index` (set when the node is
+    /// processed, killed or externally mutated).
+    probe_stale: Vec<bool>,
+    /// Per-node authoritative wake slot: the raw ASN of the *latest*
+    /// entry pushed for the node (`u64::MAX` = none). Every state change
+    /// that can move a node's wake re-pushes and updates this, so a
+    /// popped entry whose ASN differs is provably superseded and is
+    /// dropped in O(1) — without this, deadlines that move later (a DIO
+    /// refreshing the earliest-expiry neighbor, an EB re-arm) leave a
+    /// trail of stale wake-ups that each cost a full no-op upkeep.
+    wake_slot: Vec<u64>,
+    /// Per-node slot of the *timer* component of the last scheduled
+    /// wake (`u64::MAX` = no timer pending). Deadlines only move while a
+    /// node is processed, and every processing reschedules, so a wake
+    /// strictly before this slot is a pure radio wake-up whose upkeep
+    /// pass is a provable no-op — skipped without touching the node.
+    timer_wake: Vec<u64>,
     /// Per-slot vectors, reused across slots.
     scratch: SlotScratch,
     /// Use the exhaustive per-slot oracle loop instead of the wake queue.
@@ -199,9 +250,13 @@ impl Network {
         if self.wake_init {
             if self.nodes[id.index()].alive {
                 self.settle_node(id.index(), self.asn.raw());
+                self.nodes[id.index()].mac.settle_backoff_to(self.asn.raw());
             }
+            self.wake_slot[id.index()] = self.asn.raw();
+            self.timer_wake[id.index()] = self.asn.raw();
             self.wake.push(Reverse((self.asn.raw(), id.index() as u32)));
         }
+        self.probe_stale[id.index()] = true;
         &mut self.nodes[id.index()]
     }
 
@@ -352,11 +407,25 @@ impl Network {
         // Phase 0+1: catch up lazy accounting, then run timers, control
         // plane and application for the due nodes (in node order — packet
         // ids are handed out here).
+        s.due_versions.clear();
         for &i in &s.due {
+            s.due_versions.push(self.nodes[i].mac.schedule().version());
             self.settle_node(i, asn_raw);
             self.nodes[i].accounted_asn = asn_raw + 1;
-            let output = self.nodes[i].upkeep(now);
-            self.apply_upkeep(i, output, now);
+            // Catch up skipped-range backoff consumption before upkeep
+            // can mutate the queues the closed form relies on.
+            self.nodes[i].mac.settle_backoff_to(asn_raw);
+            // Upkeep is a provable no-op strictly before the node's
+            // earliest deadline (every layer early-outs; no RNG draw, no
+            // state change), so pure radio wake-ups skip the whole pass
+            // — the oracle core runs it exhaustively and observes the
+            // same nothing. `timer_wake` is the rounded deadline slot
+            // recorded at scheduling time; deadlines cannot move without
+            // a processing that re-records it.
+            if self.naive || asn_raw >= self.timer_wake[i] {
+                let output = self.nodes[i].upkeep(now);
+                self.apply_upkeep(i, output, now);
+            }
         }
 
         // Phase 2: every due MAC plans its slot. Probed listeners never
@@ -365,7 +434,7 @@ impl Network {
         // a due node that provably sleeps (timer-only wake-up) settles
         // its counters directly instead of a plan/finish round-trip; the
         // oracle keeps calling `plan_slot` exhaustively.
-        let mut transmissions: Vec<Transmission<Payload>> = Vec::new();
+        s.transmissions.clear();
         s.pre_due.clear();
         for &i in &s.due {
             if !self.naive && self.nodes[i].mac.sleeps_at(self.asn) {
@@ -376,8 +445,8 @@ impl Network {
             match self.nodes[i].mac.plan_slot(self.asn) {
                 SlotAction::Sleep => s.pre_due.push((i, Pre::Sleep)),
                 SlotAction::Transmit { channel, frame, .. } => {
-                    s.pre_due.push((i, Pre::Tx(transmissions.len())));
-                    transmissions.push(Transmission { channel, frame });
+                    s.pre_due.push((i, Pre::Tx(s.transmissions.len())));
+                    s.transmissions.push(Transmission { channel, frame });
                 }
                 SlotAction::Listen { channel, .. } => s.pre_due.push((i, Pre::Listen(channel))),
             }
@@ -390,41 +459,79 @@ impl Network {
         // (multi-slotframe) nodes are already in `due` whenever they
         // listen, so probing only passive nodes is exhaustive. Audibility
         // is probed from `frame.src`, the same field the medium resolves
-        // against.
+        // against. Each audible peer is probed at most once per slot, no
+        // matter how many transmissions can reach it (the visited bitset
+        // dedups the neighborhood walk), and the common "peer sleeps"
+        // answer comes from the dense probe index without touching the
+        // peer at all: a row only needs recomputing when the cached
+        // listen slot has passed or the node was processed since. A peer
+        // listening this slot is matched against only the transmissions
+        // on *its* channel.
         s.extras.clear();
-        if !transmissions.is_empty() {
+        if !s.transmissions.is_empty() {
+            let asn = self.asn;
+            let stamp = asn_raw + 1; // 0 = never stamped
             let topology = self.medium.topology();
             let nodes = &mut self.nodes;
-            let marked = &mut self.wake_scratch;
-            let probe_cache = &mut self.probe_cache;
-            let slot_key = asn_raw + 1; // 0 = cache never written
+            let visited = &mut self.wake_scratch;
+            let probe = &mut self.probe_index;
+            let stale = &mut self.probe_stale;
+            let hopping = &self.config.hopping;
+            // With a single transmission each peer is visited once, so
+            // only the due-node marks are needed in the stamp array.
+            let multi_tx = s.transmissions.len() > 1;
             for &(i, _) in &s.pre_due {
-                marked[i] = true;
+                visited[i] = stamp;
             }
-            for t in &transmissions {
+            for t in &s.transmissions {
                 for &peer in topology.audible_neighbors(t.frame.src) {
                     let j = peer.index();
-                    if marked[j] || !nodes[j].alive {
+                    if visited[j] == stamp {
                         continue;
                     }
-                    let listen = if probe_cache[j].0 == slot_key {
-                        probe_cache[j].1
-                    } else {
-                        let ch = nodes[j].mac.listen_channel_at(self.asn);
-                        probe_cache[j] = (slot_key, ch);
-                        ch
-                    };
-                    if listen == Some(t.channel) {
-                        marked[j] = true;
-                        s.extras.push((j, t.channel));
+                    if multi_tx {
+                        visited[j] = stamp;
+                    }
+                    let mut entry = probe[j];
+                    if stale[j] || asn_raw > entry.next {
+                        // Recompute: the node was processed (schedule may
+                        // have moved) or the cached listen slot passed —
+                        // the latter, by far the common case, can trust
+                        // the node's wake cache without a staleness
+                        // check. Dead nodes pin a NEVER row — `kill_node`
+                        // marks them stale exactly once.
+                        let next = if !nodes[j].alive {
+                            None
+                        } else if stale[j] {
+                            nodes[j].mac.next_listen(asn)
+                        } else {
+                            nodes[j].mac.next_listen_cached(asn)
+                        };
+                        entry = match next {
+                            Some((l, offset)) => ProbeEntry {
+                                next: l.raw(),
+                                offset,
+                            },
+                            None => ProbeEntry::NEVER,
+                        };
+                        probe[j] = entry;
+                        stale[j] = false;
+                    }
+                    if entry.next != asn_raw {
+                        continue;
+                    }
+                    let listen = hopping.channel(asn, entry.offset);
+                    // The triggering transmission `t` is audible to the
+                    // peer by construction, so a channel match with it
+                    // needs no further scan.
+                    let audible_on_channel = listen == t.channel
+                        || s.transmissions
+                            .iter()
+                            .any(|t2| t2.channel == listen && topology.audible(t2.frame.src, peer));
+                    if audible_on_channel {
+                        s.extras.push((j, listen));
                     }
                 }
-            }
-            for &(i, _) in &s.pre_due {
-                marked[i] = false;
-            }
-            for &(j, _) in &s.extras {
-                marked[j] = false;
             }
             s.extras.sort_unstable_by_key(|&(j, _)| j);
             for &(j, _) in &s.extras {
@@ -438,7 +545,7 @@ impl Network {
         // RNG draws follow listener order, so order is part of
         // equivalence. Both inputs are sorted; a two-pointer merge avoids
         // sorting anything.
-        let mut listeners: Vec<Listener> = Vec::new();
+        s.listeners.clear();
         s.planned.clear();
         {
             let (mut a, mut b) = (0usize, 0usize);
@@ -457,16 +564,22 @@ impl Network {
                             s.planned.push((i, Planned::Tx(t)));
                             continue;
                         }
-                        Pre::Listen(channel) => (i, channel),
+                        Pre::Listen(channel) => {
+                            s.planned.push((i, Planned::Listen(s.listeners.len())));
+                            (i, channel)
+                        }
                     }
                 } else {
-                    let entry = s.extras[b];
+                    let (i, channel) = s.extras[b];
                     b += 1;
-                    entry
+                    s.planned
+                        .push((i, Planned::ProbedListen(s.listeners.len())));
+                    (i, channel)
                 };
-                s.planned.push((i, Planned::Listen(listeners.len())));
-                listeners.push(Listener {
-                    node: self.nodes[i].mac.id(),
+                // Node ids are assigned from vec indices at build time,
+                // so the id is derivable without touching the node.
+                s.listeners.push(Listener {
+                    node: NodeId::from_index(i),
                     channel,
                 });
             }
@@ -474,15 +587,24 @@ impl Network {
 
         // All-sleep slots (timer-only upkeep, nothing on the air) skip
         // the medium entirely: `finish_slot(Slept)` is a no-op beyond its
-        // sanity assert, and every due node needs requeueing.
-        if transmissions.is_empty() && listeners.is_empty() {
+        // sanity assert, and every due node needs requeueing. Upkeep may
+        // still have changed a schedule (an SF periodic hook), so the
+        // probe-index invalidation check runs here too.
+        if s.transmissions.is_empty() && s.listeners.is_empty() {
             s.resched.clear();
             s.resched.extend(s.planned.iter().map(|&(i, _)| i));
+            for (k, &i) in s.due.iter().enumerate() {
+                if self.nodes[i].mac.schedule().version() != s.due_versions[k] {
+                    self.probe_stale[i] = true;
+                }
+            }
             return;
         }
 
-        // Phase 4: the medium resolves all concurrent activity.
-        let mut outcomes = self.medium.resolve_slot(transmissions, listeners);
+        // Phase 4: the medium resolves all concurrent activity, into the
+        // reused outcome buffers.
+        self.medium
+            .resolve_slot_into(&s.transmissions, &s.listeners, &mut s.outcomes);
 
         // Phase 5: feed results back; deliver decoded frames upward.
         // `s.resched` collects the nodes whose wake-up chain must be
@@ -494,29 +616,48 @@ impl Network {
         // heap entry covers everything else, and skipping the re-push
         // also avoids a later spurious wake-up from the stale duplicate.
         s.resched.clear();
+        let mut du = 0usize; // cursor into due/due_versions for non-extras
         for &(i, ref p) in &s.planned {
-            let is_extra = s.extras.binary_search_by_key(&i, |&(j, _)| j).is_ok();
-            if is_extra {
+            if let Planned::ProbedListen(l) = *p {
                 // A probed listen completes without a plan/finish
                 // round-trip; only a delivery that left traffic queued or
                 // moved a timer deadline invalidates the listener's
-                // existing heap entry.
-                let Planned::Listen(l) = *p else {
-                    unreachable!("probed listener must listen");
+                // existing heap entry. Its probe-index row expires on its
+                // own (the cached listen slot is *this* slot).
+                let outcome = s.outcomes.take_rx(l);
+                // Only a decoded frame can reach the upper layers; for
+                // every other outcome the before/after bookkeeping below
+                // would be dead weight on the hot path.
+                let may_deliver = matches!(outcome, gtt_net::RxOutcome::Received(_));
+                let (deadline_before, schedule_before, queued_before) = if may_deliver {
+                    (
+                        self.nodes[i].next_timer_deadline(),
+                        self.nodes[i].mac.schedule().version(),
+                        self.nodes[i].mac.data_queue_len() + self.nodes[i].mac.control_queue_len(),
+                    )
+                } else {
+                    (None, 0, 0)
                 };
-                let deadline_before = self.nodes[i].next_timer_deadline();
-                let schedule_before = self.nodes[i].mac.schedule().version();
-                if let Some(frame) = self.nodes[i].mac.finish_probed_listen(outcomes.take_rx(l)) {
+                if let Some(frame) = self.nodes[i].mac.finish_probed_listen(self.asn, outcome) {
                     self.deliver(i, frame, now);
                     // A schedule mutation also invalidates the heap
-                    // entry: the delivery may have changed the node's Rx
-                    // union or even demoted it from passive to
-                    // always-wake, in which case the probe stops
-                    // covering its listens.
-                    if self.nodes[i].mac.data_queue_len() > 0
-                        || self.nodes[i].mac.control_queue_len() > 0
+                    // entry *and* the probe-index row: the delivery may
+                    // have changed the node's Rx union or even demoted
+                    // it from passive to always-wake, in which case the
+                    // probe stops covering its listens. Pre-existing
+                    // queued traffic does neither — the standing wake
+                    // entry was computed with it — so only queue
+                    // *growth* re-queues.
+                    let schedule_changed =
+                        self.nodes[i].mac.schedule().version() != schedule_before;
+                    if schedule_changed {
+                        self.probe_stale[i] = true;
+                    }
+                    if schedule_changed
+                        || self.nodes[i].mac.data_queue_len()
+                            + self.nodes[i].mac.control_queue_len()
+                            > queued_before
                         || self.nodes[i].next_timer_deadline() != deadline_before
-                        || self.nodes[i].mac.schedule().version() != schedule_before
                     {
                         s.resched.push(i);
                     }
@@ -525,9 +666,10 @@ impl Network {
             }
             let result = match *p {
                 Planned::Tx(t) => SlotResult::Transmitted {
-                    acked: outcomes.acked[t],
+                    acked: s.outcomes.acked[t],
                 },
-                Planned::Listen(l) => SlotResult::Listened(outcomes.take_rx(l)),
+                Planned::Listen(l) => SlotResult::Listened(s.outcomes.take_rx(l)),
+                Planned::ProbedListen(_) => unreachable!("handled above"),
                 Planned::Sleep => SlotResult::Slept,
             };
             // A MAC ETX estimate moves only when a unicast attempt is
@@ -537,8 +679,8 @@ impl Network {
             // flagging every failed attempt would pin lossy-link nodes'
             // RPL deadline at "now" and waste an O(degree) refresh per
             // retry.
-            let unicast_tx = matches!(*p, Planned::Tx(t) if outcomes.acked[t].is_some());
-            let acked = matches!(*p, Planned::Tx(t) if outcomes.acked[t] == Some(true));
+            let unicast_tx = matches!(*p, Planned::Tx(t) if s.outcomes.acked[t].is_some());
+            let acked = matches!(*p, Planned::Tx(t) if s.outcomes.acked[t] == Some(true));
             let drops_before = self.nodes[i].mac.counters().drops_retry_exhausted;
             if let Some(frame) = self.nodes[i].mac.finish_slot(result) {
                 self.deliver(i, frame, now);
@@ -548,6 +690,14 @@ impl Network {
             {
                 self.nodes[i].rpl.mark_link_stats_dirty();
             }
+            // Due nodes (upkeep hooks, deliveries, 6P) are the only ones
+            // that can move their own Rx schedule; invalidate the probe
+            // row exactly when that happened.
+            debug_assert_eq!(s.due[du], i, "planned non-extras follow due order");
+            if self.nodes[i].mac.schedule().version() != s.due_versions[du] {
+                self.probe_stale[i] = true;
+            }
+            du += 1;
             s.resched.push(i);
         }
     }
@@ -563,6 +713,8 @@ impl Network {
         let asn = self.asn.raw();
         for i in 0..self.nodes.len() {
             if self.nodes[i].alive {
+                self.wake_slot[i] = asn;
+                self.timer_wake[i] = asn; // first slot runs full upkeep
                 self.wake.push(Reverse((asn, i as u32)));
             }
         }
@@ -580,7 +732,10 @@ impl Network {
             }
             self.wake.pop();
             let i = idx as usize;
-            if self.nodes[i].alive {
+            // Entries superseded by a later re-push are dropped in O(1):
+            // the authoritative wake is whatever the node's last
+            // scheduling decision recorded.
+            if self.nodes[i].alive && self.wake_slot[i] == asn {
                 due.push(i);
             }
         }
@@ -610,12 +765,17 @@ impl Network {
             };
             asn.max(self.asn.raw())
         });
+        self.timer_wake[i] = timer.unwrap_or(u64::MAX);
         let wake = match (mac, timer) {
             (Some(m), Some(t)) => m.min(t),
             (Some(m), None) => m,
             (None, Some(t)) => t,
-            (None, None) => return,
+            (None, None) => {
+                self.wake_slot[i] = u64::MAX;
+                return;
+            }
         };
+        self.wake_slot[i] = wake;
         self.wake.push(Reverse((wake, i as u32)));
     }
 
@@ -708,6 +868,9 @@ impl Network {
             self.settle_node(i, self.asn.raw());
         }
         self.nodes[i].alive = false;
+        // The probe index may still predict a listen for this node; the
+        // stale row resolves to NEVER on its next probe.
+        self.probe_stale[i] = true;
     }
 
     /// Fault injection: overrides the PRR of the directed link `a → b`
@@ -775,9 +938,13 @@ impl Network {
             }
             Payload::Dio(dio) => {
                 let etx = self.nodes[i].mac.etx(frame.src);
-                let actions = self.nodes[i].rpl.handle_dio(frame.src, dio, etx, now);
+                let mut actions = self.nodes[i].take_rpl_actions();
+                self.nodes[i]
+                    .rpl
+                    .handle_dio_into(frame.src, dio, etx, now, &mut actions);
                 let mut out = UpkeepOutput::default();
-                self.nodes[i].process_rpl_actions(actions, now, &mut out);
+                self.nodes[i].process_rpl_actions(&mut actions, now, &mut out);
+                self.nodes[i].restore_rpl_actions(actions);
                 for (old, new) in out.parent_changes {
                     self.nodes[i]
                         .with_scheduler(now, |sf, ctx| sf.on_parent_changed(ctx, old, new));
@@ -932,8 +1099,11 @@ impl NetworkBuilder {
             snapshots: Vec::new(),
             wake: BinaryHeap::new(),
             wake_init: false,
-            wake_scratch: vec![false; n],
-            probe_cache: vec![(0, None); n],
+            wake_scratch: vec![0; n],
+            probe_index: vec![ProbeEntry::NEVER; n],
+            probe_stale: vec![true; n],
+            wake_slot: vec![u64::MAX; n],
+            timer_wake: vec![u64::MAX; n],
             scratch: SlotScratch::default(),
             naive: self.naive,
         };

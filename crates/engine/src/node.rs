@@ -98,6 +98,12 @@ pub struct Node {
     /// Drain scratch for the wheel, reused across upkeep passes so the
     /// engine hot path never allocates for timer firing.
     fired_timers: Vec<TimerKind>,
+    /// RPL action scratch (fire_due / handle_dio out-buffer), reused so
+    /// steady-state housekeeping and DIO handling never allocate.
+    rpl_actions: Vec<RplAction>,
+    /// Scheduler-hook control-message scratch ([`SfContext::out`]),
+    /// reused for the same reason.
+    control_out: Vec<OutgoingControl>,
     /// Nominal EB period (jittered ±25% per beacon).
     pub(crate) eb_period: SimDuration,
     /// `false` once the node has been killed by fault injection; a dead
@@ -144,6 +150,8 @@ impl Node {
             rng,
             timers: TimerWheel::new(),
             fired_timers: Vec::new(),
+            rpl_actions: Vec::new(),
+            control_out: Vec::new(),
             eb_period: SimDuration::from_secs(2),
             alive: true,
             routing_drops: 0,
@@ -199,7 +207,9 @@ impl Node {
         now: SimTime,
         f: impl FnOnce(&mut dyn SchedulingFunction, &mut SfContext<'_>),
     ) {
-        let mut out = Vec::new();
+        // Reused out-buffer (taken for the duration of the hook): hooks
+        // that queue nothing — the steady-state norm — never allocate.
+        let mut out = std::mem::take(&mut self.control_out);
         let app_rate = self.app.as_ref().map_or(0.0, |a| a.rate_ppm);
         {
             let Node {
@@ -221,12 +231,13 @@ impl Node {
             };
             f(scheduler.as_mut(), &mut ctx);
         }
-        self.flush_control(out, now);
+        self.flush_control(&mut out, now);
+        self.control_out = out;
     }
 
-    /// Enqueues scheduler-produced control messages.
-    pub(crate) fn flush_control(&mut self, out: Vec<OutgoingControl>, now: SimTime) {
-        for msg in out {
+    /// Enqueues scheduler-produced control messages, draining `out`.
+    pub(crate) fn flush_control(&mut self, out: &mut Vec<OutgoingControl>, now: SimTime) {
+        for msg in out.drain(..) {
             self.enqueue_control_payload(msg.to, msg.payload, now);
         }
     }
@@ -243,14 +254,15 @@ impl Node {
         let _ = self.mac.enqueue_control(frame, class);
     }
 
-    /// Handles RPL actions produced by `handle_dio` or `poll`.
+    /// Handles RPL actions produced by `handle_dio_into` or
+    /// `fire_due_into`, draining `actions` (a reusable buffer).
     pub(crate) fn process_rpl_actions(
         &mut self,
-        actions: Vec<RplAction>,
+        actions: &mut Vec<RplAction>,
         now: SimTime,
         output: &mut UpkeepOutput,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 RplAction::BroadcastDio(mut dio) => {
                     // Patch in the GT-TSCH l_rx option (paper §VII).
@@ -311,15 +323,19 @@ impl Node {
 
         // RPL housekeeping: deadline-driven — the call is a provable
         // no-op before `RplNode::next_deadline`, so running it on every
-        // upkeep costs nothing on wake-ups where no RPL work is due.
-        let actions = {
+        // upkeep costs nothing on wake-ups where no RPL work is due. The
+        // action buffer is node-owned scratch: steady-state firing (a
+        // Trickle DIO, a DAO refresh) appends into warm capacity.
+        let mut actions = std::mem::take(&mut self.rpl_actions);
+        {
             let Node { mac, rpl, .. } = self;
             let etx = |n: NodeId| mac.etx(n);
-            rpl.fire_due(now, &etx)
-        };
-        if !actions.is_empty() {
-            self.process_rpl_actions(actions, now, &mut output);
+            rpl.fire_due_into(now, &etx, &mut actions);
         }
+        if !actions.is_empty() {
+            self.process_rpl_actions(&mut actions, now, &mut output);
+        }
+        self.rpl_actions = actions;
 
         // 6P timeouts / retries.
         let (resends, failures) = self.sixtop.poll(now);
@@ -345,6 +361,19 @@ impl Node {
         }
 
         output
+    }
+
+    /// Takes the node's reusable RPL action buffer (empty) for an
+    /// out-of-band `handle_dio_into` call; return it with
+    /// [`Node::restore_rpl_actions`].
+    pub(crate) fn take_rpl_actions(&mut self) -> Vec<RplAction> {
+        std::mem::take(&mut self.rpl_actions)
+    }
+
+    /// Returns the buffer taken by [`Node::take_rpl_actions`].
+    pub(crate) fn restore_rpl_actions(&mut self, actions: Vec<RplAction>) {
+        debug_assert!(actions.is_empty(), "RPL action buffer must be drained");
+        self.rpl_actions = actions;
     }
 
     /// Routes a 6P event through the scheduler.

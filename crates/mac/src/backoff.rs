@@ -76,6 +76,14 @@ impl SharedCellBackoff {
         self.window = self.window.saturating_sub(1);
     }
 
+    /// Bulk form of [`SharedCellBackoff::on_shared_cell_skipped`]: `n`
+    /// qualifying shared cells passed while the node provably slept (the
+    /// event-driven engine settles skipped ranges in closed form instead
+    /// of waking per cell).
+    pub fn on_shared_cells_skipped(&mut self, n: u32) {
+        self.window = self.window.saturating_sub(n);
+    }
+
     /// Called after a successful (acknowledged) shared-cell transmission:
     /// resets the exponent and clears any pending window.
     pub fn on_success(&mut self) {

@@ -7,8 +7,8 @@ use crate::asn::Asn;
 use crate::backoff::SharedCellBackoff;
 use crate::cell::{Cell, CellClass};
 use crate::config::MacConfig;
-use crate::hopping::HoppingSequence;
-use crate::slotframe::Schedule;
+use crate::hopping::{ChannelOffset, HoppingSequence};
+use crate::slotframe::{count_congruent, crt_combine, Schedule, SlotframeHandle};
 use crate::stats::LinkStats;
 use crate::traffic::TrafficClass;
 
@@ -116,6 +116,13 @@ struct WakeCache {
     /// `None` only for pathological schedules beyond the caps, which
     /// fall back to waking on every active slot.
     rx_union: Option<crate::slotframe::RxUnion>,
+    /// Listen-miss memo `(covered_from, next_listen)`: the node provably
+    /// has no Rx slot in `[covered_from, next_listen)`. The engine's
+    /// listener probe asks [`TschMac::listen_channel_at`] for every
+    /// audible peer of every busy slot, and in dense slots the common
+    /// answer — "not listening" — becomes O(1) instead of a union query.
+    /// Rebuilt with the cache, so schedule changes invalidate it.
+    listen_miss_memo: (u64, u64),
 }
 
 /// The TSCH MAC for one node.
@@ -168,6 +175,120 @@ pub struct TschMac<P> {
     link_stats: Vec<Option<LinkStats>>,
     counters: MacCounters,
     wake_cache: Option<WakeCache>,
+    /// Candidate-cell scratch for `plan_slot`, reused every active slot
+    /// so the per-slot hot path never allocates.
+    plan_scratch: Vec<(SlotframeHandle, Cell)>,
+    /// Memoized [`TschMac::next_radio_wake`] answer (see
+    /// [`RadioWakeMemo`]): the engine re-asks after every processed slot,
+    /// and between queue/schedule mutations the answer cannot change.
+    radio_wake_memo: Option<RadioWakeMemo>,
+    /// First ASN whose shared-cell backoff consumption has *not* been
+    /// applied yet. Between processings, queues and schedule are frozen,
+    /// so the slots in which `plan_slot` would have consumed one backoff
+    /// unit (some shared Tx cell with a matching queued frame) form a
+    /// small union of arithmetic progressions — the engine settles whole
+    /// skipped ranges in closed form ([`TschMac::settle_backoff_to`])
+    /// instead of waking the node once per contended shared cell.
+    backoff_anchor: u64,
+    /// Scratch for the qualifying `(slot offset, frame length)`
+    /// progressions, reused so settling never allocates.
+    backoff_progs: Vec<(u64, u64)>,
+    /// Cache key for `backoff_progs`: `(schedule version, control-queue
+    /// mutations, data-queue mutations)`. The qualifying set is a pure
+    /// function of those, and contended nodes are probed as listeners
+    /// many times between mutations.
+    backoff_progs_key: Option<(u64, u64, u64)>,
+    /// Whether the cached `backoff_progs` suppressed a duplicate.
+    backoff_progs_dup: bool,
+}
+
+/// Cached `next_radio_wake` answer, keyed by everything that can move
+/// it: the schedule version and both queues' content-mutation counters.
+/// `answer` holds for any query `from` in `[from, answer]` (and for any
+/// `from ≥ from` when `answer` is `None` — "never" cannot become sooner
+/// without a mutation).
+#[derive(Debug, Clone, Copy)]
+struct RadioWakeMemo {
+    sched_version: u64,
+    ctrl_mutations: u64,
+    data_mutations: u64,
+    /// Pending backoff window at memo time — a settled skip changes the
+    /// release slot, so it is part of the key.
+    pending_backoff: u32,
+    from: u64,
+    answer: Option<u64>,
+}
+
+/// Number of slots in `[from, to)` covered by at least one of the
+/// arithmetic progressions `(offset, period)`: inclusion–exclusion with
+/// CRT-combined overlap classes. Only the first 4 progressions enter the
+/// exclusion terms — callers with more progressions never let the engine
+/// skip a covered slot, so every range they query is covered-slot-free
+/// and all terms are zero regardless.
+fn count_progression_union(progs: &[(u64, u64)], from: u64, to: u64) -> u64 {
+    if to <= from || progs.is_empty() {
+        return 0;
+    }
+    if let [(off, len)] = progs {
+        return count_congruent(from, to, *off, *len);
+    }
+    let n = progs.len().min(4);
+    let mut total: i64 = 0;
+    for mask in 1u32..(1 << n) {
+        let mut combined: Option<(u64, u64)> = Some((0, 1));
+        for (i, &(off, len)) in progs[..n].iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            combined = combined.and_then(|(r, m)| crt_combine(r, m, off, len));
+        }
+        let Some((r, m)) = combined else {
+            continue; // incompatible congruences: empty intersection
+        };
+        let sign: i64 = if mask.count_ones() % 2 == 1 { 1 } else { -1 };
+        total += sign * count_congruent(from, to, r, m) as i64;
+    }
+    total.max(0) as u64
+}
+
+/// The first slot at or after `from` covered by any progression.
+fn next_progression_occurrence(progs: &[(u64, u64)], from: u64) -> u64 {
+    progs
+        .iter()
+        .map(|&(off, len)| from + ((off + len - from % len) % len))
+        .min()
+        .expect("caller checks progs is non-empty")
+}
+
+/// The slot at which a node with `pending` backoff skips left may next
+/// act on its shared cells: exactly the `(pending + 1)`-th qualifying
+/// occurrence when the qualifying slots are a single clean progression
+/// (the skips in between are provable sleeps), and conservatively the
+/// `pending`-th (the last consuming slot, where `plan_slot` re-runs the
+/// exact per-slot logic) when several progressions or co-located cells
+/// make mid-slot exhaustion possible. `None` when nothing qualifies.
+fn backoff_release_slot(progs: &[(u64, u64)], dup: bool, from: u64, pending: u32) -> Option<u64> {
+    let pending = u64::from(pending);
+    match progs {
+        [] => None,
+        [(off, len)] if !dup => {
+            Some(next_progression_occurrence(&[(*off, *len)], from) + pending * len)
+        }
+        _ => {
+            if progs.len() > 4 || pending > 256 {
+                // Degenerate schedules: wake at every qualifying slot
+                // (the pre-settling behavior, always sound).
+                return Some(next_progression_occurrence(progs, from));
+            }
+            let mut cursor = from;
+            let mut last = from;
+            for _ in 0..pending {
+                last = next_progression_occurrence(progs, cursor);
+                cursor = last + 1;
+            }
+            Some(last)
+        }
+    }
 }
 
 impl<P: Clone> TschMac<P> {
@@ -194,6 +315,12 @@ impl<P: Clone> TschMac<P> {
             link_stats: Vec::new(),
             counters: MacCounters::default(),
             wake_cache: None,
+            plan_scratch: Vec::new(),
+            radio_wake_memo: None,
+            backoff_anchor: 0,
+            backoff_progs: Vec::new(),
+            backoff_progs_key: None,
+            backoff_progs_dup: false,
         }
     }
 
@@ -403,7 +530,12 @@ impl<P: Clone> TschMac<P> {
             return;
         }
         let rx_union = self.schedule.rx_union();
-        self.wake_cache = Some(WakeCache { version, rx_union });
+        self.wake_cache = Some(WakeCache {
+            version,
+            rx_union,
+            // Empty interval: no slot is covered until the first miss.
+            listen_miss_memo: (1, 0),
+        });
     }
 
     /// True when the node's Rx slots are exactly enumerable by the
@@ -429,15 +561,145 @@ impl<P: Clone> TschMac<P> {
     /// index's complexity caps fall back to
     /// [`TschMac::next_active_asn`], i.e. every listen slot is a wake-up.
     pub fn next_radio_wake(&mut self, from: Asn) -> Option<Asn> {
-        if self.is_passive_listener() {
-            if self.data_queue.is_empty() && self.control_queue.is_empty() {
-                return None;
+        // Memo fast path: the answer only moves on a schedule, queue or
+        // backoff mutation, and a cached `Some(a)` covers every query in
+        // `[memo.from, a]` (a cached `None` covers all of
+        // `[memo.from, ∞)`).
+        let sched_version = self.schedule.version();
+        let ctrl_mutations = self.control_queue.mutations();
+        let data_mutations = self.data_queue.mutations();
+        let pending_backoff = self.backoff.pending();
+        if let Some(memo) = self.radio_wake_memo {
+            if memo.sched_version == sched_version
+                && memo.ctrl_mutations == ctrl_mutations
+                && memo.data_mutations == data_mutations
+                && memo.pending_backoff == pending_backoff
+                && memo.from <= from.raw()
+                && memo.answer.map_or(true, |a| from.raw() <= a)
+            {
+                return memo.answer.map(Asn::new);
             }
-            self.schedule
-                .next_active_asn(from, |cell| cell.options.tx && self.has_frame_for(cell))
+        }
+        let answer = if self.is_passive_listener() {
+            if self.data_queue.is_empty() && self.control_queue.is_empty() {
+                None
+            } else if pending_backoff == 0 {
+                self.schedule
+                    .next_active_asn(from, |cell| cell.options.tx && self.has_frame_for(cell))
+            } else {
+                // A backoff window is pending: blocked shared Tx-only
+                // cells are provable sleeps (their consumption is
+                // settled in closed form — `settle_backoff_to`), and
+                // blocked shared Tx+Rx cells fall back to passive
+                // listens the probe already covers. Wake at the earlier
+                // of the next contention-free transmission and the slot
+                // where the window releases the shared cells.
+                let dedicated = self.schedule.next_active_asn(from, |cell| {
+                    cell.options.tx && !cell.options.shared && self.has_frame_for(cell)
+                });
+                self.refresh_backoff_progs();
+                let release = backoff_release_slot(
+                    &self.backoff_progs,
+                    self.backoff_progs_dup,
+                    from.raw(),
+                    pending_backoff,
+                );
+                match (dedicated.map(Asn::raw), release) {
+                    (Some(d), Some(r)) => Some(Asn::new(d.min(r))),
+                    (Some(d), None) => Some(Asn::new(d)),
+                    (None, Some(r)) => Some(Asn::new(r)),
+                    (None, None) => None,
+                }
+            }
         } else {
             self.next_active_asn(from)
+        };
+        self.radio_wake_memo = Some(RadioWakeMemo {
+            sched_version,
+            ctrl_mutations,
+            data_mutations,
+            pending_backoff,
+            from: from.raw(),
+            answer: answer.map(Asn::raw),
+        });
+        answer
+    }
+
+    /// Settles the shared-cell backoff over `[backoff_anchor, to)`:
+    /// every slot of the range in which `plan_slot` would have consumed
+    /// one unit of pending window — some shared Tx cell with a matching
+    /// queued frame — is counted in closed form and consumed in bulk.
+    ///
+    /// Must run at the *start* of processing the node (before any queue
+    /// or schedule mutation of the slot): the closed form relies on the
+    /// state having been frozen since the anchor, which is exactly the
+    /// event-driven engine's skipped-range invariant. No-op on the naive
+    /// oracle core, where every slot is processed and the range is
+    /// always empty.
+    pub fn settle_backoff_to(&mut self, to: u64) {
+        if to <= self.backoff_anchor {
+            return;
         }
+        let from = self.backoff_anchor;
+        self.backoff_anchor = to;
+        if self.backoff.may_transmit()
+            || (self.data_queue.is_empty() && self.control_queue.is_empty())
+        {
+            return;
+        }
+        self.refresh_backoff_progs();
+        let progs = std::mem::take(&mut self.backoff_progs);
+        if !progs.is_empty() {
+            let q = count_progression_union(&progs, from, to);
+            if q > 0 {
+                self.backoff
+                    .on_shared_cells_skipped(q.min(u64::from(u32::MAX)) as u32);
+            }
+        }
+        self.backoff_progs = progs;
+    }
+
+    /// Rebuilds the cached qualifying-progression set if the schedule or
+    /// either queue changed since it was last collected.
+    fn refresh_backoff_progs(&mut self) {
+        let key = (
+            self.schedule.version(),
+            self.control_queue.mutations(),
+            self.data_queue.mutations(),
+        );
+        if self.backoff_progs_key == Some(key) {
+            return;
+        }
+        let mut progs = std::mem::take(&mut self.backoff_progs);
+        self.backoff_progs_dup = self.collect_backoff_progs(&mut progs);
+        self.backoff_progs = progs;
+        self.backoff_progs_key = Some(key);
+    }
+
+    /// Collects the `(slot offset, frame length)` progressions of the
+    /// node's *qualifying* slots — slots holding at least one shared Tx
+    /// cell with a matching queued frame — into `out` (deduplicated).
+    /// Returns `true` when a duplicate progression was suppressed, i.e.
+    /// one slot can hold several qualifying cells (the release-slot
+    /// computation must then stay conservative: a second shared cell in
+    /// the window-exhausting slot could transmit in it).
+    fn collect_backoff_progs(&self, out: &mut Vec<(u64, u64)>) -> bool {
+        out.clear();
+        let mut dup = false;
+        for (_, frame) in self.schedule.iter() {
+            let len = u64::from(frame.length());
+            for cell in frame.cells() {
+                if cell.options.tx && cell.options.shared && self.has_frame_for(cell) {
+                    let prog = (u64::from(cell.slot.raw()), len);
+                    if out.contains(&prog) {
+                        dup = true;
+                    } else {
+                        out.push(prog);
+                    }
+                }
+            }
+        }
+        dup
     }
 
     /// The physical channel this node would listen on in slot `asn`, or
@@ -452,9 +714,57 @@ impl<P: Clone> TschMac<P> {
     /// not probes).
     pub fn listen_channel_at(&mut self, asn: Asn) -> Option<PhysicalChannel> {
         self.refresh_wake_cache();
+        let cache = self.wake_cache.as_mut()?;
+        let union = cache.rx_union.as_ref()?;
+        let a = asn.raw();
+        let (covered_from, next_listen) = cache.listen_miss_memo;
+        if covered_from <= a && a < next_listen {
+            return None;
+        }
+        if let Some(offset) = union.channel_offset_at(a) {
+            return Some(self.hopping.channel(asn, offset));
+        }
+        // Not listening at `a`: memoize the whole quiet gap, so the
+        // engine's per-slot probes of this node answer in O(1) until its
+        // next actual Rx slot.
+        let next = union.next_listen_at_or_after(a + 1).unwrap_or(u64::MAX);
+        cache.listen_miss_memo = (a, next);
+        None
+    }
+
+    /// The first slot at or after `from` in which this passive listener
+    /// would listen, with the channel *offset* of that listen (chain
+    /// priority resolved like [`TschMac::listen_channel_at`]). `None`
+    /// when the node never listens on its own (no Rx cells, or a
+    /// beyond-caps schedule, which is always-wake and never probed).
+    ///
+    /// This is the engine's dense listener-probe index feed: one query
+    /// lets the engine skip the node O(1) — without touching it — for
+    /// every slot strictly before the returned one, and resolve the
+    /// physical channel at that slot from the shared hopping sequence.
+    pub fn next_listen(&mut self, from: Asn) -> Option<(Asn, ChannelOffset)> {
+        self.refresh_wake_cache();
+        self.next_listen_cached(from)
+    }
+
+    /// [`TschMac::next_listen`] without the wake-cache staleness check:
+    /// for callers that track schedule changes themselves (the engine's
+    /// probe index marks rows stale on any schedule mutation and only
+    /// takes this path on rows it knows are fresh).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the wake cache really is current.
+    pub fn next_listen_cached(&self, from: Asn) -> Option<(Asn, ChannelOffset)> {
+        debug_assert!(
+            self.wake_cache
+                .as_ref()
+                .is_some_and(|c| c.version == self.schedule.version()),
+            "next_listen_cached on a stale wake cache"
+        );
         let union = self.wake_cache.as_ref()?.rx_union.as_ref()?;
-        let offset = union.channel_offset_at(asn.raw())?;
-        Some(self.hopping.channel(asn, offset))
+        let (next, offset) = union.next_listen_with_offset(from.raw())?;
+        Some((Asn::new(next), offset))
     }
 
     /// True when `plan_slot(asn)` would provably return
@@ -473,17 +783,23 @@ impl<P: Clone> TschMac<P> {
 
     /// Completes a probed listen slot in one call: exactly
     /// [`TschMac::plan_slot`] selecting the slot's listen cell (which
-    /// only increments the slot counter) followed by
+    /// only increments the slot counter and settles backoff, including
+    /// this slot's own consumption if a blocked shared Tx+Rx cell with a
+    /// queued frame is what schedules the listen) followed by
     /// [`TschMac::finish_slot`] with `Listened(outcome)`.
     ///
-    /// Only valid when the node would listen at the current slot
+    /// Only valid when the node would listen at slot `asn`
     /// ([`TschMac::listen_channel_at`] returned the channel) — the
     /// engine's listener probe guarantees it.
-    pub fn finish_probed_listen(&mut self, outcome: RxOutcome<P>) -> Option<Frame<P>> {
+    pub fn finish_probed_listen(&mut self, asn: Asn, outcome: RxOutcome<P>) -> Option<Frame<P>> {
         debug_assert!(
             self.in_flight.is_none(),
             "probed listen with a packet in flight"
         );
+        // Settle *through* this slot before the delivery below can touch
+        // the queues: a probed node never transmits here, so its
+        // consumption (if any) is pure closed-form arithmetic.
+        self.settle_backoff_to(asn.raw() + 1);
         self.counters.slots += 1;
         self.handle_rx_outcome(outcome)
     }
@@ -525,8 +841,28 @@ impl<P: Clone> TschMac<P> {
             "finish_slot() must be called before planning the next slot"
         );
         self.counters.slots += 1;
+        // Catch up any backoff consumption the engine skipped over;
+        // this slot's own consumption is the candidate scan's job, and
+        // the anchor advance below marks it as handled.
+        self.settle_backoff_to(asn.raw());
 
-        let candidates = self.schedule.cells_at(asn);
+        // Candidate cells land in the reused scratch, taken out for the
+        // scan so the queue/backoff mutations below can borrow `self`.
+        let mut candidates = std::mem::take(&mut self.plan_scratch);
+        self.schedule.cells_at_into(asn, &mut candidates);
+        let action = self.plan_slot_from(asn, &candidates);
+        self.plan_scratch = candidates;
+        self.backoff_anchor = self.backoff_anchor.max(asn.raw() + 1);
+        action
+    }
+
+    /// The candidate scan behind [`TschMac::plan_slot`]; `candidates` is
+    /// the schedule's priority-ordered cell list for the slot.
+    fn plan_slot_from(
+        &mut self,
+        asn: Asn,
+        candidates: &[(SlotframeHandle, Cell)],
+    ) -> SlotAction<P> {
         if candidates.is_empty() {
             self.counters.sleep_slots += 1;
             return SlotAction::Sleep;
@@ -535,7 +871,7 @@ impl<P: Clone> TschMac<P> {
         let mut listen_cell: Option<Cell> = None;
         let mut backoff_consumed = false;
 
-        for (_handle, cell) in &candidates {
+        for (_handle, cell) in candidates {
             if cell.options.tx {
                 if cell.options.shared && !self.backoff.may_transmit() {
                     // Pending backoff: this shared cell is skipped for Tx.
@@ -1220,6 +1556,46 @@ mod tests {
         // Bulk accounting matches the slot-by-slot reference exactly.
         m.account_skipped(56, listens);
         assert_eq!(m.counters(), reference.counters());
+    }
+
+    #[test]
+    fn listen_miss_memo_is_order_independent() {
+        // The listen-miss memo inside the wake cache is an interval, not
+        // a cursor: probing slots in ascending, descending or strided
+        // order must give identical answers. A fresh clone per query is
+        // the memo-free reference.
+        let mut m = mac();
+        install_schedule(&mut m); // 4-slot frame, listens at offsets 0, 2
+        let mut sf2 = Slotframe::new(7);
+        sf2.add(Cell::data_rx(
+            SlotOffset::new(5),
+            ChannelOffset::new(2),
+            NodeId::new(3),
+        ));
+        m.schedule_mut().add_slotframe(SlotframeHandle::new(1), sf2);
+
+        let expected: Vec<_> = (0..56u64)
+            .map(|raw| m.clone().listen_channel_at(Asn::new(raw)))
+            .collect();
+        let ascending: Vec<_> = (0..56u64)
+            .map(|raw| m.listen_channel_at(Asn::new(raw)))
+            .collect();
+        assert_eq!(ascending, expected);
+        let mut descending: Vec<_> = (0..56u64)
+            .rev()
+            .map(|raw| m.listen_channel_at(Asn::new(raw)))
+            .collect();
+        descending.reverse();
+        assert_eq!(descending, expected);
+        for stride in [3u64, 5, 11] {
+            for raw in (0..56).step_by(stride as usize) {
+                assert_eq!(
+                    m.listen_channel_at(Asn::new(raw)),
+                    expected[raw as usize],
+                    "stride {stride}, slot {raw}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -218,11 +218,19 @@ impl Schedule {
     /// (slotframe handle, then insertion order).
     pub fn cells_at(&self, asn: Asn) -> Vec<(SlotframeHandle, Cell)> {
         let mut out = Vec::new();
+        self.cells_at_into(asn, &mut out);
+        out
+    }
+
+    /// [`Schedule::cells_at`] into a caller-owned buffer (cleared first):
+    /// the MAC's `plan_slot` runs this every active slot and reuses one
+    /// scratch vector so the per-slot hot path does not allocate.
+    pub fn cells_at_into(&self, asn: Asn, out: &mut Vec<(SlotframeHandle, Cell)>) {
+        out.clear();
         for (handle, frame) in &self.frames {
             let slot = frame.slot_of(asn);
             out.extend(frame.cells_at(slot).map(|c| (*handle, *c)));
         }
-        out
     }
 
     /// The earliest slot at or after `from` in which *any* slotframe holds
@@ -301,6 +309,18 @@ impl RxChain {
             .binary_search_by_key(&off, |&(o, _)| o)
             .ok()
             .map(|i| self.slots[i].1)
+    }
+
+    /// The first slot at or after `from` in which this chain listens.
+    /// Chains are non-empty by construction, so an answer always exists.
+    fn next_at_or_after(&self, from: u64) -> u64 {
+        let off = from % self.len;
+        let i = self.slots.partition_point(|&(o, _)| o < off);
+        match self.slots.get(i) {
+            Some(&(o, _)) => from + (o - off),
+            // Wrap: the first offset of the next slotframe cycle.
+            None => from + (self.len - off) + self.slots[0].0,
+        }
     }
 
     /// How many slots in `[from, to)` this chain listens in. Pure cyclic
@@ -410,6 +430,36 @@ impl RxUnion {
             .find_map(|c| c.channel_offset_at(asn_raw))
     }
 
+    /// The first slot at or after `from` in which *any* chain listens,
+    /// or `None` for a union with no chains (the node never listens).
+    /// Powers the MAC's listen-miss memo: one query buys O(1) "not
+    /// listening" answers for every slot up to the result.
+    pub(crate) fn next_listen_at_or_after(&self, from: u64) -> Option<u64> {
+        self.chains.iter().map(|c| c.next_at_or_after(from)).min()
+    }
+
+    /// [`RxUnion::next_listen_at_or_after`] fused with the channel
+    /// lookup: the first listen slot at or after `from` together with
+    /// the channel offset used there (first chain in priority order wins
+    /// on ties, matching [`RxUnion::channel_offset_at`]). One pass over
+    /// the chains — this runs once per listen slot per probed node, the
+    /// engine's densest recurring query.
+    pub(crate) fn next_listen_with_offset(&self, from: u64) -> Option<(u64, ChannelOffset)> {
+        let mut best: Option<(u64, ChannelOffset)> = None;
+        for chain in &self.chains {
+            let at = chain.next_at_or_after(from);
+            // Strictly-less keeps the earliest (priority-first) chain on
+            // ties, matching the per-slot lookup's first-wins rule.
+            if best.map_or(true, |(b, _)| at < b) {
+                let offset = chain
+                    .channel_offset_at(at)
+                    .expect("next_at_or_after returns a listen slot of the chain");
+                best = Some((at, offset));
+            }
+        }
+        best
+    }
+
     /// Exact number of slots in `[from, to)` in which at least one chain
     /// listens: inclusion–exclusion with the single-chain terms in
     /// closed form and the pre-solved cross-chain overlap classes from
@@ -427,8 +477,23 @@ impl RxUnion {
         }
         let singles: u64 = self.chains.iter().map(|c| c.count_in(from, to)).sum();
         let mut correction: i64 = 0;
+        let span = to - from;
         for &(sign, r, m) in &self.overlaps {
-            correction += sign as i64 * count_congruent(from, to, r, m) as i64;
+            // Settled ranges are usually far shorter than an overlap
+            // class's modulus (the lcm of ≥ 2 frame lengths): the class
+            // then contributes 0 or 1, answerable with a single division
+            // instead of the two in the closed-form count.
+            let count = if span <= m {
+                let rem = from % m;
+                let mut gap = r + m - rem;
+                if gap >= m {
+                    gap -= m;
+                }
+                i64::from(gap < span)
+            } else {
+                count_congruent(from, to, r, m) as i64
+            };
+            correction += sign as i64 * count;
         }
         let total = singles as i64 + correction;
         debug_assert!(total >= 0, "inclusion-exclusion went negative");
@@ -462,7 +527,7 @@ fn collect_crt_tuples(
 }
 
 /// Number of `x` in `[from, to)` with `x ≡ r (mod m)` (`r < m`).
-fn count_congruent(from: u64, to: u64, r: u64, m: u64) -> u64 {
+pub(crate) fn count_congruent(from: u64, to: u64, r: u64, m: u64) -> u64 {
     debug_assert!(r < m, "residue must be reduced");
     let below = |n: u64| if n > r { (n - 1 - r) / m + 1 } else { 0 };
     below(to).saturating_sub(below(from))
@@ -473,7 +538,7 @@ fn count_congruent(from: u64, to: u64, r: u64, m: u64) -> u64 {
 /// congruences are incompatible (`r1 ≢ r2 mod gcd`). Intermediates use
 /// `u128`/`i128`: with ≤ [`MAX_CHAINS`] chains of `u16` lengths the lcm
 /// stays below 2⁶⁴, but products en route do not.
-fn crt_combine(r1: u64, m1: u64, r2: u64, m2: u64) -> Option<(u64, u64)> {
+pub(crate) fn crt_combine(r1: u64, m1: u64, r2: u64, m2: u64) -> Option<(u64, u64)> {
     let g = gcd(m1, m2);
     let diff = r2 as i128 - r1 as i128;
     if diff.rem_euclid(g as i128) != 0 {

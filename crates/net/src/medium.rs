@@ -66,6 +66,10 @@ impl<P> RxOutcome<P> {
 }
 
 /// Result of resolving one slot.
+///
+/// Reusable: [`RadioMedium::resolve_slot_into`] clears and refills the
+/// vectors, so a caller that keeps one instance alive pays no per-slot
+/// allocation once the capacities have warmed up.
 #[derive(Debug, Clone)]
 pub struct SlotOutcomes<P> {
     /// Outcome per listener, in the order listeners were supplied.
@@ -75,6 +79,15 @@ pub struct SlotOutcomes<P> {
     /// the reverse link; `Some(false)` if unicast and not acknowledged;
     /// `None` for broadcasts (never acknowledged).
     pub acked: Vec<Option<bool>>,
+}
+
+impl<P> Default for SlotOutcomes<P> {
+    fn default() -> Self {
+        SlotOutcomes {
+            rx: Vec::new(),
+            acked: Vec::new(),
+        }
+    }
 }
 
 impl<P> SlotOutcomes<P> {
@@ -128,6 +141,37 @@ pub struct RadioMedium {
     /// When `true`, ACK frames are themselves subject to the reverse
     /// link's PRR; when `false`, ACKs of decoded frames always arrive.
     lossy_acks: bool,
+    /// Per-slot working memory, reused across slots.
+    scratch: MediumScratch,
+}
+
+/// Reusable per-slot buffers behind [`RadioMedium::resolve_slot_into`]:
+/// the per-channel transmitter index and the half-duplex bitset. All
+/// state is rebuilt each slot; keeping the allocations alive is what
+/// makes steady-state resolution allocation-free.
+#[derive(Debug, Clone, Default)]
+struct MediumScratch {
+    /// `channel number → bucket index + 1` (0 = no transmission on that
+    /// channel this slot). 256 entries, allocated on first use; only the
+    /// `active` entries are ever non-zero, so per-slot reset is O(active
+    /// channels), not O(256).
+    chan_map: Vec<u16>,
+    /// Distinct channel numbers with ≥ 1 transmission this slot (TSCH
+    /// hops over ≤ 16 channels, so this stays tiny).
+    active: Vec<u8>,
+    /// Per bucket: `(start, len)` span into `grouped`.
+    spans: Vec<(u32, u32)>,
+    /// Bucket fill cursors for the counting sort.
+    cursors: Vec<u32>,
+    /// Transmission indices grouped by channel; supply order is preserved
+    /// within each bucket so "first audible" matches a full linear scan.
+    grouped: Vec<u32>,
+    /// Per node: transmits this slot (the O(1) half-duplex check).
+    is_tx: Vec<bool>,
+    /// Per transmission: whether its unicast destination decoded it —
+    /// the only membership question the ACK pass ever asks, collapsing
+    /// the old per-transmission `Vec<NodeId>` decode sets.
+    dest_decoded: Vec<bool>,
 }
 
 impl RadioMedium {
@@ -137,6 +181,7 @@ impl RadioMedium {
             topology,
             rng,
             lossy_acks: true,
+            scratch: MediumScratch::default(),
         }
     }
 
@@ -155,12 +200,35 @@ impl RadioMedium {
         &mut self.topology
     }
 
-    /// Resolves one timeslot.
+    /// Resolves one timeslot (owning convenience wrapper around
+    /// [`RadioMedium::resolve_slot_into`]).
+    pub fn resolve_slot<P: Clone>(
+        &mut self,
+        transmissions: Vec<Transmission<P>>,
+        listeners: Vec<Listener>,
+    ) -> SlotOutcomes<P> {
+        let mut out = SlotOutcomes::default();
+        self.resolve_slot_into(&transmissions, &listeners, &mut out);
+        out
+    }
+
+    /// Resolves one timeslot into `out` (cleared first), allocation-free
+    /// once the reusable buffers have warmed up.
     ///
-    /// For every listener: collect the transmissions on its channel that
-    /// are audible at its position (interference range). Zero ⇒ idle; two
-    /// or more ⇒ collision; exactly one ⇒ decoded iff it is also within
-    /// *communication* range and the link's Bernoulli(PRR) draw succeeds.
+    /// For every listener, *in the supplied listener order* (the order of
+    /// the medium's Bernoulli draws is part of the engine's equivalence
+    /// contract with the `naive-step` oracle): collect the transmissions
+    /// on its channel that are audible at its position (interference
+    /// range). Zero ⇒ idle; two or more ⇒ collision; exactly one ⇒
+    /// decoded iff it is also within *communication* range and the link's
+    /// Bernoulli(PRR) draw succeeds.
+    ///
+    /// The per-listener work is output-sensitive: transmissions are
+    /// grouped by physical channel once (a counting sort over the ≤ 16
+    /// TSCH channels), each listener consults only its own channel's
+    /// bucket, and the overwhelmingly common single-transmitter bucket
+    /// skips the counting scan entirely. A listener on a channel with no
+    /// transmission is O(1).
     ///
     /// ACKs: a unicast transmission is acknowledged iff its destination
     /// appears among the listeners on the same channel, decoded the frame,
@@ -169,79 +237,148 @@ impl RadioMedium {
     /// half-duplex — so any listener entry with the same id as a
     /// transmitter is resolved as if deaf (collision-free idle) and
     /// flagged by a debug assertion.
-    pub fn resolve_slot<P: Clone>(
+    pub fn resolve_slot_into<P: Clone>(
         &mut self,
-        transmissions: Vec<Transmission<P>>,
-        listeners: Vec<Listener>,
-    ) -> SlotOutcomes<P> {
+        transmissions: &[Transmission<P>],
+        listeners: &[Listener],
+        out: &mut SlotOutcomes<P>,
+    ) {
+        let RadioMedium {
+            topology,
+            rng,
+            lossy_acks,
+            scratch,
+        } = self;
+        out.rx.clear();
+        out.acked.clear();
+
+        // Group transmissions by channel: stable counting sort, so each
+        // bucket preserves supply order ("first audible" is well-defined
+        // identically to a full linear scan).
+        if scratch.chan_map.is_empty() {
+            scratch.chan_map.resize(usize::from(u8::MAX) + 1, 0);
+        }
+        for ch in scratch.active.drain(..) {
+            scratch.chan_map[ch as usize] = 0;
+        }
+        scratch.spans.clear();
+        for t in transmissions {
+            let ch = t.channel.number() as usize;
+            if scratch.chan_map[ch] == 0 {
+                scratch.active.push(ch as u8);
+                scratch.spans.push((0, 0));
+                scratch.chan_map[ch] = scratch.spans.len() as u16;
+            }
+            scratch.spans[scratch.chan_map[ch] as usize - 1].1 += 1;
+        }
+        let mut start = 0u32;
+        scratch.cursors.clear();
+        for span in &mut scratch.spans {
+            span.0 = start;
+            scratch.cursors.push(start);
+            start += span.1;
+        }
+        scratch.grouped.clear();
+        scratch.grouped.resize(transmissions.len(), 0);
+        scratch.dest_decoded.clear();
+        scratch.dest_decoded.resize(transmissions.len(), false);
+        if scratch.is_tx.len() < topology.len() {
+            scratch.is_tx.resize(topology.len(), false);
+        }
+        for (i, t) in transmissions.iter().enumerate() {
+            let bucket = scratch.chan_map[t.channel.number() as usize] as usize - 1;
+            scratch.grouped[scratch.cursors[bucket] as usize] = i as u32;
+            scratch.cursors[bucket] += 1;
+            scratch.is_tx[t.frame.src.index()] = true;
+        }
+
         debug_assert!(
             listeners
                 .iter()
-                .all(|l| transmissions.iter().all(|t| t.frame.src != l.node)),
+                .all(|l| !scratch.is_tx.get(l.node.index()).copied().unwrap_or(false)),
             "a node cannot transmit and listen in the same slot (half-duplex)"
         );
 
-        let mut rx = Vec::with_capacity(listeners.len());
-        // Who decoded which transmission: decoded[tx_index] = set of nodes.
-        let mut decoded: Vec<Vec<NodeId>> = vec![Vec::new(); transmissions.len()];
-
-        for listener in &listeners {
-            if transmissions.iter().any(|t| t.frame.src == listener.node) {
-                rx.push((listener.node, RxOutcome::Idle));
+        for listener in listeners {
+            // `get`: a listener outside the topology can only ever be
+            // idle, and must not index past the bitset.
+            if scratch
+                .is_tx
+                .get(listener.node.index())
+                .copied()
+                .unwrap_or(false)
+            {
+                out.rx.push((listener.node, RxOutcome::Idle));
                 continue;
             }
-            // Count audible transmissions without collecting them — only
-            // the single-transmission case needs an index.
-            let mut audible = 0usize;
-            let mut first = usize::MAX;
-            for (i, t) in transmissions.iter().enumerate() {
-                if t.channel == listener.channel
-                    && self.topology.audible(t.frame.src, listener.node)
-                {
-                    audible += 1;
-                    if audible == 1 {
-                        first = i;
-                    }
-                }
-            }
-
-            let outcome = match audible {
-                0 => RxOutcome::Idle,
-                1 => {
-                    let tx = &transmissions[first];
-                    let prr = self.topology.prr(tx.frame.src, listener.node);
-                    if prr > 0.0 && self.rng.gen_bool(prr) {
-                        decoded[first].push(listener.node);
-                        RxOutcome::Received(tx.frame.clone())
+            let bucket = scratch.chan_map[listener.channel.number() as usize];
+            let outcome = if bucket == 0 {
+                // Nothing transmits on the listened channel.
+                RxOutcome::Idle
+            } else {
+                let (start, len) = scratch.spans[bucket as usize - 1];
+                let (audible, first) = if len == 1 {
+                    // Single-transmitter fast path: no counting scan.
+                    let i = scratch.grouped[start as usize] as usize;
+                    if topology.audible(transmissions[i].frame.src, listener.node) {
+                        (1, i)
                     } else {
-                        RxOutcome::Faded
+                        (0, usize::MAX)
                     }
+                } else {
+                    let mut audible = 0usize;
+                    let mut first = usize::MAX;
+                    for &gi in &scratch.grouped[start as usize..(start + len) as usize] {
+                        let i = gi as usize;
+                        if topology.audible(transmissions[i].frame.src, listener.node) {
+                            audible += 1;
+                            if audible == 1 {
+                                first = i;
+                            }
+                        }
+                    }
+                    (audible, first)
+                };
+                match audible {
+                    0 => RxOutcome::Idle,
+                    1 => {
+                        let tx = &transmissions[first];
+                        let prr = topology.prr(tx.frame.src, listener.node);
+                        if prr > 0.0 && rng.gen_bool(prr) {
+                            if tx.frame.dst == Dest::Unicast(listener.node) {
+                                scratch.dest_decoded[first] = true;
+                            }
+                            RxOutcome::Received(tx.frame.clone())
+                        } else {
+                            RxOutcome::Faded
+                        }
+                    }
+                    n => RxOutcome::Collision(n),
                 }
-                n => RxOutcome::Collision(n),
             };
-            rx.push((listener.node, outcome));
+            out.rx.push((listener.node, outcome));
         }
 
-        let acked = transmissions
-            .iter()
-            .enumerate()
-            .map(|(i, t)| match t.frame.dst {
+        for (i, t) in transmissions.iter().enumerate() {
+            let acked = match t.frame.dst {
                 Dest::Broadcast => None,
                 Dest::Unicast(dst) => {
-                    let delivered = decoded[i].contains(&dst);
-                    if !delivered {
-                        return Some(false);
+                    if !scratch.dest_decoded[i] {
+                        Some(false)
+                    } else if !*lossy_acks {
+                        Some(true)
+                    } else {
+                        let reverse_prr = topology.prr(dst, t.frame.src);
+                        Some(reverse_prr > 0.0 && rng.gen_bool(reverse_prr))
                     }
-                    if !self.lossy_acks {
-                        return Some(true);
-                    }
-                    let reverse_prr = self.topology.prr(dst, t.frame.src);
-                    Some(reverse_prr > 0.0 && self.rng.gen_bool(reverse_prr))
                 }
-            })
-            .collect();
+            };
+            out.acked.push(acked);
+        }
 
-        SlotOutcomes { rx, acked }
+        for t in transmissions {
+            scratch.is_tx[t.frame.src.index()] = false;
+        }
     }
 }
 
@@ -443,6 +580,87 @@ mod tests {
             vec![listener(1, CH)],
         );
         assert_eq!(out.rx[0].1, RxOutcome::Collision(2));
+    }
+
+    #[test]
+    fn multiple_channels_active_in_one_slot() {
+        // Three concurrent transmissions on three channels in a clique:
+        // each listener decodes exactly its own channel's transmitter.
+        let topo = TopologyBuilder::new(100.0)
+            .link_model(LinkModel::Perfect)
+            .nodes((0..6).map(|i| Position::new(i as f64 * 5.0, 0.0)))
+            .build();
+        let ch3 = PhysicalChannel::new(11);
+        let mut m = RadioMedium::new(topo, Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![
+                tx(0, Dest::Unicast(NodeId::new(3)), CH),
+                tx(1, Dest::Unicast(NodeId::new(4)), CH2),
+                tx(2, Dest::Unicast(NodeId::new(5)), ch3),
+            ],
+            vec![listener(3, CH), listener(4, CH2), listener(5, ch3)],
+        );
+        for (i, (_, rx)) in out.rx.iter().enumerate() {
+            let frame = rx.frame().unwrap_or_else(|| panic!("listener {i} idle"));
+            assert_eq!(frame.src, NodeId::new(i as u16), "wrong channel bucket");
+        }
+        assert_eq!(out.acked, vec![Some(true), Some(true), Some(true)]);
+    }
+
+    #[test]
+    fn listener_on_channel_with_no_transmitter_is_idle() {
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![tx(0, Dest::Broadcast, CH)],
+            vec![listener(1, CH2), listener(2, CH2)],
+        );
+        assert_eq!(out.rx[0].1, RxOutcome::Idle);
+        assert_eq!(out.rx[1].1, RxOutcome::Idle);
+    }
+
+    #[test]
+    fn three_colliding_transmitters_on_one_channel() {
+        // A clique of four: three transmitters on one channel collide at
+        // the fourth node with the exact audible count.
+        let topo = TopologyBuilder::new(100.0)
+            .link_model(LinkModel::Perfect)
+            .nodes((0..4).map(|i| Position::new(i as f64 * 5.0, 0.0)))
+            .build();
+        let mut m = RadioMedium::new(topo, Pcg32::new(1));
+        let out = m.resolve_slot(
+            vec![
+                tx(0, Dest::Unicast(NodeId::new(3)), CH),
+                tx(1, Dest::Broadcast, CH),
+                tx(2, Dest::Unicast(NodeId::new(3)), CH),
+            ],
+            vec![listener(3, CH)],
+        );
+        assert_eq!(out.rx[0].1, RxOutcome::Collision(3));
+        assert_eq!(out.acked, vec![Some(false), None, Some(false)]);
+    }
+
+    #[test]
+    fn resolve_slot_into_reuses_buffers_across_slots() {
+        // Back-to-back slots through one reused SlotOutcomes: stale
+        // outcomes from the previous slot must never leak through.
+        let mut m = RadioMedium::new(line4(), Pcg32::new(1));
+        let mut out = SlotOutcomes::default();
+        m.resolve_slot_into(
+            &[tx(0, Dest::Unicast(NodeId::new(1)), CH)],
+            &[listener(1, CH)],
+            &mut out,
+        );
+        assert!(matches!(out.rx[0].1, RxOutcome::Received(_)));
+        assert_eq!(out.acked, vec![Some(true)]);
+        m.resolve_slot_into(
+            &[tx(2, Dest::Broadcast, CH2)],
+            &[listener(1, CH), listener(3, CH2)],
+            &mut out,
+        );
+        assert_eq!(out.rx.len(), 2);
+        assert_eq!(out.rx[0].1, RxOutcome::Idle, "old channel must be quiet");
+        assert!(matches!(out.rx[1].1, RxOutcome::Received(_)));
+        assert_eq!(out.acked, vec![None]);
     }
 
     #[test]

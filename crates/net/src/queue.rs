@@ -45,6 +45,8 @@ pub struct PacketQueue<T> {
     items: VecDeque<T>,
     capacity: usize,
     stats: QueueStats,
+    /// Bumped on every content mutation (see [`PacketQueue::mutations`]).
+    mutations: u64,
 }
 
 impl<T> PacketQueue<T> {
@@ -59,7 +61,17 @@ impl<T> PacketQueue<T> {
             items: VecDeque::with_capacity(capacity),
             capacity,
             stats: QueueStats::default(),
+            mutations: 0,
         }
+    }
+
+    /// Monotonic content-mutation counter: moves whenever the set of
+    /// queued packets may have changed. Consumers caching queue-derived
+    /// answers (the MAC's next-transmission memo) compare counters
+    /// instead of diffing contents; spurious bumps only cost a
+    /// recomputation, so the counter is conservative.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
     }
 
     /// Maximum number of packets.
@@ -104,6 +116,7 @@ impl<T> PacketQueue<T> {
             return Err(item);
         }
         self.items.push_back(item);
+        self.mutations += 1;
         self.stats.enqueued += 1;
         self.stats.peak_len = self.stats.peak_len.max(self.items.len());
         Ok(())
@@ -113,6 +126,7 @@ impl<T> PacketQueue<T> {
     pub fn pop(&mut self) -> Option<T> {
         let item = self.items.pop_front();
         if item.is_some() {
+            self.mutations += 1;
             self.stats.dequeued += 1;
         }
         item
@@ -123,6 +137,7 @@ impl<T> PacketQueue<T> {
         let idx = self.items.iter().position(pred)?;
         let item = self.items.remove(idx);
         if item.is_some() {
+            self.mutations += 1;
             self.stats.dequeued += 1;
         }
         item
@@ -159,6 +174,7 @@ impl<T> PacketQueue<T> {
             return Err(item);
         }
         self.items.push_front(item);
+        self.mutations += 1;
         // Undo the matching pop's dequeue count so stats reflect real
         // departures only.
         self.stats.dequeued = self.stats.dequeued.saturating_sub(1);
@@ -178,6 +194,7 @@ impl<T> PacketQueue<T> {
             }
         }
         self.items = kept;
+        self.mutations += 1;
         self.stats.dequeued += taken.len() as u64;
         taken
     }

@@ -217,8 +217,29 @@ impl RplNode {
     }
 
     /// Processes a received DIO from `src` over a link whose current ETX
-    /// estimate is `etx`.
+    /// estimate is `etx` (owning convenience wrapper around
+    /// [`RplNode::handle_dio_into`]).
     pub fn handle_dio(&mut self, src: NodeId, dio: Dio, etx: f64, now: SimTime) -> Vec<RplAction> {
+        let mut actions = Vec::new();
+        self.handle_dio_into(src, dio, etx, now, &mut actions);
+        actions
+    }
+
+    /// Processes a received DIO from `src` over a link whose current ETX
+    /// estimate is `etx`, appending any resulting actions to `actions`.
+    ///
+    /// The out-parameter form is what the engine's steady-state hot path
+    /// calls: with a reused action buffer, the overwhelmingly common
+    /// no-action DIO (known neighbor, unchanged parent) performs no heap
+    /// allocation.
+    pub fn handle_dio_into(
+        &mut self,
+        src: NodeId,
+        dio: Dio,
+        etx: f64,
+        now: SimTime,
+        actions: &mut Vec<RplAction>,
+    ) {
         self.deadline_memo.set(None);
         // Adopt the DODAG if we have none (non-roots only).
         if !self.is_root && self.dodag.is_none() {
@@ -227,7 +248,7 @@ impl RplNode {
         // Ignore DIOs from a different DODAG — cross-DODAG isolation
         // matters for the two-DODAG scenarios of §VIII.
         if self.dodag.map(|(root, _)| root) != Some(dio.dodag_root) {
-            return Vec::new();
+            return;
         }
 
         self.neighbors.insert(
@@ -242,7 +263,7 @@ impl RplNode {
         self.trickle.consistent_heard();
 
         if self.is_root {
-            return Vec::new();
+            return;
         }
         // Settle the new information in full right here — reselect, then
         // the Rank refresh through the (possibly unchanged) parent —
@@ -250,14 +271,13 @@ impl RplNode {
         // `next_deadline` at "now" and buy one guaranteed-no-op wake-up
         // plus an O(degree) reselect over bit-identical inputs next
         // slot, per DIO heard, network-wide.
-        let actions = self.reselect_parent(now);
+        self.reselect_parent_into(now, actions);
         if let Some(entry) = self.parent_entry() {
             let new_rank = entry.rank.advertised_through(entry.etx);
             if new_rank != self.rank {
                 self.rank = new_rank;
             }
         }
-        actions
     }
 
     /// Processes a received DAO from `src`.
@@ -345,11 +365,24 @@ impl RplNode {
     /// it (the engine closes over the MAC's link statistics); it is only
     /// consulted after [`RplNode::mark_link_stats_dirty`].
     pub fn fire_due(&mut self, now: SimTime, etx: &dyn Fn(NodeId) -> f64) -> Vec<RplAction> {
+        let mut actions = Vec::new();
+        self.fire_due_into(now, etx, &mut actions);
+        actions
+    }
+
+    /// [`RplNode::fire_due`] appending into a caller-owned buffer — the
+    /// engine's hot path reuses one per node so deadline-driven
+    /// housekeeping never allocates in the steady state.
+    pub fn fire_due_into(
+        &mut self,
+        now: SimTime,
+        etx: &dyn Fn(NodeId) -> f64,
+        actions: &mut Vec<RplAction>,
+    ) {
         match self.next_deadline() {
             Some(d) if d <= now => {}
-            _ => return Vec::new(),
+            _ => return,
         }
-        let mut actions = Vec::new();
 
         // Expire stale neighbors (but never the root's self-knowledge).
         // When the engine flagged a completed unicast transmission,
@@ -392,7 +425,7 @@ impl RplNode {
                     self.rank = Rank::INFINITE;
                 }
             }
-            actions.extend(self.reselect_parent(now));
+            self.reselect_parent_into(now, actions);
             // Keep Rank tracking ETX drift on the existing link.
             if let Some(entry) = self.parent_entry() {
                 let new_rank = entry.rank.advertised_through(entry.etx);
@@ -426,15 +459,16 @@ impl RplNode {
 
         // Everything above may have moved a deadline input.
         self.deadline_memo.set(None);
-        actions
     }
 
     fn parent_entry(&self) -> Option<NeighborEntry> {
         self.parent.and_then(|p| self.neighbors.get(&p)).copied()
     }
 
-    /// MRHOF parent selection with hysteresis.
-    fn reselect_parent(&mut self, now: SimTime) -> Vec<RplAction> {
+    /// MRHOF parent selection with hysteresis; any DAO/parent-change
+    /// actions are appended to `actions` (nothing on the by far most
+    /// common outcome, "keep the current parent").
+    fn reselect_parent_into(&mut self, now: SimTime, actions: &mut Vec<RplAction>) {
         let mut best: Option<(NodeId, Rank)> = None;
         for (&cand, entry) in &self.neighbors {
             if entry.rank.is_infinite() {
@@ -456,7 +490,7 @@ impl RplNode {
         }
 
         let Some((cand, cand_rank)) = best else {
-            return Vec::new();
+            return;
         };
 
         let switch = match self.parent {
@@ -472,7 +506,7 @@ impl RplNode {
 
         if !switch {
             // Still refresh Rank through the existing parent below (poll).
-            return Vec::new();
+            return;
         }
 
         let old = self.parent;
@@ -480,7 +514,6 @@ impl RplNode {
         self.rank = cand_rank;
         self.parent_changes += 1;
 
-        let mut actions = Vec::new();
         if let Some(old_parent) = old {
             actions.push(RplAction::SendDao {
                 to: old_parent,
@@ -502,8 +535,6 @@ impl RplNode {
         }
         self.rng = rng;
         self.dao_timer.arm_periodic(now, self.config.dao_period);
-
-        actions
     }
 }
 

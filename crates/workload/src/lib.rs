@@ -77,10 +77,26 @@ pub fn build_network(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunS
 /// Runs one full measured experiment: warm-up, measurement window,
 /// report.
 pub fn run(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec) -> NetworkReport {
+    run_with_noise(scenario, scheduler, spec, None)
+}
+
+/// [`run`] with an optional interference-burst overlay driven over the
+/// measurement window (the warm-up stays clean so the network forms
+/// identically with and without noise).
+pub fn run_with_noise(
+    scenario: &Scenario,
+    scheduler: &SchedulerKind,
+    spec: &RunSpec,
+    noise: Option<&NoiseBurst>,
+) -> NetworkReport {
     let mut net = build_network(scenario, scheduler, spec);
     net.run_for(SimDuration::from_secs(spec.warmup_secs));
     net.start_measurement();
-    net.run_for(SimDuration::from_secs(spec.measure_secs));
+    let window = SimDuration::from_secs(spec.measure_secs);
+    match noise {
+        Some(n) => n.run(&mut net, window),
+        None => net.run_for(window),
+    }
     net.finish_measurement();
     net.report()
 }
