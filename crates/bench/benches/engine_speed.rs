@@ -9,45 +9,38 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gtt_sim::SimDuration;
-use gtt_workload::{RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 /// Simulated seconds per measured iteration.
 const SIM_SECS: u64 = 30;
 
-fn spec() -> RunSpec {
-    RunSpec {
+fn experiment(scenario: &ScenarioSpec, scheduler: &SchedulerKind) -> Experiment {
+    Experiment::new(scenario.clone(), scheduler.clone()).with_run(RunSpec {
         traffic_ppm: 6.0,
         warmup_secs: 0,
         measure_secs: SIM_SECS,
         seed: 1,
-    }
+        ..RunSpec::default()
+    })
 }
 
-fn run_event(scenario: &Scenario, scheduler: &SchedulerKind) {
-    let mut net = gtt_workload::build_network(scenario, scheduler, &spec());
+fn run_event(scenario: &ScenarioSpec, scheduler: &SchedulerKind) {
+    let mut net = experiment(scenario, scheduler).build_network();
     net.run_for(SimDuration::from_secs(SIM_SECS));
 }
 
 #[cfg(feature = "naive-step")]
-fn run_naive(scenario: &Scenario, scheduler: &SchedulerKind) {
-    let s = spec();
-    let config = gtt_engine::EngineConfig {
-        seed: s.seed,
-        ..scheduler.engine_config()
-    };
-    let sk = scheduler.clone();
-    let mut net = gtt_engine::Network::builder(scenario.topology.clone(), config)
-        .roots(scenario.roots.iter().copied())
-        .traffic_ppm(s.traffic_ppm)
-        .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root))
+fn run_naive(scenario: &ScenarioSpec, scheduler: &SchedulerKind) {
+    let mut net = experiment(scenario, scheduler)
+        .network_builder()
         .naive_stepping()
         .build();
     net.run_for(SimDuration::from_secs(SIM_SECS));
 }
 
 fn slots_per_sec(c: &mut Criterion) {
-    let grid = Scenario::large_grid();
-    let star = Scenario::large_star();
+    let grid = ScenarioSpec::large_grid();
+    let star = ScenarioSpec::large_star();
     let gt = SchedulerKind::gt_tsch_default();
     let minimal = SchedulerKind::minimal(16);
 

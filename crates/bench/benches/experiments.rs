@@ -7,27 +7,25 @@
 //! binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gtt_sim::SimDuration;
-use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 /// A short (20 s warm-up + 20 s measured) run of a figure configuration.
-fn short_run(scenario: &Scenario, scheduler: &SchedulerKind, seed: u64) -> f64 {
-    let spec = RunSpec {
-        traffic_ppm: 120.0,
-        warmup_secs: 20,
-        measure_secs: 20,
-        seed,
-    };
-    let mut net = build_network(scenario, scheduler, &spec);
-    net.run_for(SimDuration::from_secs(spec.warmup_secs));
-    net.start_measurement();
-    net.run_for(SimDuration::from_secs(spec.measure_secs));
-    net.finish_measurement();
-    net.report().row.pdr_percent
+fn short_run(scenario: &ScenarioSpec, scheduler: &SchedulerKind, seed: u64) -> f64 {
+    Experiment::new(scenario.clone(), scheduler.clone())
+        .with_run(RunSpec {
+            traffic_ppm: 120.0,
+            warmup_secs: 20,
+            measure_secs: 20,
+            seed,
+            ..RunSpec::default()
+        })
+        .run()
+        .row
+        .pdr_percent
 }
 
 fn fig8_configs(c: &mut Criterion) {
-    let scenario = Scenario::two_dodag(7);
+    let scenario = ScenarioSpec::two_dodag(7);
     let mut group = c.benchmark_group("fig8");
     group.sample_size(10);
     group.bench_function("gt_tsch_14_nodes_120ppm", |b| {
@@ -59,7 +57,7 @@ fn fig9_configs(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9");
     group.sample_size(10);
     for n in [6usize, 9] {
-        let scenario = Scenario::two_dodag(n);
+        let scenario = ScenarioSpec::two_dodag(n);
         group.bench_function(format!("gt_tsch_{n}_per_dodag"), |b| {
             let mut seed = 0;
             b.iter(|| {
@@ -76,7 +74,7 @@ fn fig9_configs(c: &mut Criterion) {
 }
 
 fn fig10_configs(c: &mut Criterion) {
-    let scenario = Scenario::two_dodag(7);
+    let scenario = ScenarioSpec::two_dodag(7);
     let mut group = c.benchmark_group("fig10");
     group.sample_size(10);
     for len in [8u16, 20] {

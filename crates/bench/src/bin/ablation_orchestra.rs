@@ -8,7 +8,7 @@
 
 use gtt_bench::{render_figure_tables, SweepConfig, SweepPoint};
 use gtt_orchestra::OrchestraConfig;
-use gtt_workload::{RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -17,24 +17,25 @@ fn main() {
     } else {
         SweepConfig::default()
     };
-    let scenario = Scenario::two_dodag(7);
     let mut points = Vec::new();
     for &ppm in &[30.0, 75.0, 120.0, 165.0] {
         for sender_based in [false, true] {
             points.push(SweepPoint {
                 x_label: format!("{ppm:.0}"),
-                scheduler: SchedulerKind::Orchestra(OrchestraConfig {
-                    sender_based,
-                    ..OrchestraConfig::paper_default()
-                }),
-                scenario: scenario.clone(),
-                spec: RunSpec {
+                experiment: Experiment::new(
+                    ScenarioSpec::two_dodag(7),
+                    SchedulerKind::Orchestra(OrchestraConfig {
+                        sender_based,
+                        ..OrchestraConfig::paper_default()
+                    }),
+                )
+                .with_run(RunSpec {
                     traffic_ppm: ppm,
                     warmup_secs: 120,
                     measure_secs: 300,
                     seed: 0,
-                },
-                noise: None,
+                    ..RunSpec::default()
+                }),
             });
         }
     }

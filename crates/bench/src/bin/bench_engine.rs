@@ -10,7 +10,11 @@
 //!   label contains `SUBSTR` (profiling aid; gates are skipped).
 //! * `--stats` — per-run activity diagnostics (awake and tx per slot).
 //!
-//! For each scenario the same seed is simulated once per core; reported
+//! Every case is one declarative [`Experiment`]; the same value builds
+//! the event-core and the oracle network (via
+//! [`Experiment::network_builder`] + `naive_stepping`), and overlay
+//! cases drive both cores through the identical overlay timeline. For
+//! each case the same seed is simulated once per core; reported
 //! `slots_per_sec` is simulated-slots / wall-seconds and `speedup` is
 //! the ratio event / naive. The sparse-traffic 120-node grid is the
 //! slot-skipping acceptance case (target ≥ 5×) and the Orchestra
@@ -18,22 +22,23 @@
 //! (target ≥ 1.6×, vs the ~1.05× the always-wake core managed on
 //! Orchestra schedules); the minimal-schedule dense star is included
 //! honestly as the regime where slot skipping cannot win big (a shared
-//! cell in every slot keeps every node listening).
+//! cell in every slot keeps every node listening). The mobility and
+//! duty-cycle overlay rows are reporting-only (no gate): they track how
+//! the overlay timeline costs scale, not an optimization target.
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use gtt_engine::{EngineConfig, Network};
+use gtt_net::{NodeId, Position};
 use gtt_sim::SimDuration;
-use gtt_workload::{Scenario, SchedulerKind};
+use gtt_workload::{
+    DutyCycleBudget, Experiment, Overlay, RunSpec, ScenarioSpec, SchedulerKind, StepMobility,
+};
 
 struct Case {
-    scenario: Scenario,
-    scheduler: SchedulerKind,
-    traffic_ppm: f64,
-    /// Steady-state cadences ([`EngineConfig::low_power`]) instead of the
-    /// paper's experiment-accelerating ones — the "sparse traffic" regime.
-    low_power: bool,
+    /// Row label (usually the scenario name; overlay rows tag it).
+    label: &'static str,
+    experiment: Experiment,
 }
 
 struct Measurement {
@@ -48,29 +53,40 @@ struct Measurement {
     speedup: f64,
 }
 
-fn build(case: &Case, seed: u64, naive: bool) -> Network {
-    let base = if case.low_power {
-        EngineConfig::low_power()
-    } else {
-        case.scheduler.engine_config()
-    };
-    let config = EngineConfig { seed, ..base };
-    let sk = case.scheduler.clone();
-    let mut builder = Network::builder(case.scenario.topology.clone(), config)
-        .roots(case.scenario.roots.iter().copied())
-        .traffic_ppm(case.traffic_ppm)
-        .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root));
-    if naive {
-        builder = builder.naive_stepping();
-    }
-    builder.build()
+/// A case experiment: seed 1, no warm-up — the measured window *is* the
+/// simulated time (`measure_secs` is patched per run length).
+fn case(
+    scenario: ScenarioSpec,
+    scheduler: SchedulerKind,
+    traffic_ppm: f64,
+    low_power: bool,
+) -> Experiment {
+    Experiment::new(scenario, scheduler).with_run(RunSpec {
+        traffic_ppm,
+        warmup_secs: 0,
+        measure_secs: 0, // patched in time_run
+        seed: 1,
+        low_power,
+    })
 }
 
 /// Wall-seconds to simulate `sim` of the case on one core.
 fn time_run(case: &Case, sim: SimDuration, naive: bool) -> f64 {
-    let mut net = build(case, 1, naive);
+    let mut exp = case.experiment.clone();
+    exp.run.measure_secs = sim.as_micros() / 1_000_000;
+    let mut builder = exp.network_builder();
+    if naive {
+        builder = builder.naive_stepping();
+    }
+    let mut net = builder.build();
     let start = Instant::now();
-    net.run_for(sim);
+    if exp.overlays.is_empty() {
+        net.run_for(sim);
+    } else {
+        // Overlay rows go through the shared timeline driver, so the
+        // measured time includes the overlay machinery itself.
+        let _ = exp.run_on(&mut net);
+    }
     let secs = start.elapsed().as_secs_f64();
     if std::env::args().any(|a| a == "--stats") {
         let (mut awake, mut slots, mut txs, mut idle) = (0u64, 0u64, 0u64, 0u64);
@@ -85,7 +101,7 @@ fn time_run(case: &Case, sim: SimDuration, naive: bool) -> f64 {
         eprintln!(
             "    [{}] {} awake {:.3} tx/slot {:.3} idle/slot {:.2} ns/slot {:.0}",
             if naive { "naive" } else { "event" },
-            case.scenario.name,
+            case.label,
             awake as f64 / slots.max(1) as f64,
             txs as f64 / total_slots.max(1) as f64,
             idle as f64 / total_slots.max(1) as f64,
@@ -108,11 +124,11 @@ fn measure(case: &Case, sim: SimDuration, slot: SimDuration) -> Measurement {
         naive_secs = naive_secs.min(time_run(case, sim, true));
     }
     Measurement {
-        name: case.scenario.name.clone(),
-        scheduler: case.scheduler.name(),
-        traffic_ppm: case.traffic_ppm,
-        low_power: case.low_power,
-        nodes: case.scenario.topology.len(),
+        name: case.label.to_string(),
+        scheduler: case.experiment.scheduler.name(),
+        traffic_ppm: case.experiment.run.traffic_ppm,
+        low_power: case.experiment.run.low_power,
+        nodes: case.experiment.scenario.build().topology.len(),
         sim_slots,
         event_slots_per_sec: sim_slots as f64 / event_secs,
         naive_slots_per_sec: sim_slots as f64 / naive_secs,
@@ -148,6 +164,28 @@ fn json(measurements: &[Measurement], sim_secs: u64) -> String {
     out
 }
 
+/// A walking tour across the 120-node grid: every 30 s one corner node
+/// relocates to the far side (out of its old neighborhood entirely),
+/// exercising repeated audibility rebuilds + RPL reconvergence.
+fn grid_walk() -> StepMobility {
+    let mut m = StepMobility::new();
+    // Grid is 12 × 10 at 30 m spacing; node 119 is the far corner.
+    let spots = [
+        Position::new(0.0, 300.0),
+        Position::new(330.0, 0.0),
+        Position::new(150.0, 135.0),
+        Position::new(0.0, 0.0),
+    ];
+    for (k, &to) in spots.iter().enumerate() {
+        m = m.hop(
+            SimDuration::from_secs(30 * (k as u64 + 1)),
+            NodeId::new(119),
+            to,
+        );
+    }
+    m
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -176,69 +214,116 @@ fn main() {
         // low-power regime (EB 16 s as deployed TSCH networks run it,
         // one telemetry reading per minute).
         Case {
-            scenario: Scenario::large_grid(),
-            scheduler: SchedulerKind::gt_tsch_default(),
-            traffic_ppm: 1.0,
-            low_power: true,
+            label: "large-grid-120",
+            experiment: case(
+                ScenarioSpec::large_grid(),
+                SchedulerKind::gt_tsch_default(),
+                1.0,
+                true,
+            ),
         },
         // The same grid at the paper's experiment cadences (EB every
         // 2 s): an order of magnitude chattier, reported honestly as the
         // regime where slot skipping wins less.
         Case {
-            scenario: Scenario::large_grid(),
-            scheduler: SchedulerKind::gt_tsch_default(),
-            traffic_ppm: 6.0,
-            low_power: false,
+            label: "large-grid-120",
+            experiment: case(
+                ScenarioSpec::large_grid(),
+                SchedulerKind::gt_tsch_default(),
+                6.0,
+                false,
+            ),
         },
         Case {
-            scenario: Scenario::large_grid(),
-            scheduler: SchedulerKind::orchestra_default(),
-            traffic_ppm: 6.0,
-            low_power: false,
+            label: "large-grid-120",
+            experiment: case(
+                ScenarioSpec::large_grid(),
+                SchedulerKind::orchestra_default(),
+                6.0,
+                false,
+            ),
         },
         // The multi-slotframe acceptance case: 120 Orchestra nodes in a
         // single-hop star. Every node's three-frame schedule listens in
         // ~1 slot in 5, almost always to silence — the Rx-wake-bound
         // regime the cyclic-union passive-listen index targets.
         Case {
-            scenario: Scenario::large_star(),
-            scheduler: SchedulerKind::orchestra_default(),
-            traffic_ppm: 6.0,
-            low_power: false,
+            label: "large-star-120",
+            experiment: case(
+                ScenarioSpec::large_star(),
+                SchedulerKind::orchestra_default(),
+                6.0,
+                false,
+            ),
         },
         // Same star in the steady-state low-power regime: sparse traffic
         // plus the deadline-driven control plane (no periodic RPL wake).
         Case {
-            scenario: Scenario::large_star(),
-            scheduler: SchedulerKind::orchestra_default(),
-            traffic_ppm: 1.0,
-            low_power: true,
+            label: "large-star-120",
+            experiment: case(
+                ScenarioSpec::large_star(),
+                SchedulerKind::orchestra_default(),
+                1.0,
+                true,
+            ),
         },
         Case {
-            scenario: Scenario::large_star(),
-            scheduler: SchedulerKind::minimal(16),
-            traffic_ppm: 6.0,
-            low_power: false,
+            label: "large-star-120",
+            experiment: case(
+                ScenarioSpec::large_star(),
+                SchedulerKind::minimal(16),
+                6.0,
+                false,
+            ),
         },
         // Dense broadcast-heavy slots: 119 minimal-schedule leaves all
         // listening on the shared cell, a handful of EB/control
         // transmitters per busy slot — the case the per-channel listener
         // index and the medium's single-transmitter fast path target.
         Case {
-            scenario: {
-                let mut s = Scenario::large_star();
-                s.name = "bcast-star-120".into();
-                s
-            },
-            scheduler: SchedulerKind::minimal(8),
-            traffic_ppm: 1.0,
-            low_power: false,
+            label: "bcast-star-120",
+            experiment: case(
+                ScenarioSpec::large_star(),
+                SchedulerKind::minimal(8),
+                1.0,
+                false,
+            ),
         },
         Case {
-            scenario: Scenario::two_dodag(7),
-            scheduler: SchedulerKind::gt_tsch_default(),
-            traffic_ppm: 30.0,
-            low_power: false,
+            label: "two-dodag-7",
+            experiment: case(
+                ScenarioSpec::two_dodag(7),
+                SchedulerKind::gt_tsch_default(),
+                30.0,
+                false,
+            ),
+        },
+        // Overlay rows (reporting-only, no gate — see module docs): the
+        // sparse grid with a node walking across it every 30 s, and the
+        // same grid under a tight duty budget checked every 10 s.
+        Case {
+            label: "mobility-grid-120",
+            experiment: case(
+                ScenarioSpec::large_grid(),
+                SchedulerKind::gt_tsch_default(),
+                6.0,
+                false,
+            )
+            .with_overlay(Overlay::Mobility(grid_walk())),
+        },
+        Case {
+            label: "duty-grid-120",
+            experiment: case(
+                ScenarioSpec::large_grid(),
+                SchedulerKind::gt_tsch_default(),
+                6.0,
+                false,
+            )
+            .with_overlay(Overlay::DutyCycle(DutyCycleBudget {
+                window: SimDuration::from_secs(60),
+                check: SimDuration::from_secs(10),
+                max_duty_percent: 1.0,
+            })),
         },
     ];
 
@@ -248,9 +333,9 @@ fn main() {
         if let Some(filter) = &only {
             let label = format!(
                 "{}/{}/{}",
-                case.scenario.name,
-                case.scheduler.name(),
-                case.traffic_ppm
+                case.label,
+                case.experiment.scheduler.name(),
+                case.experiment.run.traffic_ppm
             );
             if !label.contains(filter.as_str()) {
                 continue;
@@ -258,7 +343,7 @@ fn main() {
         }
         let m = measure(case, sim, slot);
         eprintln!(
-            "  {:<16} {:<10} {:>4} nodes  event {:>9.0} slots/s  naive {:>9.0} slots/s  speedup {:>5.2}x",
+            "  {:<17} {:<10} {:>4} nodes  event {:>9.0} slots/s  naive {:>9.0} slots/s  speedup {:>5.2}x",
             m.name, m.scheduler, m.nodes, m.event_slots_per_sec, m.naive_slots_per_sec, m.speedup
         );
         measurements.push(m);

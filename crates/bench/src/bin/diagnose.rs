@@ -3,11 +3,9 @@
 //!
 //! Usage: `diagnose [ppm] [gt|orch|min]`
 
-use gtt_sim::SimDuration;
-use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn main() {
-    let scenario = Scenario::two_dodag(7);
     let ppm: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -20,18 +18,15 @@ fn main() {
     } else {
         SchedulerKind::gt_tsch_default()
     };
-    let spec = RunSpec {
+    let exp = Experiment::new(ScenarioSpec::two_dodag(7), sched.clone()).with_run(RunSpec {
         traffic_ppm: ppm,
         warmup_secs: 120,
         measure_secs: 300,
         seed: 3,
-    };
-    let mut net = build_network(&scenario, &sched, &spec);
-    net.run_for(SimDuration::from_secs(spec.warmup_secs));
-    net.start_measurement();
-    net.run_for(SimDuration::from_secs(spec.measure_secs));
-    net.finish_measurement();
-    let r = net.report();
+        ..RunSpec::default()
+    });
+    let mut net = exp.build_network();
+    let r = exp.run_on(&mut net);
     println!(
         "{} @ {} ppm: PDR={:.1}% delay={:.0}ms loss/min={:.1} duty={:.1}% qloss={:.1} recv={:.0}",
         sched.name(),

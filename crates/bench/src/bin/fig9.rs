@@ -1,14 +1,20 @@
 //! Regenerates the paper's Fig. 9 (all six sub-figures).
 //!
-//! Usage: `fig9 [--quick] [--no-cache]` — `--quick` averages 2 seeds
-//! instead of 5; `(point, seed)` cells are served from / written to the
-//! persistent sweep cache under `target/sweep-cache` unless
-//! `--no-cache` is given.
+//! Usage: `fig9 [--quick] [--no-cache] [--cache-dir DIR] [--list]` —
+//! `--quick` averages 2 seeds instead of 5; cells are served from / the
+//! persistent sweep cache (default `target/sweep-cache`) unless
+//! `--no-cache` is given. `--list` prints one
+//! `<key> <hit|miss> <encoded experiment>` line per cell without
+//! simulating — the dry-run that feeds `sweep_worker` shard files.
 
-use gtt_bench::{fig9, render_figure_tables, SweepConfig};
+use gtt_bench::{fig9, fig9_points, render_figure_tables, render_shard_list, SweepConfig};
 
 fn main() {
     let config = SweepConfig::from_args();
+    if SweepConfig::list_requested() {
+        print!("{}", render_shard_list(&fig9_points(), &config));
+        return;
+    }
     eprintln!("running fig9 sweep ({} seeds/point)…", config.seeds.len());
     let results = fig9(&config);
     print!("{}", render_figure_tables("9", &results));

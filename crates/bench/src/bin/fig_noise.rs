@@ -1,15 +1,27 @@
 //! The interference-robustness figure: GT-TSCH vs Orchestra under
 //! periodic wideband noise bursts, sweeping burst depth and period.
 //!
-//! Usage: `fig_noise [--quick] [--no-cache]` — `--quick` averages 2
-//! seeds instead of 5; results are served from / written to the
-//! persistent sweep cache under `target/sweep-cache` unless
-//! `--no-cache` is given.
+//! Usage: `fig_noise [--quick] [--no-cache] [--cache-dir DIR] [--list]`
+//! — `--quick` averages 2 seeds instead of 5; cells are served from /
+//! the persistent sweep cache (default `target/sweep-cache`) unless
+//! `--no-cache` is given. `--list` prints one
+//! `<key> <hit|miss> <encoded experiment>` line per cell of *both*
+//! sweeps (shared cells once) without simulating — the dry-run that
+//! feeds `sweep_worker` shard files.
 
-use gtt_bench::{fig_noise_depth, fig_noise_period, render_figure_tables, SweepConfig};
+use gtt_bench::{
+    fig_noise_depth, fig_noise_depth_points, fig_noise_period, fig_noise_period_points,
+    render_figure_tables, render_shard_list, SweepConfig,
+};
 
 fn main() {
     let config = SweepConfig::from_args();
+    if SweepConfig::list_requested() {
+        let mut points = fig_noise_depth_points();
+        points.extend(fig_noise_period_points());
+        print!("{}", render_shard_list(&points, &config));
+        return;
+    }
     eprintln!("running noise sweeps ({} seeds/point)…", config.seeds.len());
     let depth = fig_noise_depth(&config);
     print!("{}", render_figure_tables("noise-depth", &depth));

@@ -1,0 +1,98 @@
+//! Multi-process sweep sharder: fills the shared sweep cache from
+//! shard files of canonically-encoded experiments.
+//!
+//! Usage: `sweep_worker [--cache-dir DIR] SHARD_FILE...`
+//!
+//! A shard file holds one cell per line — blank lines and `#` comments
+//! are skipped, and the *last* whitespace-separated token of each line
+//! is the hex-armored canonical encoding of one [`Experiment`] (so the
+//! `<key> <hit|miss> <hex>` lines of a figure binary's `--list` output
+//! are valid shard lines as-is). For every cell the worker checks the
+//! cache (default `target/sweep-cache`), simulates on a miss, and
+//! writes the result back atomically.
+//!
+//! Sharding a sweep across processes (or hosts sharing the directory)
+//! is therefore plain text surgery:
+//!
+//! ```text
+//! fig8 --quick --list > cells.list
+//! awk 'NR % 2 == 1' cells.list > shard-a
+//! awk 'NR % 2 == 0' cells.list > shard-b
+//! sweep_worker shard-a & sweep_worker shard-b & wait
+//! fig8 --quick        # 100% cache hits, byte-identical tables
+//! ```
+//!
+//! Workers never coordinate: disjoint shards never write the same key,
+//! overlapping shards at worst duplicate work (last atomic rename
+//! wins, both compute the identical bytes), and a torn line fails
+//! decoding loudly rather than poisoning the cache.
+//!
+//! [`Experiment`]: gtt_workload::Experiment
+
+use std::path::PathBuf;
+
+use gtt_bench::ensure_cached;
+use gtt_workload::Experiment;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cache_dir = PathBuf::from("target/sweep-cache");
+    let mut shard_files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = match args.get(i) {
+                    Some(path) if !path.starts_with("--") => PathBuf::from(path),
+                    _ => panic!("--cache-dir needs a path"),
+                };
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            file => shard_files.push(PathBuf::from(file)),
+        }
+        i += 1;
+    }
+    assert!(
+        !shard_files.is_empty(),
+        "usage: sweep_worker [--cache-dir DIR] SHARD_FILE..."
+    );
+
+    let (mut hits, mut computed) = (0usize, 0usize);
+    for file in &shard_files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("cannot read shard file {}: {e}", file.display()));
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let hex = line.split_whitespace().next_back().expect("non-empty line");
+            let experiment = Experiment::decode_hex(hex).unwrap_or_else(|e| {
+                panic!(
+                    "{}:{}: bad experiment encoding: {e}",
+                    file.display(),
+                    lineno + 1
+                )
+            });
+            if ensure_cached(&cache_dir, &experiment) {
+                hits += 1;
+            } else {
+                computed += 1;
+                eprintln!(
+                    "  computed {} {} seed {}",
+                    experiment.scenario.name(),
+                    experiment.scheduler.name(),
+                    experiment.run.seed
+                );
+            }
+        }
+    }
+    println!(
+        "sweep_worker: {} cells into {} ({} already cached, {} computed)",
+        hits + computed,
+        cache_dir.display(),
+        hits,
+        computed
+    );
+}

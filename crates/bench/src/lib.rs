@@ -11,11 +11,14 @@
 //! | `ablation_weights` | §VII-D discussion | α/β/γ settings of the payoff |
 //! | `ablation_channel` | §III strategies | Algorithm 1 vs hash-based channels |
 //! | `diagnose` | — | one verbose run with per-node breakdown |
+//! | `sweep_worker` | — | fills the sweep cache from shard files of encoded experiments |
 //!
-//! Each binary prints the paper's six series (PDR, end-to-end delay,
-//! packet loss, radio duty cycle, queue loss, received packets/minute) as
-//! one table per sub-figure, averaged over seeds, ready to paste into
-//! `EXPERIMENTS.md`.
+//! Each figure binary prints the paper's six series (PDR, end-to-end
+//! delay, packet loss, radio duty cycle, queue loss, received
+//! packets/minute) as one table per sub-figure, averaged over seeds,
+//! ready to paste into `EXPERIMENTS.md` — or, with `--list`, dumps its
+//! cells as canonical-key / cache-status / encoded-experiment lines for
+//! cross-process sharding via `sweep_worker`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +28,12 @@ pub mod sweep;
 pub mod table;
 
 pub use figures::{
-    ablation_channel, ablation_weights, fig10, fig8, fig9, fig_noise_depth, fig_noise_period,
+    ablation_channel, ablation_channel_points, ablation_weights, ablation_weights_points, fig10,
+    fig10_points, fig8, fig8_points, fig9, fig9_points, fig_noise_depth, fig_noise_depth_points,
+    fig_noise_period, fig_noise_period_points,
 };
-pub use sweep::{PointResult, SweepConfig, SweepPoint, SweepResults};
+pub use sweep::{
+    cell_key, ensure_cached, probe_cached, render_shard_list, PointResult, SweepConfig, SweepPoint,
+    SweepResults,
+};
 pub use table::render_figure_tables;

@@ -1,46 +1,54 @@
-//! Parallel sweep execution with a persistent per-`(point, seed)`
-//! result cache.
+//! Parallel sweep execution with a persistent per-cell result cache and
+//! multi-process sharding support.
 //!
-//! Every cell of a sweep matrix is a pure function of its inputs —
-//! scenario, scheduler configuration, run spec, noise overlay and seed —
-//! so re-running a figure only needs to simulate the cells those inputs
-//! changed for. With [`SweepConfig::cache_dir`] set, each finished cell
-//! is written to one small file keyed by a hash of all inputs (values
-//! stored as exact `f64` bit patterns, so cached and fresh runs average
-//! to byte-identical rows), and later sweeps serve unchanged cells from
-//! disk. The serialization is hand-rolled hex-on-text because the
-//! vendored `serde` stand-in is marker-only (see `crates/compat`).
+//! Every cell of a sweep matrix is a pure function of one
+//! [`Experiment`] value (scenario spec, scheduler configuration, run
+//! spec incl. seed, overlay timeline), so re-running a figure only
+//! needs to simulate the cells whose experiment changed. With
+//! [`SweepConfig::cache_dir`] set, each finished cell is written to one
+//! small file keyed by [`cell_key`] — a 128-bit FNV digest of the
+//! experiment's *canonical byte encoding*
+//! ([`Experiment::encode`]), which embeds the encoding schema version,
+//! so a schema bump invalidates every old key by construction. Values
+//! are stored as exact `f64` bit patterns, so cached and fresh runs
+//! average to byte-identical rows. The serialization is hand-rolled
+//! hex-on-text because the vendored `serde` stand-in is marker-only
+//! (see `crates/compat`).
+//!
+//! The same keys and encodings power cross-process sharding: figure
+//! binaries dump their cells as one hex-encoded experiment per line
+//! (`--list`, rendered by [`render_shard_list`]), any number of
+//! `sweep_worker` processes fill the shared cache directory from
+//! disjoint slices of those lines ([`ensure_cached`]), and the final
+//! figure run is then 100% cache hits.
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::thread;
 use gtt_metrics::{FigureRow, Summary};
-use gtt_workload::{run_with_noise, NoiseBurst, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::Experiment;
 
-/// Bump when the cached quantities or the simulator's *observable
-/// behavior* change — every old cell then misses. The key hashes the
-/// experiment's inputs, not the simulator's code, so a behavior-changing
-/// commit without a schema bump would silently serve pre-change rows;
-/// `--no-cache` (or deleting `target/sweep-cache`) forces fresh runs,
-/// and CI's figure smoke always passes `--no-cache` for this reason.
-const CACHE_SCHEMA: &str = "gtt-sweep-cache v1";
+/// Bump when the cached *quantities* or the simulator's observable
+/// behavior change — every old cell file then fails this header check
+/// and is recomputed. (Key collisions across schema versions are
+/// impossible for *input* changes: the cache key hashes the canonical
+/// experiment encoding, whose own [`gtt_workload::ENCODING_VERSION`]
+/// covers layout changes. This constant covers the other half — same
+/// inputs, different simulator.) `--no-cache` (or deleting
+/// `target/sweep-cache`) forces fresh runs, and CI's figure smoke
+/// always passes `--no-cache` for this reason.
+const CACHE_SCHEMA: &str = "gtt-sweep-cache v2";
 
-/// One (x-value, scheduler) point of a sweep.
+/// One (x-value, experiment) point of a sweep. The per-seed cells are
+/// the point's experiment re-seeded from [`SweepConfig::seeds`].
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// The sweep coordinate ("30", "75", … — the figure's x axis).
     pub x_label: String,
-    /// Scheduler under test.
-    pub scheduler: SchedulerKind,
-    /// Topology.
-    pub scenario: Scenario,
-    /// Traffic + timing (seed field is overwritten per repetition).
-    pub spec: RunSpec,
-    /// Optional interference-burst overlay driven over the measurement
-    /// window (the noise figure sweeps its period and depth).
-    pub noise: Option<NoiseBurst>,
+    /// The experiment (its `run.seed` is overwritten per repetition).
+    pub experiment: Experiment,
 }
 
 /// Sweep-wide settings.
@@ -51,8 +59,8 @@ pub struct SweepConfig {
     /// Worker threads (`0` = one per available core, capped at the
     /// number of runs).
     pub threads: usize,
-    /// Directory of the persistent per-`(point, seed)` result cache
-    /// (`None` disables caching). The figure binaries default to
+    /// Directory of the persistent per-cell result cache (`None`
+    /// disables caching). The figure binaries default to
     /// `target/sweep-cache`.
     pub cache_dir: Option<PathBuf>,
 }
@@ -84,11 +92,26 @@ impl SweepConfig {
     }
 
     /// The figure binaries' shared configuration: `--quick` selects the
-    /// 2-seed smoke set, and the persistent cache under
-    /// `target/sweep-cache` is on unless `--no-cache` is given.
+    /// 2-seed smoke set, the persistent cache lives under
+    /// `target/sweep-cache` (`--cache-dir PATH` relocates it, `--no-cache`
+    /// disables it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--cache-dir` is given without a path (a silently
+    /// defaulted directory would make a sharding flow re-simulate
+    /// everything and report confusing misses).
     pub fn from_args() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick");
-        let no_cache = std::env::args().any(|a| a == "--no-cache");
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let no_cache = args.iter().any(|a| a == "--no-cache");
+        let cache_dir = match args.iter().position(|a| a == "--cache-dir") {
+            Some(i) => match args.get(i + 1) {
+                Some(path) if !path.starts_with("--") => path.clone(),
+                _ => panic!("--cache-dir needs a path"),
+            },
+            None => "target/sweep-cache".into(),
+        };
         let config = if quick {
             SweepConfig::quick()
         } else {
@@ -97,8 +120,15 @@ impl SweepConfig {
         if no_cache {
             config
         } else {
-            config.cached("target/sweep-cache")
+            config.cached(cache_dir)
         }
+    }
+
+    /// True when `--list` was given: print each cell's canonical key,
+    /// cache status and encoded experiment instead of simulating (the
+    /// dry-run that feeds `sweep_worker` shard files).
+    pub fn list_requested() -> bool {
+        std::env::args().any(|a| a == "--list")
     }
 }
 
@@ -137,7 +167,7 @@ pub struct SweepResults {
     pub x_axis: String,
     /// Results in input order.
     pub points: Vec<PointResult>,
-    /// `(point, seed)` cells served from the persistent cache.
+    /// Cells served from the persistent cache.
     pub cache_hits: usize,
     /// Cells that had to be simulated (and were written back when
     /// caching is enabled).
@@ -194,24 +224,26 @@ fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
     h
 }
 
-/// The cache key of a `(point, seed)` cell: every input that can affect
-/// the simulation, serialized via `Debug` (the topology debug form
-/// includes positions, range, link model and PRR overrides) and hashed.
-fn cell_key(point: &SweepPoint, seed: u64) -> String {
-    let spec = RunSpec { seed, ..point.spec };
-    let desc = format!(
-        "{CACHE_SCHEMA}|{:?}|{:?}|{:?}|{:?}|{:?}",
-        point.scenario.topology, point.scenario.roots, point.scheduler, spec, point.noise,
-    );
+/// The cache key of an encoded experiment.
+fn key_of_bytes(encoded: &[u8]) -> String {
     format!(
         "{:016x}{:016x}",
-        fnv1a(desc.as_bytes(), 0xcbf2_9ce4_8422_2325),
-        fnv1a(desc.as_bytes(), 0x9ae1_6a3b_2f90_404f),
+        fnv1a(encoded, 0xcbf2_9ce4_8422_2325),
+        fnv1a(encoded, 0x9ae1_6a3b_2f90_404f),
     )
 }
 
+/// The cache key of one cell: a 128-bit FNV-1a digest of the
+/// experiment's canonical byte encoding. Stable across processes,
+/// hosts and runs — the canonical bytes contain every input that can
+/// affect the simulation (and the encoding schema version), nothing
+/// else.
+pub fn cell_key(experiment: &Experiment) -> String {
+    key_of_bytes(&experiment.encode())
+}
+
 /// Loads a cached cell, or `None` on any mismatch (treated as a miss).
-fn cache_load(dir: &std::path::Path, key: &str) -> Option<CellResult> {
+fn cache_load(dir: &Path, key: &str) -> Option<CellResult> {
     let text = std::fs::read_to_string(dir.join(key)).ok()?;
     let mut lines = text.lines();
     if lines.next()? != CACHE_SCHEMA {
@@ -241,14 +273,17 @@ fn cache_load(dir: &std::path::Path, key: &str) -> Option<CellResult> {
 }
 
 /// Writes a finished cell; errors are ignored (the cache is an
-/// optimization, never a correctness dependency).
-fn cache_store(dir: &std::path::Path, key: &str, point: &SweepPoint, seed: u64, c: &CellResult) {
+/// optimization, never a correctness dependency). The write goes
+/// through a per-process temp file + rename so concurrent
+/// `sweep_worker` processes filling the same directory can never
+/// expose a half-written cell.
+fn cache_store(dir: &Path, key: &str, experiment: &Experiment, c: &CellResult) {
     let r = &c.row;
     let body = format!(
         "{CACHE_SCHEMA}\n{} {} seed {}\n{:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:x}\n",
-        point.scenario.name,
-        point.scheduler.name(),
-        seed,
+        experiment.scenario.name(),
+        experiment.scheduler.name(),
+        experiment.run.seed,
         r.pdr_percent.to_bits(),
         r.delay_ms.to_bits(),
         r.loss_per_min.to_bits(),
@@ -258,12 +293,80 @@ fn cache_store(dir: &std::path::Path, key: &str, point: &SweepPoint, seed: u64, 
         c.join_ratio.to_bits(),
         c.generated,
     );
-    let _ = std::fs::File::create(dir.join(key)).and_then(|mut f| f.write_all(body.as_bytes()));
+    let tmp = dir.join(format!("{key}.tmp-{}", std::process::id()));
+    let write = std::fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(body.as_bytes()))
+        .and_then(|()| std::fs::rename(&tmp, dir.join(key)));
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
 }
 
-/// Runs every `(point, seed)` combination, in parallel, and averages per
-/// point. With [`SweepConfig::cache_dir`] set, cells whose inputs are
-/// unchanged are served from the persistent cache instead of simulated.
+/// Simulates one cell.
+fn run_cell(experiment: &Experiment) -> CellResult {
+    let report = experiment.run();
+    CellResult {
+        row: report.row,
+        join_ratio: report.join_ratio,
+        generated: report.generated,
+    }
+}
+
+/// True if `experiment`'s cell is already present (and readable) in the
+/// cache under `dir`. Never simulates.
+pub fn probe_cached(dir: &Path, experiment: &Experiment) -> bool {
+    cache_load(dir, &cell_key(experiment)).is_some()
+}
+
+/// Guarantees `experiment`'s cell exists in the cache under `dir`,
+/// simulating and storing it on a miss. Returns `true` when the cell
+/// was already cached — the `sweep_worker` primitive.
+///
+/// # Panics
+///
+/// Panics if `dir` cannot be created.
+pub fn ensure_cached(dir: &Path, experiment: &Experiment) -> bool {
+    std::fs::create_dir_all(dir).expect("cache dir must be creatable");
+    let key = cell_key(experiment);
+    if cache_load(dir, &key).is_some() {
+        return true;
+    }
+    let cell = run_cell(experiment);
+    cache_store(dir, &key, experiment, &cell);
+    false
+}
+
+/// Renders a sweep's cells as shard-file lines without simulating
+/// anything: one line per distinct cell —
+/// `<key> <hit|miss> <hex-encoded experiment>` — against
+/// `config.cache_dir` (no cache dir ⇒ everything is a miss). Cells
+/// shared between points (e.g. a clean column reused across figures)
+/// are emitted once.
+pub fn render_shard_list(points: &[SweepPoint], config: &SweepConfig) -> String {
+    let mut out = String::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for point in points {
+        for &seed in &config.seeds {
+            let exp = point.experiment.with_seed(seed);
+            let key = cell_key(&exp);
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            let hit = config
+                .cache_dir
+                .as_deref()
+                .is_some_and(|dir| cache_load(dir, &key).is_some());
+            let status = if hit { "hit" } else { "miss" };
+            out.push_str(&format!("{key} {status} {}\n", exp.encode_hex()));
+        }
+    }
+    out
+}
+
+/// Runs every `(point, seed)` cell, in parallel, and averages per
+/// point. With [`SweepConfig::cache_dir`] set, cells whose experiment
+/// is unchanged are served from the persistent cache instead of
+/// simulated.
 ///
 /// # Panics
 ///
@@ -309,8 +412,8 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
                     break;
                 }
                 let (i, seed) = jobs[j];
-                let point = &points[i];
-                let key = cache_dir.map(|_| cell_key(point, seed));
+                let experiment = points[i].experiment.with_seed(seed);
+                let key = cache_dir.map(|_| cell_key(&experiment));
                 let cached = match (cache_dir, &key) {
                     (Some(dir), Some(k)) => cache_load(dir, k),
                     _ => None,
@@ -322,20 +425,9 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
                     }
                     None => {
                         misses.fetch_add(1, Ordering::Relaxed);
-                        let spec = RunSpec { seed, ..point.spec };
-                        let report = run_with_noise(
-                            &point.scenario,
-                            &point.scheduler,
-                            &spec,
-                            point.noise.as_ref(),
-                        );
-                        let cell = CellResult {
-                            row: report.row,
-                            join_ratio: report.join_ratio,
-                            generated: report.generated,
-                        };
+                        let cell = run_cell(&experiment);
                         if let (Some(dir), Some(k)) = (cache_dir, &key) {
-                            cache_store(dir, k, point, seed, &cell);
+                            cache_store(dir, k, &experiment, &cell);
                         }
                         cell
                     }
@@ -358,7 +450,7 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
             let rows: Vec<FigureRow> = runs.iter().map(|(_, c)| c.row).collect();
             PointResult {
                 x_label: point.x_label.clone(),
-                scheduler: point.scheduler.name(),
+                scheduler: point.experiment.scheduler.name(),
                 mean: FigureRow::mean(rows.iter()),
                 join_ratio: runs.iter().map(|(_, c)| c.join_ratio).sum::<f64>() / runs.len() as f64,
                 generated: runs.iter().map(|(_, c)| c.generated as f64).sum::<f64>()
@@ -379,33 +471,29 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gtt_workload::{
+        Experiment, NoiseBurst, Overlay, RunSpec, ScenarioSpec, SchedulerKind, ENCODING_VERSION,
+    };
+
+    fn tiny_experiment(ppm: f64) -> Experiment {
+        Experiment::new(ScenarioSpec::star(2), SchedulerKind::minimal(8)).with_run(RunSpec {
+            traffic_ppm: ppm,
+            warmup_secs: 20,
+            measure_secs: 30,
+            seed: 0,
+            ..RunSpec::default()
+        })
+    }
 
     fn tiny_points() -> Vec<SweepPoint> {
-        let scenario = Scenario::star(2);
         vec![
             SweepPoint {
                 x_label: "10".into(),
-                scheduler: SchedulerKind::minimal(8),
-                scenario: scenario.clone(),
-                spec: RunSpec {
-                    traffic_ppm: 10.0,
-                    warmup_secs: 20,
-                    measure_secs: 30,
-                    seed: 0,
-                },
-                noise: None,
+                experiment: tiny_experiment(10.0),
             },
             SweepPoint {
                 x_label: "20".into(),
-                scheduler: SchedulerKind::minimal(8),
-                scenario,
-                spec: RunSpec {
-                    traffic_ppm: 20.0,
-                    warmup_secs: 20,
-                    measure_secs: 30,
-                    seed: 0,
-                },
-                noise: None,
+                experiment: tiny_experiment(20.0),
             },
         ]
     }
@@ -495,14 +583,86 @@ mod tests {
         let _ = run_sweep("traffic", tiny_points(), &cfg);
         // Change one point's traffic rate: only that cell re-runs.
         let mut points = tiny_points();
-        points[1].spec.traffic_ppm = 25.0;
+        points[1].experiment.run.traffic_ppm = 25.0;
         let second = run_sweep("traffic", points, &cfg);
         assert_eq!(second.cache_hits, 1, "unchanged point still cached");
         assert_eq!(second.cache_misses, 1, "changed point re-ran");
-        // A noise overlay is part of the key too.
+        // An overlay is part of the key too.
         let mut points = tiny_points();
-        points[0].noise = Some(NoiseBurst::wifi_like());
+        points[0]
+            .experiment
+            .overlays
+            .push(Overlay::Noise(NoiseBurst::wifi_like()));
         let third = run_sweep("traffic", points, &cfg);
         assert_eq!(third.cache_misses, 1, "noisy variant is a distinct cell");
+    }
+
+    /// Pins the key derivation across runs, processes and hosts: the
+    /// canonical encoding has no ambient inputs, so this literal can
+    /// only change when the encoding (or its schema version) does —
+    /// which is exactly when every cached cell *should* be invalidated.
+    #[test]
+    fn cell_keys_are_stable_across_runs() {
+        let exp = tiny_experiment(10.0).with_seed(1);
+        assert_eq!(cell_key(&exp), cell_key(&exp.clone()));
+        assert_eq!(cell_key(&exp), "15eaf8ff5efae94710c8f412083bbde5");
+    }
+
+    /// An encoding-schema bump must change every key: old cells become
+    /// unreachable instead of silently served across a layout change.
+    #[test]
+    fn schema_version_bump_invalidates_cached_cells() {
+        let dir = scratch_cache("schema-bump");
+        let exp = tiny_experiment(10.0).with_seed(1);
+        assert!(!ensure_cached(&dir, &exp), "cold cache computes");
+        assert!(ensure_cached(&dir, &exp), "warm cache hits");
+        let bumped_key = key_of_bytes(&exp.encode_with_version(ENCODING_VERSION + 1));
+        assert_ne!(
+            bumped_key,
+            cell_key(&exp),
+            "a version bump must re-key every cell"
+        );
+        assert!(
+            cache_load(&dir, &bumped_key).is_none(),
+            "the bumped key must miss the old cell"
+        );
+        // The file-format schema line is the second guard: a cell
+        // written by a different CACHE_SCHEMA is a miss, not a parse.
+        let key = cell_key(&exp);
+        let stale = std::fs::read_to_string(dir.join(&key))
+            .unwrap()
+            .replace(CACHE_SCHEMA, "gtt-sweep-cache v0");
+        std::fs::write(dir.join(&key), stale).unwrap();
+        assert!(!probe_cached(&dir, &exp), "foreign schema line must miss");
+    }
+
+    #[test]
+    fn shard_list_reflects_cache_state_and_round_trips() {
+        let dir = scratch_cache("shard-list");
+        let cfg = SweepConfig {
+            seeds: vec![1, 2],
+            threads: 1,
+            cache_dir: None,
+        }
+        .cached(dir.clone());
+        let listing = render_shard_list(&tiny_points(), &cfg);
+        assert_eq!(listing.lines().count(), 4, "2 points × 2 seeds, no dupes");
+        // Every line decodes back to its experiment and matches its key.
+        for line in listing.lines() {
+            let mut fields = line.split_whitespace();
+            let key = fields.next().unwrap();
+            assert_eq!(fields.next(), Some("miss"), "cold cache lists misses");
+            let exp = Experiment::decode_hex(fields.next().unwrap()).expect("hex decodes");
+            assert_eq!(cell_key(&exp), key);
+        }
+        // Fill one cell: exactly that line flips to hit.
+        let filled = tiny_points()[0].experiment.with_seed(2);
+        ensure_cached(&dir, &filled);
+        let relisted = render_shard_list(&tiny_points(), &cfg);
+        assert_eq!(relisted.lines().filter(|l| l.contains(" hit ")).count(), 1);
+        // Duplicate cells across points are emitted once.
+        let mut dup = tiny_points();
+        dup.push(dup[0].clone());
+        assert_eq!(render_shard_list(&dup, &cfg).lines().count(), 4);
     }
 }

@@ -6,7 +6,7 @@
 use gtt_mac::CellClass;
 use gtt_net::NodeId;
 use gtt_sim::SimDuration;
-use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn data_tx_cells(net: &gtt_engine::Network, id: u16) -> usize {
     net.node(NodeId::new(id))
@@ -20,19 +20,26 @@ fn data_tx_cells(net: &gtt_engine::Network, id: u16) -> usize {
         .count()
 }
 
+/// A GT-TSCH network over `scenario`, built through the experiment seam
+/// (no warm-up/measurement — these tests drive the clock themselves).
+fn converged(scenario: ScenarioSpec, traffic_ppm: f64, seed: u64) -> gtt_engine::Network {
+    Experiment::new(scenario, SchedulerKind::gt_tsch_default())
+        .with_run(RunSpec {
+            traffic_ppm,
+            warmup_secs: 0,
+            measure_secs: 0,
+            seed,
+            ..RunSpec::default()
+        })
+        .build_network()
+}
+
 #[test]
 fn schedule_converges_within_a_minute() {
     // From cold boot, every node of a 7-mote DODAG should hold at least
     // one data Tx cell towards its parent within ~60 s of simulated
     // time — the EB/6P pipeline is a handful of 2 s periods per hop.
-    let scenario = Scenario::single_dodag(7);
-    let spec = RunSpec {
-        traffic_ppm: 60.0,
-        warmup_secs: 0,
-        measure_secs: 0,
-        seed: 8,
-    };
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = converged(ScenarioSpec::single_dodag(7), 60.0, 8);
     net.run_for(SimDuration::from_secs(60));
     assert_eq!(net.join_ratio(), 1.0, "all joined");
     for id in 1..7u16 {
@@ -49,15 +56,8 @@ fn allocation_grows_with_rate_increase() {
     // count at the sources. We emulate a rate change by comparing two
     // converged networks at different rates (the engine's app rate is
     // fixed per run).
-    let scenario = Scenario::single_dodag(5);
     let cells_at_rate = |ppm: f64| {
-        let spec = RunSpec {
-            traffic_ppm: ppm,
-            warmup_secs: 0,
-            measure_secs: 0,
-            seed: 10,
-        };
-        let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+        let mut net = converged(ScenarioSpec::single_dodag(5), ppm, 10);
         net.run_for(SimDuration::from_secs(180));
         (1..5u16).map(|id| data_tx_cells(&net, id)).sum::<usize>()
     };
@@ -74,14 +74,7 @@ fn excess_cells_are_released_after_a_burst() {
     // §IV rule 3 via the DELETE path: inflate allocations with a very
     // lossy phase (queue pressure grants extras), then restore the link
     // and verify the surplus is released again.
-    let scenario = Scenario::line(3, 30.0);
-    let spec = RunSpec {
-        traffic_ppm: 30.0,
-        warmup_secs: 0,
-        measure_secs: 0,
-        seed: 12,
-    };
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = converged(ScenarioSpec::line(3, 30.0), 30.0, 12);
     net.run_for(SimDuration::from_secs(120));
     let baseline = data_tx_cells(&net, 1);
 
@@ -112,14 +105,7 @@ fn control_overhead_is_bounded_in_steady_state() {
     // After convergence, 6P transaction traffic settles: in steady state
     // the failed-transaction counter must grow much slower than during
     // formation (no ADD/DELETE oscillation, no ErrNoCells livelock).
-    let scenario = Scenario::two_dodag(7);
-    let spec = RunSpec {
-        traffic_ppm: 120.0,
-        warmup_secs: 0,
-        measure_secs: 0,
-        seed: 14,
-    };
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = converged(ScenarioSpec::two_dodag(7), 120.0, 14);
     net.run_for(SimDuration::from_secs(240));
     let failures_after_formation: u64 = net
         .nodes()
@@ -142,14 +128,7 @@ fn control_overhead_is_bounded_in_steady_state() {
 
 #[test]
 fn roots_never_request_cells() {
-    let scenario = Scenario::single_dodag(5);
-    let spec = RunSpec {
-        traffic_ppm: 60.0,
-        warmup_secs: 0,
-        measure_secs: 0,
-        seed: 16,
-    };
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = converged(ScenarioSpec::single_dodag(5), 60.0, 16);
     net.run_for(SimDuration::from_secs(120));
     let root = net.node(NodeId::new(0));
     assert_eq!(

@@ -896,6 +896,37 @@ impl Network {
         self.medium.topology_mut().clear_link_prr(a, b);
     }
 
+    /// Mobility: relocates `node` to `to` from the next slot on. Link
+    /// PRRs and audibility follow the new distances immediately
+    /// ([`Topology::set_position`] rebuilds the audible adjacency).
+    ///
+    /// No engine bookkeeping needs invalidating: the wake heap and the
+    /// listener-probe index cache *schedule* facts (when a node listens),
+    /// never audibility — every per-slot audibility decision reads the
+    /// topology fresh, so a relocated passive listener is picked up by
+    /// the very next audible transmission. The `naive-step` equivalence
+    /// suite pins mobile runs against the exhaustive oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn move_node(&mut self, node: NodeId, to: gtt_net::Position) {
+        self.medium.topology_mut().set_position(node, to);
+    }
+
+    /// Throttles (or releases) `node`'s application source: while
+    /// throttled, due packets are discarded instead of enqueued, but the
+    /// source's phase keeps advancing — the node's wake pattern is
+    /// byte-identical throttled or not, so duty-cycle-budget overlays
+    /// stay equivalent between the event-driven core and the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_app_throttled(&mut self, node: NodeId, throttled: bool) {
+        self.nodes[node.index()].app_throttled = throttled;
+    }
+
     fn apply_upkeep(&mut self, i: usize, output: UpkeepOutput, now: SimTime) {
         // Scheduler reactions to parent changes.
         for (old, new) in output.parent_changes {
@@ -1197,6 +1228,54 @@ mod tests {
         let re = measured_report(&mut event);
         let rn = measured_report(&mut naive);
         assert_eq!(re, rn);
+    }
+
+    /// Relocating a node mid-run keeps the two cores equivalent: the
+    /// leaf walks out of everyone's range and back, changing audibility
+    /// and every PRR it is part of, twice.
+    #[test]
+    fn move_node_keeps_cores_equivalent() {
+        let mut event = build(false, 13);
+        let mut naive = build(true, 13);
+        for net in [&mut event, &mut naive] {
+            net.run_for(SimDuration::from_secs(15));
+            net.move_node(NodeId::new(2), Position::new(500.0, 0.0));
+            net.run_for(SimDuration::from_secs(15));
+            net.move_node(NodeId::new(2), Position::new(20.0, 5.0));
+        }
+        let re = measured_report(&mut event);
+        let rn = measured_report(&mut naive);
+        assert_eq!(re, rn, "mobile runs diverge");
+        assert_eq!(
+            event.topology().position(NodeId::new(2)),
+            Position::new(20.0, 5.0)
+        );
+    }
+
+    /// Throttling suppresses generation without touching the source's
+    /// phase; releasing resumes at the natural rate (no catch-up burst).
+    #[test]
+    fn app_throttle_suppresses_generation_only() {
+        let mut net = build(false, 3);
+        net.run_for(SimDuration::from_secs(30)); // join + converge
+        let victim = NodeId::new(1);
+        let before = net.node(victim).generated_total();
+        net.set_app_throttled(victim, true);
+        assert!(net.node(victim).is_app_throttled());
+        net.run_for(SimDuration::from_secs(60));
+        assert_eq!(
+            net.node(victim).generated_total(),
+            before,
+            "throttled node must not generate"
+        );
+        net.set_app_throttled(victim, false);
+        net.run_for(SimDuration::from_secs(60));
+        let resumed = net.node(victim).generated_total() - before;
+        // 30 ppm for 60 s ≈ 30 packets; a catch-up burst would add ~30.
+        assert!(
+            (20..=40).contains(&resumed),
+            "resume must be burst-free, got {resumed}"
+        );
     }
 
     /// An idle network (no traffic, no schedulers installing cells beyond

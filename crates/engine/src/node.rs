@@ -92,6 +92,11 @@ pub struct Node {
     pub scheduler: Box<dyn SchedulingFunction>,
     /// Application traffic source (`None` for roots / silent nodes).
     pub app: Option<AppTraffic>,
+    /// While set, due application packets are discarded instead of
+    /// enqueued (duty-cycle-budget throttling). The source's phase keeps
+    /// advancing, so unthrottling never releases a catch-up burst and the
+    /// node's wake pattern is identical throttled or not.
+    pub(crate) app_throttled: bool,
     pub(crate) rng: Pcg32,
     /// Node-level timers (EB, SF period), keyed by [`TimerKind`].
     pub(crate) timers: TimerWheel<TimerKind>,
@@ -147,6 +152,7 @@ impl Node {
             sixtop,
             scheduler,
             app: None,
+            app_throttled: false,
             rng,
             timers: TimerWheel::new(),
             fired_timers: Vec::new(),
@@ -198,6 +204,12 @@ impl Node {
     /// True unless the node was killed by fault injection.
     pub fn is_alive(&self) -> bool {
         self.alive
+    }
+
+    /// True while the application source is throttled (see
+    /// [`Network::set_app_throttled`](crate::Network)).
+    pub fn is_app_throttled(&self) -> bool {
+        self.app_throttled
     }
 
     /// Runs a scheduler hook with a fully-wired [`SfContext`], then
@@ -352,10 +364,12 @@ impl Node {
         }
         self.fired_timers = fired;
 
-        // Application traffic: only joined, routed nodes generate.
+        // Application traffic: only joined, routed, unthrottled nodes
+        // generate. `due` is drawn unconditionally so a throttled
+        // source's phase advances exactly as an active one's would.
         if let Some(app) = self.app.as_mut() {
             let due = app.due(now);
-            if due > 0 && self.rpl.is_joined() && !self.rpl.is_root() {
+            if due > 0 && !self.app_throttled && self.rpl.is_joined() && !self.rpl.is_root() {
                 output.generated_packets = due;
             }
         }

@@ -70,8 +70,9 @@ pub struct Topology {
     link_model: LinkModel,
     prr_overrides: BTreeMap<(NodeId, NodeId), f64>,
     /// Per-node audible peers (within interference range), in id order —
-    /// precomputed at build time. Positions are immutable after build, so
-    /// this never goes stale; PRR overrides affect link quality, not
+    /// precomputed at build time and rebuilt on every
+    /// [`Topology::set_position`] call (the only way positions change),
+    /// so it never goes stale; PRR overrides affect link quality, not
     /// audibility. The event-driven engine walks this to find the
     /// listeners a transmission could reach without scanning all nodes.
     audible_adj: Vec<Vec<NodeId>>,
@@ -110,6 +111,22 @@ impl Topology {
     /// Interference range in metres (≥ communication range).
     pub fn interference_range(&self) -> f64 {
         self.range * self.interference_factor
+    }
+
+    /// Interference range as a multiple of the communication range (the
+    /// value given to [`TopologyBuilder::interference_factor`]).
+    pub fn interference_factor(&self) -> f64 {
+        self.interference_factor
+    }
+
+    /// The link-quality model distances are mapped through.
+    pub fn link_model(&self) -> LinkModel {
+        self.link_model
+    }
+
+    /// All explicit PRR overrides, in `(a, b)` key order.
+    pub fn prr_overrides(&self) -> impl Iterator<Item = ((NodeId, NodeId), f64)> + '_ {
+        self.prr_overrides.iter().map(|(&k, &v)| (k, v))
     }
 
     /// Distance between two nodes in metres.
@@ -180,6 +197,29 @@ impl Topology {
     /// fast path alive on the reception hot path.
     pub fn clear_link_prr(&mut self, a: NodeId, b: NodeId) {
         self.prr_overrides.remove(&(a, b));
+    }
+
+    /// Moves `node` to `to`, recomputing the audibility adjacency.
+    ///
+    /// Mobility support: link PRRs follow from the new distances
+    /// immediately (the link model is evaluated per query), and the
+    /// precomputed audible-neighbor lists are rebuilt here so per-slot
+    /// consumers keep their O(degree) walks. Explicit PRR overrides are
+    /// left untouched — they are pinned faults, not distance-derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_position(&mut self, node: NodeId, to: Position) {
+        self.positions[node.index()] = to;
+        self.audible_adj = Self::audibility_of(self);
+    }
+
+    /// The audible-neighbor adjacency implied by the current positions.
+    fn audibility_of(topo: &Topology) -> Vec<Vec<NodeId>> {
+        topo.node_ids()
+            .map(|a| topo.node_ids().filter(|&b| topo.audible(a, b)).collect())
+            .collect()
     }
 
     /// All in-range neighbors of `node`, in id order.
@@ -336,10 +376,7 @@ impl TopologyBuilder {
             prr_overrides: self.prr_overrides,
             audible_adj: Vec::new(),
         };
-        topo.audible_adj = topo
-            .node_ids()
-            .map(|a| topo.node_ids().filter(|&b| topo.audible(a, b)).collect())
-            .collect();
+        topo.audible_adj = Topology::audibility_of(&topo);
         topo
     }
 }
@@ -382,6 +419,36 @@ mod tests {
                 assert!(t.audible(id, peer));
             }
         }
+    }
+
+    #[test]
+    fn set_position_rebuilds_audibility_and_prr() {
+        let mut t = line(30.0, 3, 35.0);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        assert!(!t.in_range(a, c));
+        // Walk n2 next to n0: n0↔n2 become audible, n1↔n2 go silent.
+        t.set_position(c, Position::new(10.0, 0.0));
+        assert_eq!(t.audible_neighbors(a), [b, c]);
+        assert_eq!(t.audible_neighbors(c), [a, b]); // n1 is 20 m away
+        assert_eq!(t.prr(a, c), 1.0, "perfect link model at 10 m");
+        t.set_position(c, Position::new(200.0, 0.0));
+        assert_eq!(t.audible_neighbors(c), [] as [NodeId; 0]);
+        assert_eq!(t.prr(a, c), 0.0);
+    }
+
+    #[test]
+    fn accessors_expose_build_inputs() {
+        let t = TopologyBuilder::new(25.0)
+            .interference_factor(1.5)
+            .link_model(LinkModel::Fixed(0.7))
+            .node(Position::ORIGIN)
+            .node(Position::new(10.0, 0.0))
+            .link_prr(NodeId::new(0), NodeId::new(1), 0.25)
+            .build();
+        assert_eq!(t.interference_factor(), 1.5);
+        assert_eq!(t.link_model(), LinkModel::Fixed(0.7));
+        let overrides: Vec<_> = t.prr_overrides().collect();
+        assert_eq!(overrides, vec![((NodeId::new(0), NodeId::new(1)), 0.25)]);
     }
 
     #[test]

@@ -1,52 +1,80 @@
-//! # gtt-workload — scenarios and experiment plumbing
+//! # gtt-workload — declarative experiments
 //!
-//! Builders for the network topologies the paper evaluates on (§VIII) and
-//! a thin runner that wires a scenario + scheduler + traffic rate into a
-//! measured [`NetworkReport`]. The bench harness (`gtt-bench`) composes
-//! these into the full figure sweeps; examples use them directly.
+//! One self-describing value, [`Experiment`], is the only way figures,
+//! benches, examples and cross-crate tests describe a run: a
+//! [`ScenarioSpec`] (topology generator + link model), a
+//! [`SchedulerKind`], a [`RunSpec`] (traffic model + timing + seed) and
+//! a composable [`Overlay`] timeline (interference bursts, step
+//! mobility, duty-cycle budgets). Experiments are plain data —
+//! comparable, cloneable, and canonically encodable
+//! ([`Experiment::encode`]) into a versioned byte form that doubles as
+//! the sweep cache key and as the shard-file line format of the
+//! multi-process `sweep_worker` (see `gtt-bench`).
 //!
 //! # Example
 //!
 //! ```
-//! use gtt_workload::{Scenario, SchedulerKind, RunSpec};
+//! use gtt_workload::{Experiment, Overlay, NoiseBurst, RunSpec, ScenarioSpec, SchedulerKind};
 //!
-//! let scenario = Scenario::two_dodag(7); // the Fig. 8 topology
-//! assert_eq!(scenario.topology.len(), 14);
-//! assert_eq!(scenario.roots.len(), 2);
-//! let spec = RunSpec {
-//!     traffic_ppm: 30.0,
-//!     warmup_secs: 30,
-//!     measure_secs: 60,
-//!     seed: 1,
+//! let exp = Experiment {
+//!     scenario: ScenarioSpec::two_dodag(7), // the Fig. 8 topology
+//!     scheduler: SchedulerKind::gt_tsch_default(),
+//!     run: RunSpec {
+//!         traffic_ppm: 30.0,
+//!         warmup_secs: 30,
+//!         measure_secs: 60,
+//!         seed: 1,
+//!         ..RunSpec::default()
+//!     },
+//!     overlays: vec![Overlay::Noise(NoiseBurst::wifi_like())],
 //! };
-//! let report = gtt_workload::run(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+//! // The canonical encoding round-trips exactly (cache keys and shard
+//! // files are derived from it) …
+//! assert_eq!(Experiment::decode(&exp.encode()).unwrap(), exp);
+//! // … and `run()` drives warm-up, the overlay timeline and the
+//! // measured window in one call.
+//! let report = exp.run();
 //! assert!(report.join_ratio > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod encode;
+pub mod overlay;
 pub mod scenario;
 pub mod schedulers;
+pub mod spec;
 
-pub use scenario::{NoiseBurst, Scenario};
+pub use encode::{DecodeError, ENCODING_VERSION};
+pub use overlay::{DutyCycleBudget, NoiseBurst, Overlay, StepMobility, WaypointHop};
+pub use scenario::Scenario;
 pub use schedulers::SchedulerKind;
+pub use spec::{ScenarioSpec, TopologySpec};
 
-use gtt_engine::{EngineConfig, Network, NetworkReport};
+use gtt_engine::{EngineConfig, Network, NetworkBuilder, NetworkReport};
 use gtt_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
-/// Parameters of one measured run.
+/// Parameters of one measured run: the traffic model (per-node CBR
+/// rate), the timing of the measurement, the seed, and the engine
+/// cadence preset.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunSpec {
     /// Application rate per non-root node (packets/minute).
     pub traffic_ppm: f64,
     /// Warm-up (network formation + schedule convergence), seconds.
+    /// Overlays do not run during warm-up — the network always forms
+    /// under clean conditions.
     pub warmup_secs: u64,
-    /// Measurement window, seconds.
+    /// Measurement window, seconds (the overlay timeline spans it).
     pub measure_secs: u64,
     /// Experiment seed.
     pub seed: u64,
+    /// Use the steady-state low-power cadences
+    /// ([`EngineConfig::low_power`]) instead of the paper's
+    /// experiment-accelerating ones.
+    pub low_power: bool,
 }
 
 impl Default for RunSpec {
@@ -56,49 +84,114 @@ impl Default for RunSpec {
             warmup_secs: 120,
             measure_secs: 300,
             seed: 1,
+            low_power: false,
         }
     }
 }
 
-/// Builds the network for a scenario/scheduler pair without running it.
-pub fn build_network(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec) -> Network {
-    let config = EngineConfig {
-        seed: spec.seed,
-        ..scheduler.engine_config()
-    };
-    let sk = scheduler.clone();
-    Network::builder(scenario.topology.clone(), config)
-        .roots(scenario.roots.iter().copied())
-        .traffic_ppm(spec.traffic_ppm)
-        .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root))
-        .build()
+/// A complete, self-describing experiment: everything that determines a
+/// [`NetworkReport`], and nothing that doesn't.
+///
+/// The four fields are pure data; [`Experiment::run`] is the one driver
+/// that turns them into a measured report (build network → warm up →
+/// overlay-driven measurement window → report). Anything needing finer
+/// control (fault-injection tests, engine benches) starts from
+/// [`Experiment::network_builder`] and drives the network itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// What network the run happens on.
+    pub scenario: ScenarioSpec,
+    /// Which scheduling function every node runs.
+    pub scheduler: SchedulerKind,
+    /// Traffic model, timing, seed, engine preset.
+    pub run: RunSpec,
+    /// Timed environmental effects over the measurement window, applied
+    /// in declaration order when simultaneous.
+    pub overlays: Vec<Overlay>,
 }
 
-/// Runs one full measured experiment: warm-up, measurement window,
-/// report.
-pub fn run(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec) -> NetworkReport {
-    run_with_noise(scenario, scheduler, spec, None)
-}
-
-/// [`run`] with an optional interference-burst overlay driven over the
-/// measurement window (the warm-up stays clean so the network forms
-/// identically with and without noise).
-pub fn run_with_noise(
-    scenario: &Scenario,
-    scheduler: &SchedulerKind,
-    spec: &RunSpec,
-    noise: Option<&NoiseBurst>,
-) -> NetworkReport {
-    let mut net = build_network(scenario, scheduler, spec);
-    net.run_for(SimDuration::from_secs(spec.warmup_secs));
-    net.start_measurement();
-    let window = SimDuration::from_secs(spec.measure_secs);
-    match noise {
-        Some(n) => n.run(&mut net, window),
-        None => net.run_for(window),
+impl Experiment {
+    /// An experiment with default [`RunSpec`] and no overlays.
+    pub fn new(scenario: ScenarioSpec, scheduler: SchedulerKind) -> Self {
+        Experiment {
+            scenario,
+            scheduler,
+            run: RunSpec::default(),
+            overlays: Vec::new(),
+        }
     }
-    net.finish_measurement();
-    net.report()
+
+    /// Replaces the run parameters (builder style).
+    pub fn with_run(mut self, run: RunSpec) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Appends an overlay (builder style).
+    pub fn with_overlay(mut self, overlay: Overlay) -> Self {
+        self.overlays.push(overlay);
+        self
+    }
+
+    /// The same experiment under a different seed — how sweeps expand
+    /// one point into its per-seed cells.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut exp = self.clone();
+        exp.run.seed = seed;
+        exp
+    }
+
+    /// The engine configuration this experiment runs under.
+    pub fn engine_config(&self) -> EngineConfig {
+        let base = if self.run.low_power {
+            EngineConfig::low_power()
+        } else {
+            self.scheduler.engine_config()
+        };
+        EngineConfig {
+            seed: self.run.seed,
+            ..base
+        }
+    }
+
+    /// A fully-wired [`NetworkBuilder`] for this experiment — the
+    /// escape hatch for callers that need builder-level switches (the
+    /// `naive-step` oracle) before building.
+    pub fn network_builder(&self) -> NetworkBuilder {
+        let scenario = self.scenario.build();
+        let sk = self.scheduler.clone();
+        Network::builder(scenario.topology, self.engine_config())
+            .roots(scenario.roots)
+            .traffic_ppm(self.run.traffic_ppm)
+            .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root))
+    }
+
+    /// Builds the experiment's network without running it.
+    pub fn build_network(&self) -> Network {
+        self.network_builder().build()
+    }
+
+    /// Runs the full experiment: build, warm up, drive the overlay
+    /// timeline across the measurement window, report.
+    pub fn run(&self) -> NetworkReport {
+        self.run_on(&mut self.build_network())
+    }
+
+    /// [`Experiment::run`] on an already-built network (one produced by
+    /// [`Experiment::network_builder`] — e.g. with the `naive-step`
+    /// oracle enabled, so equivalence tests drive both cores through
+    /// the identical warm-up/overlay/measure sequence).
+    pub fn run_on(&self, net: &mut Network) -> NetworkReport {
+        net.run_for(SimDuration::from_secs(self.run.warmup_secs));
+        net.start_measurement();
+        overlay::drive(
+            net,
+            &self.overlays,
+            SimDuration::from_secs(self.run.measure_secs),
+        );
+        net.finish_measurement();
+        net.report()
+    }
 }
 
 #[cfg(test)]
@@ -110,19 +203,56 @@ mod tests {
         let spec = RunSpec::default();
         assert!(spec.traffic_ppm > 0.0);
         assert!(spec.measure_secs > 0);
+        assert!(!spec.low_power);
     }
 
     #[test]
-    fn build_network_wires_roots_and_traffic() {
-        let scenario = Scenario::two_dodag(6);
-        let spec = RunSpec {
-            warmup_secs: 1,
-            measure_secs: 1,
-            ..RunSpec::default()
-        };
-        let net = build_network(&scenario, &SchedulerKind::minimal(8), &spec);
+    fn experiment_builds_wired_networks() {
+        let exp = Experiment::new(ScenarioSpec::two_dodag(6), SchedulerKind::minimal(8)).with_run(
+            RunSpec {
+                warmup_secs: 1,
+                measure_secs: 1,
+                ..RunSpec::default()
+            },
+        );
+        let net = exp.build_network();
         assert_eq!(net.nodes().len(), 12);
+        let scenario = exp.scenario.build();
         assert!(net.node(scenario.roots[0]).rpl.is_root());
         assert!(net.node(scenario.roots[1]).rpl.is_root());
+        assert_eq!(net.config().seed, exp.run.seed);
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let exp = Experiment::new(ScenarioSpec::star(3), SchedulerKind::gt_tsch_default());
+        let other = exp.with_seed(99);
+        assert_eq!(other.run.seed, 99);
+        assert_eq!(other.with_seed(exp.run.seed), exp);
+    }
+
+    #[test]
+    fn low_power_preset_selects_steady_state_cadences() {
+        let mut exp = Experiment::new(ScenarioSpec::star(3), SchedulerKind::gt_tsch_default());
+        exp.run.low_power = true;
+        assert_eq!(
+            exp.engine_config().eb_period,
+            EngineConfig::low_power().eb_period
+        );
+    }
+
+    #[test]
+    fn run_produces_a_formed_network() {
+        let exp =
+            Experiment::new(ScenarioSpec::star(4), SchedulerKind::minimal(8)).with_run(RunSpec {
+                traffic_ppm: 30.0,
+                warmup_secs: 30,
+                measure_secs: 30,
+                seed: 2,
+                ..RunSpec::default()
+            });
+        let report = exp.run();
+        assert!(report.join_ratio > 0.9, "network must form");
+        assert!(report.generated > 0);
     }
 }

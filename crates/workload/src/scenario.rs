@@ -1,12 +1,17 @@
-//! Network topologies from the paper's evaluation, plus environmental
-//! effects layered on top of them (interference bursts).
+//! Network topologies from the paper's evaluation.
+//!
+//! These are the *materialized* values a [`ScenarioSpec`] builds;
+//! environmental effects (interference bursts, mobility, duty-cycle
+//! budgets) are [`Overlay`]s on the experiment, not scenario variants.
+//!
+//! [`ScenarioSpec`]: crate::ScenarioSpec
+//! [`Overlay`]: crate::Overlay
 
-use gtt_engine::Network;
 use gtt_net::{LinkModel, NodeId, Position, Topology, TopologyBuilder};
-use gtt_sim::{Pcg32, SimDuration};
+use gtt_sim::Pcg32;
 
 /// A named topology with its DODAG roots.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Human-readable name (used in harness output).
     pub name: String,
@@ -194,8 +199,9 @@ impl Scenario {
 
     /// The interference-burst scenario: the 120-node grid sharing its
     /// band with a periodic wideband interferer (Wi-Fi beacons, a duty-
-    /// cycled jammer). Drive it with [`NoiseBurst::run`], which overlays
-    /// the noise windows on any of these topologies.
+    /// cycled jammer). Pair it with an
+    /// [`Overlay::Noise`](crate::Overlay) timeline, which overlays the
+    /// noise windows on any of these topologies.
     pub fn interference_grid() -> Scenario {
         // Derived from the headline grid so the interference runs always
         // cover the same topology the engine benches gate on.
@@ -228,105 +234,6 @@ impl Scenario {
         }
         positions
     }
-}
-
-/// Periodic wideband interference: every `quiet + burst` of simulated
-/// time, *all* audible links degrade to `prr_factor` of their nominal
-/// packet-reception ratio for `burst`, then recover — the on/off duty
-/// cycle of a co-located Wi-Fi transmitter or duty-cycled jammer
-/// (PAPERS.md: the HRL-TSCH / E-MSF evaluation conditions).
-///
-/// Implemented on top of the engine's fault-injection machinery
-/// ([`Network::set_link_prr`]): wideband noise is indistinguishable from
-/// a synchronized PRR collapse across every link, and routing it through
-/// the fault path keeps the event-driven core's lazy accounting exact —
-/// the `step_equivalence` suite pins noise runs against the `naive-step`
-/// oracle like every other scenario family.
-#[derive(Debug, Clone, Copy)]
-pub struct NoiseBurst {
-    /// Quiet time between bursts.
-    pub quiet: SimDuration,
-    /// Duration of each noise window.
-    pub burst: SimDuration,
-    /// Multiplier applied to every link's PRR while the noise is on
-    /// (`0.0` = nothing decodes, `1.0` = no effect).
-    pub prr_factor: f64,
-}
-
-impl NoiseBurst {
-    /// A Wi-Fi-beacon-like interferer: 2 s of heavy wideband noise
-    /// (links at 20% of nominal PRR) every 10 s.
-    pub fn wifi_like() -> NoiseBurst {
-        NoiseBurst {
-            quiet: SimDuration::from_secs(8),
-            burst: SimDuration::from_secs(2),
-            prr_factor: 0.2,
-        }
-    }
-
-    /// Drives `net` for `total` simulated time, alternating quiet
-    /// windows with noise bursts. Link PRRs are restored to their exact
-    /// pre-burst values after each window, so bursts compose with other
-    /// fault injection (a link already degraded by hand is scaled from
-    /// its degraded value and returned to it).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `prr_factor` is outside `[0, 1]` or both windows are
-    /// zero-length.
-    pub fn run(&self, net: &mut Network, total: SimDuration) {
-        assert!(
-            (0.0..=1.0).contains(&self.prr_factor),
-            "prr_factor must be in [0, 1], got {}",
-            self.prr_factor
-        );
-        assert!(
-            !self.quiet.is_zero() || !self.burst.is_zero(),
-            "noise windows must have positive length"
-        );
-        let end = net.now() + total;
-        let links = audible_links(net);
-        // Per link: the pre-burst *override* (not the effective PRR), so
-        // restoration re-installs exactly what fault injection had put
-        // there — or removes our override entirely, keeping the
-        // topology's override map empty between bursts (its emptiness is
-        // the reception hot path's fast-path condition).
-        let mut saved: Vec<Option<f64>> = Vec::with_capacity(links.len());
-        while net.now() < end {
-            let quiet_end = (net.now() + self.quiet).min(end);
-            net.run_until(quiet_end);
-            if net.now() >= end {
-                break;
-            }
-            saved.clear();
-            for &(a, b) in &links {
-                saved.push(net.topology().link_prr_override(a, b));
-                let prr = net.topology().prr(a, b);
-                net.set_link_prr(a, b, prr * self.prr_factor);
-            }
-            let burst_end = (net.now() + self.burst).min(end);
-            net.run_until(burst_end);
-            for (&(a, b), &prev) in links.iter().zip(&saved) {
-                match prev {
-                    Some(prr) => net.set_link_prr(a, b, prr),
-                    None => net.clear_link_prr(a, b),
-                }
-            }
-        }
-    }
-}
-
-/// All directed audible links of `net`'s topology, in id order.
-fn audible_links(net: &Network) -> Vec<(NodeId, NodeId)> {
-    let topo = net.topology();
-    topo.node_ids()
-        .flat_map(|a| {
-            topo.audible_neighbors(a)
-                .iter()
-                .map(move |&b| (a, b))
-                .collect::<Vec<_>>()
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -440,72 +347,11 @@ mod tests {
         let _ = Scenario::single_dodag(11);
     }
 
-    fn noisy_run(noise: Option<NoiseBurst>) -> gtt_engine::NetworkReport {
-        let scenario = Scenario::star(6);
-        let spec = crate::RunSpec {
-            traffic_ppm: 30.0,
-            warmup_secs: 30,
-            measure_secs: 60,
-            seed: 9,
-        };
-        let mut net = crate::build_network(&scenario, &crate::SchedulerKind::minimal(8), &spec);
-        net.run_for(SimDuration::from_secs(spec.warmup_secs));
-        net.start_measurement();
-        let window = SimDuration::from_secs(spec.measure_secs);
-        match noise {
-            Some(n) => n.run(&mut net, window),
-            None => net.run_for(window),
-        }
-        net.finish_measurement();
-        net.report()
-    }
-
-    #[test]
-    fn noise_bursts_degrade_pdr_and_restore_links() {
-        let clean = noisy_run(None);
-        let noisy = noisy_run(Some(NoiseBurst {
-            quiet: SimDuration::from_secs(3),
-            burst: SimDuration::from_secs(3),
-            prr_factor: 0.0, // total wideband blackout half the time
-        }));
-        assert!(
-            noisy.row.pdr_percent < clean.row.pdr_percent,
-            "blackout windows must cost deliveries: {:.1}% !< {:.1}%",
-            noisy.row.pdr_percent,
-            clean.row.pdr_percent
-        );
-        // Restoration is exact: a second clean run after the machinery
-        // existed must equal the first (determinism not perturbed).
-        let clean2 = noisy_run(None);
-        assert_eq!(clean, clean2, "noise machinery must not leak state");
-    }
-
     #[test]
     fn interference_grid_reuses_the_large_grid_shape() {
         let s = Scenario::interference_grid();
         assert_eq!(s.topology.len(), 120);
         assert_eq!(s.name, "interference-grid-120");
         assert!(s.topology.is_connected());
-    }
-
-    #[test]
-    fn wifi_like_noise_is_sane() {
-        let n = NoiseBurst::wifi_like();
-        assert!(n.prr_factor > 0.0 && n.prr_factor < 1.0);
-        assert!(!n.quiet.is_zero() && !n.burst.is_zero());
-    }
-
-    #[test]
-    #[should_panic(expected = "prr_factor")]
-    fn out_of_range_noise_rejected() {
-        let scenario = Scenario::star(2);
-        let spec = crate::RunSpec::default();
-        let mut net = crate::build_network(&scenario, &crate::SchedulerKind::minimal(8), &spec);
-        NoiseBurst {
-            quiet: SimDuration::from_secs(1),
-            burst: SimDuration::from_secs(1),
-            prr_factor: 1.5,
-        }
-        .run(&mut net, SimDuration::from_secs(1));
     }
 }

@@ -10,7 +10,7 @@ use gtt_orchestra::{OrchestraConfig, OrchestraSf};
 /// This is the factory the harness and examples hand to
 /// [`Network::builder`](gtt_engine::Network) — cloneable and serializable
 /// enough to appear in experiment specs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SchedulerKind {
     /// The paper's contribution.
     GtTsch(GtTschConfig),

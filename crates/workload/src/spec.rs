@@ -1,0 +1,247 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] is *data*: a topology generator plus an optional
+//! link-model override, comparable, cloneable and canonically encodable
+//! (see [`Experiment::encode`](crate::Experiment::encode)). Calling
+//! [`ScenarioSpec::build`] materializes it into the [`Scenario`] value
+//! (positions, roots, precomputed audibility) the engine consumes — so
+//! every experiment input stays a compact description rather than a
+//! multi-kilobyte topology dump, and two processes that build the same
+//! spec get byte-identical networks.
+
+use gtt_net::LinkModel;
+
+use crate::scenario::Scenario;
+
+/// Which topology generator a scenario uses, with its parameters.
+///
+/// Variants mirror the [`Scenario`] constructors one-to-one; `Custom`
+/// is the escape hatch for hand-built topologies (encoded in full).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// [`Scenario::single_dodag`].
+    SingleDodag {
+        /// Nodes in the DODAG (root + rings), `2..=10`.
+        n: usize,
+    },
+    /// [`Scenario::two_dodag`] — the paper's evaluation network.
+    TwoDodag {
+        /// Nodes per DODAG, `2..=10`.
+        nodes_per_dodag: usize,
+    },
+    /// [`Scenario::line`].
+    Line {
+        /// Node count (≥ 2).
+        n: usize,
+        /// Spacing between neighbours, metres.
+        spacing: f64,
+    },
+    /// [`Scenario::star`].
+    Star {
+        /// Leaf count (≥ 1).
+        leaves: usize,
+    },
+    /// [`Scenario::grid`].
+    Grid {
+        /// Columns (≥ 1).
+        cols: usize,
+        /// Rows (≥ 1).
+        rows: usize,
+        /// Spacing between orthogonal neighbours, metres.
+        spacing: f64,
+    },
+    /// [`Scenario::large_grid`] — the 120-node scaling grid.
+    LargeGrid,
+    /// [`Scenario::large_star`] — the 120-node dense star.
+    LargeStar,
+    /// [`Scenario::interference_grid`].
+    InterferenceGrid,
+    /// [`Scenario::random`].
+    Random {
+        /// Node count.
+        n: usize,
+        /// Side of the placement square, metres.
+        side: f64,
+        /// Placement seed (independent of the run seed).
+        seed: u64,
+    },
+    /// A hand-built scenario, carried (and encoded) in full.
+    Custom(Scenario),
+}
+
+/// Declarative description of the network an experiment runs on: a
+/// topology generator plus an optional link-model override.
+///
+/// The traffic model (per-node CBR rate) lives in
+/// [`RunSpec::traffic_ppm`](crate::RunSpec) next to the timing it is
+/// meaningless without.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Topology generator.
+    pub topology: TopologySpec,
+    /// Link-model override (`None` keeps the generator's default —
+    /// see [`Scenario::with_link_model`]).
+    pub link: Option<LinkModel>,
+}
+
+impl ScenarioSpec {
+    /// Wraps a topology generator with the default link model.
+    pub fn new(topology: TopologySpec) -> Self {
+        ScenarioSpec {
+            topology,
+            link: None,
+        }
+    }
+
+    /// [`Scenario::single_dodag`] as a spec.
+    pub fn single_dodag(n: usize) -> Self {
+        Self::new(TopologySpec::SingleDodag { n })
+    }
+
+    /// [`Scenario::two_dodag`] as a spec.
+    pub fn two_dodag(nodes_per_dodag: usize) -> Self {
+        Self::new(TopologySpec::TwoDodag { nodes_per_dodag })
+    }
+
+    /// [`Scenario::line`] as a spec.
+    pub fn line(n: usize, spacing: f64) -> Self {
+        Self::new(TopologySpec::Line { n, spacing })
+    }
+
+    /// [`Scenario::star`] as a spec.
+    pub fn star(leaves: usize) -> Self {
+        Self::new(TopologySpec::Star { leaves })
+    }
+
+    /// [`Scenario::grid`] as a spec.
+    pub fn grid(cols: usize, rows: usize, spacing: f64) -> Self {
+        Self::new(TopologySpec::Grid {
+            cols,
+            rows,
+            spacing,
+        })
+    }
+
+    /// [`Scenario::large_grid`] as a spec.
+    pub fn large_grid() -> Self {
+        Self::new(TopologySpec::LargeGrid)
+    }
+
+    /// [`Scenario::large_star`] as a spec.
+    pub fn large_star() -> Self {
+        Self::new(TopologySpec::LargeStar)
+    }
+
+    /// [`Scenario::interference_grid`] as a spec.
+    pub fn interference_grid() -> Self {
+        Self::new(TopologySpec::InterferenceGrid)
+    }
+
+    /// [`Scenario::random`] as a spec.
+    pub fn random(n: usize, side: f64, seed: u64) -> Self {
+        Self::new(TopologySpec::Random { n, side, seed })
+    }
+
+    /// Wraps a hand-built [`Scenario`].
+    pub fn custom(scenario: Scenario) -> Self {
+        Self::new(TopologySpec::Custom(scenario))
+    }
+
+    /// Replaces the link model (builder style).
+    pub fn with_link_model(mut self, model: LinkModel) -> Self {
+        self.link = Some(model);
+        self
+    }
+
+    /// The scenario's human-readable name, without building it.
+    pub fn name(&self) -> String {
+        match &self.topology {
+            TopologySpec::SingleDodag { n } => format!("single-dodag-{n}"),
+            TopologySpec::TwoDodag { nodes_per_dodag } => format!("two-dodag-{nodes_per_dodag}"),
+            TopologySpec::Line { n, .. } => format!("line-{n}"),
+            TopologySpec::Star { leaves } => format!("star-{leaves}"),
+            TopologySpec::Grid { cols, rows, .. } => format!("grid-{cols}x{rows}"),
+            TopologySpec::LargeGrid => "large-grid-120".into(),
+            TopologySpec::LargeStar => "large-star-120".into(),
+            TopologySpec::InterferenceGrid => "interference-grid-120".into(),
+            TopologySpec::Random { n, .. } => format!("random-{n}"),
+            TopologySpec::Custom(s) => s.name.clone(),
+        }
+    }
+
+    /// Materializes the spec into a runnable [`Scenario`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the generator's parameter constraints are violated
+    /// (each constructor documents its own).
+    pub fn build(&self) -> Scenario {
+        let scenario = match &self.topology {
+            TopologySpec::SingleDodag { n } => Scenario::single_dodag(*n),
+            TopologySpec::TwoDodag { nodes_per_dodag } => Scenario::two_dodag(*nodes_per_dodag),
+            TopologySpec::Line { n, spacing } => Scenario::line(*n, *spacing),
+            TopologySpec::Star { leaves } => Scenario::star(*leaves),
+            TopologySpec::Grid {
+                cols,
+                rows,
+                spacing,
+            } => Scenario::grid(*cols, *rows, *spacing),
+            TopologySpec::LargeGrid => Scenario::large_grid(),
+            TopologySpec::LargeStar => Scenario::large_star(),
+            TopologySpec::InterferenceGrid => Scenario::interference_grid(),
+            TopologySpec::Random { n, side, seed } => Scenario::random(*n, *side, *seed),
+            TopologySpec::Custom(s) => s.clone(),
+        };
+        match self.link {
+            Some(model) => scenario.with_link_model(model),
+            None => scenario,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtt_net::NodeId;
+
+    #[test]
+    fn specs_build_the_same_scenarios_as_the_constructors() {
+        let pairs: Vec<(ScenarioSpec, Scenario)> = vec![
+            (ScenarioSpec::single_dodag(7), Scenario::single_dodag(7)),
+            (ScenarioSpec::two_dodag(6), Scenario::two_dodag(6)),
+            (ScenarioSpec::line(5, 30.0), Scenario::line(5, 30.0)),
+            (ScenarioSpec::star(6), Scenario::star(6)),
+            (ScenarioSpec::grid(3, 4, 30.0), Scenario::grid(3, 4, 30.0)),
+            (ScenarioSpec::large_grid(), Scenario::large_grid()),
+            (ScenarioSpec::large_star(), Scenario::large_star()),
+            (
+                ScenarioSpec::interference_grid(),
+                Scenario::interference_grid(),
+            ),
+            (
+                ScenarioSpec::random(10, 120.0, 5),
+                Scenario::random(10, 120.0, 5),
+            ),
+        ];
+        for (spec, scenario) in pairs {
+            assert_eq!(spec.build(), scenario, "{}", spec.name());
+            assert_eq!(spec.name(), scenario.name);
+        }
+    }
+
+    #[test]
+    fn link_override_applies() {
+        let spec = ScenarioSpec::star(3).with_link_model(LinkModel::Perfect);
+        let built = spec.build();
+        assert_eq!(built.topology.prr(NodeId::new(0), NodeId::new(1)), 1.0);
+        assert_eq!(built, Scenario::star(3).with_link_model(LinkModel::Perfect));
+    }
+
+    #[test]
+    fn custom_round_trips_through_build() {
+        let scenario = Scenario::line(3, 25.0);
+        let spec = ScenarioSpec::custom(scenario.clone());
+        assert_eq!(spec.build(), scenario);
+        assert_eq!(spec.name(), "line-3");
+    }
+}

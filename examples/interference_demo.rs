@@ -11,27 +11,23 @@
 //! ```
 
 use gt_tsch::GtTschConfig;
-use gtt_sim::SimDuration;
-use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn run_variant(hash_channels: bool) -> (u64, f64, Vec<String>) {
-    let scenario = Scenario::two_dodag(7);
-    let spec = RunSpec {
-        traffic_ppm: 120.0,
-        warmup_secs: 120,
-        measure_secs: 240,
-        seed: 11,
-    };
     let cfg = GtTschConfig {
         hash_channels,
         ..GtTschConfig::paper_default()
     };
-    let mut net = build_network(&scenario, &SchedulerKind::GtTsch(cfg), &spec);
-    net.run_for(SimDuration::from_secs(spec.warmup_secs));
-    net.start_measurement();
-    net.run_for(SimDuration::from_secs(spec.measure_secs));
-    net.finish_measurement();
-    let report = net.report();
+    let exp =
+        Experiment::new(ScenarioSpec::two_dodag(7), SchedulerKind::GtTsch(cfg)).with_run(RunSpec {
+            traffic_ppm: 120.0,
+            warmup_secs: 120,
+            measure_secs: 240,
+            seed: 11,
+            ..RunSpec::default()
+        });
+    let mut net = exp.build_network();
+    let report = exp.run_on(&mut net);
 
     let collisions: u64 = report.per_node.iter().map(|n| n.collisions_heard).sum();
     let mut tree = Vec::new();

@@ -7,12 +7,26 @@
 
 use gtt_metrics::FigureRow;
 use gtt_sim::SimDuration;
-use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn main() {
     // One DODAG of 7 motes (a root/border-router plus 6 sensors), the
-    // shape of the paper's evaluation networks.
-    let scenario = Scenario::single_dodag(7);
+    // shape of the paper's evaluation networks; every sensor reports 60
+    // packets per minute towards the root. The whole run is one
+    // declarative value.
+    let exp = Experiment::new(
+        ScenarioSpec::single_dodag(7),
+        SchedulerKind::gt_tsch_default(),
+    )
+    .with_run(RunSpec {
+        traffic_ppm: 60.0,
+        warmup_secs: 90,
+        measure_secs: 180,
+        seed: 42,
+        ..RunSpec::default()
+    });
+
+    let scenario = exp.scenario.build();
     println!(
         "scenario `{}`: {} nodes, {} senders, root {}",
         scenario.name,
@@ -21,27 +35,19 @@ fn main() {
         scenario.roots[0],
     );
 
-    // Every sensor reports 60 packets per minute towards the root.
-    let spec = RunSpec {
-        traffic_ppm: 60.0,
-        warmup_secs: 90,
-        measure_secs: 180,
-        seed: 42,
-    };
-
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
-
-    // Warm-up: DODAG formation, channel allocation, 6P negotiation.
-    net.run_for(SimDuration::from_secs(spec.warmup_secs));
+    // Driven by hand here (`exp.run()` does all of this in one call) so
+    // the join ratio is visible between warm-up and measurement.
+    let mut net = exp.build_network();
+    net.run_for(SimDuration::from_secs(exp.run.warmup_secs));
     println!(
         "after {}s warm-up: {:.0}% of nodes joined the DODAG",
-        spec.warmup_secs,
+        exp.run.warmup_secs,
         net.join_ratio() * 100.0
     );
 
     // Steady-state measurement.
     net.start_measurement();
-    net.run_for(SimDuration::from_secs(spec.measure_secs));
+    net.run_for(SimDuration::from_secs(exp.run.measure_secs));
     net.finish_measurement();
 
     let report = net.report();

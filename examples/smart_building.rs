@@ -8,23 +8,25 @@
 //! ```
 
 use gtt_metrics::FigureRow;
-use gtt_workload::{run, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn main() {
     // Two floors × 7 motes; sensors report every 0.5 s (120 ppm) —
     // "very heavy" traffic by low-power IoT standards (§VIII).
-    let scenario = Scenario::two_dodag(7);
+    let scenario = ScenarioSpec::two_dodag(7);
     let spec = RunSpec {
         traffic_ppm: 120.0,
         warmup_secs: 120,
         measure_secs: 300,
         seed: 7,
+        ..RunSpec::default()
     };
 
+    let built = scenario.build();
     println!(
         "smart building: {} floors, {} motes total, {} ppm per sensor\n",
-        scenario.roots.len(),
-        scenario.topology.len(),
+        built.roots.len(),
+        built.topology.len(),
         spec.traffic_ppm
     );
 
@@ -35,7 +37,9 @@ fn main() {
         SchedulerKind::minimal(32),
     ] {
         println!("running {} …", scheduler.name());
-        let report = run(&scenario, &scheduler, &spec);
+        let report = Experiment::new(scenario.clone(), scheduler)
+            .with_run(spec)
+            .run();
         rows.push((report.scheduler, report.row));
     }
 

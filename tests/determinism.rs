@@ -2,17 +2,18 @@
 //! schedulers and independent of wall-clock concerns.
 
 use gtt_metrics::FigureRow;
-use gtt_workload::{run, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn one_run(scheduler: &SchedulerKind, seed: u64) -> (FigureRow, u64, u64) {
-    let scenario = Scenario::two_dodag(6);
-    let spec = RunSpec {
-        traffic_ppm: 75.0,
-        warmup_secs: 60,
-        measure_secs: 90,
-        seed,
-    };
-    let r = run(&scenario, scheduler, &spec);
+    let r = Experiment::new(ScenarioSpec::two_dodag(6), scheduler.clone())
+        .with_run(RunSpec {
+            traffic_ppm: 75.0,
+            warmup_secs: 60,
+            measure_secs: 90,
+            seed,
+            ..RunSpec::default()
+        })
+        .run();
     (r.row, r.generated, r.delivered)
 }
 

@@ -4,12 +4,12 @@
 
 use gtt_net::{LinkModel, NodeId, Position, TopologyBuilder};
 use gtt_sim::SimDuration;
-use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, Scenario, ScenarioSpec, SchedulerKind};
 
 /// A diamond: root n0; two relays n1/n2 both in range of the root; leaf
 /// n3 in range of both relays but not the root. Traffic n3 → n0 can take
-/// either relay.
-fn diamond() -> gtt_workload::Scenario {
+/// either relay. A hand-built topology — carried as a `Custom` spec.
+fn diamond() -> ScenarioSpec {
     let topology = TopologyBuilder::new(40.0)
         .link_model(LinkModel::Perfect)
         .node(Position::new(0.0, 0.0)) // n0 root
@@ -18,11 +18,18 @@ fn diamond() -> gtt_workload::Scenario {
         .node(Position::new(60.0, 0.0)) // n3 leaf
         .build();
     assert!(topology.is_connected());
-    gtt_workload::Scenario {
+    ScenarioSpec::custom(Scenario {
         name: "diamond".into(),
         topology,
         roots: vec![NodeId::new(0)],
-    }
+    })
+}
+
+/// Builds the scenario's network through the one experiment seam.
+fn network(scenario: ScenarioSpec, spec: RunSpec) -> gtt_engine::Network {
+    Experiment::new(scenario, SchedulerKind::gt_tsch_default())
+        .with_run(spec)
+        .build_network()
 }
 
 #[test]
@@ -32,8 +39,9 @@ fn leaf_survives_relay_death_via_parent_switch() {
         warmup_secs: 120,
         measure_secs: 180,
         seed: 2,
+        ..RunSpec::default()
     };
-    let mut net = build_network(&diamond(), &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = network(diamond(), spec);
     net.run_for(SimDuration::from_secs(spec.warmup_secs));
     assert_eq!(net.join_ratio(), 1.0);
 
@@ -75,8 +83,9 @@ fn dead_nodes_stay_silent() {
         warmup_secs: 60,
         measure_secs: 60,
         seed: 3,
+        ..RunSpec::default()
     };
-    let mut net = build_network(&diamond(), &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = network(diamond(), spec);
     net.run_for(SimDuration::from_secs(30));
     let victim = NodeId::new(2);
     let before = net.node(victim).mac.counters();
@@ -96,9 +105,9 @@ fn etx_rises_on_degraded_link_and_rank_follows() {
         warmup_secs: 120,
         measure_secs: 60,
         seed: 4,
+        ..RunSpec::default()
     };
-    let scenario = Scenario::line(3, 30.0);
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = network(ScenarioSpec::line(3, 30.0), spec);
     net.run_for(SimDuration::from_secs(spec.warmup_secs));
     let leaf = NodeId::new(2);
     let parent = net.node(leaf).rpl.parent().expect("joined");
@@ -128,9 +137,10 @@ fn network_still_delivers_over_degraded_links() {
         warmup_secs: 150,
         measure_secs: 180,
         seed: 5,
+        ..RunSpec::default()
     };
-    let scenario = Scenario::two_dodag(6).with_link_model(LinkModel::Fixed(0.6));
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let scenario = ScenarioSpec::two_dodag(6).with_link_model(LinkModel::Fixed(0.6));
+    let mut net = network(scenario, spec);
     net.run_for(SimDuration::from_secs(spec.warmup_secs));
     assert!(net.join_ratio() > 0.8, "formation over lossy links");
     net.start_measurement();
@@ -153,9 +163,9 @@ fn root_death_is_not_catastrophic_for_the_other_dodag() {
         warmup_secs: 120,
         measure_secs: 120,
         seed: 6,
+        ..RunSpec::default()
     };
-    let scenario = Scenario::two_dodag(6);
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = network(ScenarioSpec::two_dodag(6), spec);
     net.run_for(SimDuration::from_secs(spec.warmup_secs));
     net.kill_node(NodeId::new(0)); // first DODAG's root dies
     net.start_measurement();

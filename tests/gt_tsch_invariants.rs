@@ -7,17 +7,19 @@ use gtt_engine::Network;
 use gtt_mac::CellClass;
 use gtt_net::{Dest, NodeId};
 use gtt_sim::SimDuration;
-use gtt_workload::{build_network, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn converged_network(seed: u64) -> Network {
-    let scenario = Scenario::two_dodag(7);
     let spec = RunSpec {
         traffic_ppm: 75.0,
         warmup_secs: 150,
         measure_secs: 60,
         seed,
+        ..RunSpec::default()
     };
-    let mut net = build_network(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let mut net = Experiment::new(ScenarioSpec::two_dodag(7), SchedulerKind::gt_tsch_default())
+        .with_run(spec)
+        .build_network();
     net.run_for(SimDuration::from_secs(spec.warmup_secs));
     assert_eq!(net.join_ratio(), 1.0, "network must converge in warm-up");
     net

@@ -3,19 +3,25 @@
 //! The full-size sweeps live in the `fig8`/`fig9`/`fig10` binaries.
 
 use gtt_metrics::FigureRow;
-use gtt_workload::{run, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
-/// A shortened Fig. 8-style run (smaller network + window to stay fast
-/// in debug builds, same structure).
-fn measure(scheduler: &SchedulerKind, ppm: f64, seed: u64) -> FigureRow {
-    let scenario = Scenario::two_dodag(6);
-    let spec = RunSpec {
+fn spec(ppm: f64, seed: u64) -> RunSpec {
+    RunSpec {
         traffic_ppm: ppm,
         warmup_secs: 120,
         measure_secs: 120,
         seed,
-    };
-    run(&scenario, scheduler, &spec).row
+        ..RunSpec::default()
+    }
+}
+
+/// A shortened Fig. 8-style run (smaller network + window to stay fast
+/// in debug builds, same structure).
+fn measure(scheduler: &SchedulerKind, ppm: f64, seed: u64) -> FigureRow {
+    Experiment::new(ScenarioSpec::two_dodag(6), scheduler.clone())
+        .with_run(spec(ppm, seed))
+        .run()
+        .row
 }
 
 #[test]
@@ -100,15 +106,14 @@ fn gt_tsch_delay_does_not_blow_up_with_load() {
 fn gt_tsch_scales_with_dodag_size_where_orchestra_does_not() {
     // Fig. 9a at 8 nodes/DODAG, 120 ppm: GT-TSCH keeps PDR high while
     // Orchestra's single receiver-based Rx slot saturates.
-    let scenario = Scenario::two_dodag(8);
-    let spec = RunSpec {
-        traffic_ppm: 120.0,
-        warmup_secs: 120,
-        measure_secs: 120,
-        seed: 5,
+    let at_8 = |scheduler: SchedulerKind| {
+        Experiment::new(ScenarioSpec::two_dodag(8), scheduler)
+            .with_run(spec(120.0, 5))
+            .run()
+            .row
     };
-    let gt = run(&scenario, &SchedulerKind::gt_tsch_default(), &spec).row;
-    let orch = run(&scenario, &SchedulerKind::orchestra_default(), &spec).row;
+    let gt = at_8(SchedulerKind::gt_tsch_default());
+    let orch = at_8(SchedulerKind::orchestra_default());
     assert!(
         gt.pdr_percent > 90.0,
         "GT at 8/DODAG: {:.1}%",
@@ -126,25 +131,18 @@ fn gt_tsch_scales_with_dodag_size_where_orchestra_does_not() {
 fn fig10_longer_slotframes_hurt_orchestra_more() {
     // Fig. 10a: Orchestra's PDR drops fast as its unicast slotframe
     // grows (fewer Rx opportunities per second); GT-TSCH stays usable.
-    let scenario = Scenario::two_dodag(6);
-    let spec = RunSpec {
-        traffic_ppm: 120.0,
-        warmup_secs: 120,
-        measure_secs: 120,
-        seed: 6,
+    let long_run = |scheduler: SchedulerKind| {
+        Experiment::new(ScenarioSpec::two_dodag(6), scheduler)
+            .with_run(spec(120.0, 6))
+            .run()
+            .row
     };
-    let gt_long = run(
-        &scenario,
-        &SchedulerKind::GtTsch(gt_tsch::GtTschConfig::with_slotframe_len(80)),
-        &spec,
-    )
-    .row;
-    let orch_long = run(
-        &scenario,
-        &SchedulerKind::Orchestra(gtt_orchestra::OrchestraConfig::with_unicast_len(20)),
-        &spec,
-    )
-    .row;
+    let gt_long = long_run(SchedulerKind::GtTsch(
+        gt_tsch::GtTschConfig::with_slotframe_len(80),
+    ));
+    let orch_long = long_run(SchedulerKind::Orchestra(
+        gtt_orchestra::OrchestraConfig::with_unicast_len(20),
+    ));
     assert!(
         gt_long.pdr_percent > 75.0,
         "GT-TSCH at slotframe 80: {:.1}%",

@@ -5,61 +5,55 @@
 //! replaced: same seed in, byte-identical [`NetworkReport`] out — PDR,
 //! delay, queue loss, duty cycle, per-node MAC counters, parents, ranks,
 //! final clock. These tests pin that across every workload scenario
-//! family, including the 120-node sparse-traffic grid the refactor was
-//! built to unlock.
+//! family — including every [`Overlay`] kind, whose timeline driver
+//! performs the identical mutation sequence on both cores — and the
+//! 120-node sparse-traffic grid the refactor was built to unlock.
 //!
 //! Requires the `naive-step` feature (CI runs
 //! `cargo test -p gtt-tests --features naive-step`): the oracle switch is
 //! not exposed in default builds.
 
-use gtt_engine::{EngineConfig, Network, NetworkReport};
+use gtt_engine::{Network, NetworkReport};
+use gtt_net::{NodeId, Position};
 use gtt_sim::SimDuration;
-use gtt_workload::{NoiseBurst, RunSpec, Scenario, SchedulerKind};
+use gtt_workload::{
+    DutyCycleBudget, Experiment, NoiseBurst, Overlay, RunSpec, ScenarioSpec, SchedulerKind,
+    StepMobility,
+};
 
-/// Builds the scenario's network, optionally on the oracle loop.
-fn build(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec, naive: bool) -> Network {
-    let config = EngineConfig {
-        seed: spec.seed,
-        ..scheduler.engine_config()
-    };
-    let sk = scheduler.clone();
-    let mut builder = Network::builder(scenario.topology.clone(), config)
-        .roots(scenario.roots.iter().copied())
-        .traffic_ppm(spec.traffic_ppm)
-        .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root));
+/// Builds the experiment's network, optionally on the oracle loop.
+fn build(experiment: &Experiment, naive: bool) -> Network {
+    let mut builder = experiment.network_builder();
     if naive {
         builder = builder.naive_stepping();
     }
     builder.build()
 }
 
-/// Warm-up + measured window; returns the report and the final ASN.
-fn measured(net: &mut Network, spec: &RunSpec) -> (NetworkReport, gtt_mac::Asn) {
-    net.run_for(SimDuration::from_secs(spec.warmup_secs));
-    net.start_measurement();
-    net.run_for(SimDuration::from_secs(spec.measure_secs));
-    net.finish_measurement();
-    (net.report(), net.asn())
-}
-
-/// The property: both cores produce identical reports for the same seed.
-fn assert_equivalent(scenario: &Scenario, scheduler: &SchedulerKind, spec: &RunSpec) {
-    let (event_report, event_asn) = measured(&mut build(scenario, scheduler, spec, false), spec);
-    let (naive_report, naive_asn) = measured(&mut build(scenario, scheduler, spec, true), spec);
+/// The property: both cores produce identical reports (and clocks) for
+/// the same experiment — warm-up, overlay timeline and measurement all
+/// driven by the one [`Experiment::run_on`] driver.
+fn assert_equivalent(experiment: &Experiment) {
+    let mut reports: Vec<(NetworkReport, gtt_mac::Asn)> = Vec::new();
+    for naive in [false, true] {
+        let mut net = build(experiment, naive);
+        let report = experiment.run_on(&mut net);
+        reports.push((report, net.asn()));
+    }
     assert_eq!(
-        event_report,
-        naive_report,
+        reports[0].0,
+        reports[1].0,
         "{} / {} / seed {}: event-driven and oracle reports diverge",
-        scenario.name,
-        scheduler.name(),
-        spec.seed
+        experiment.scenario.name(),
+        experiment.scheduler.name(),
+        experiment.run.seed
     );
     assert_eq!(
-        event_asn,
-        naive_asn,
+        reports[0].1,
+        reports[1].1,
         "{} / {}: final clocks diverge",
-        scenario.name,
-        scheduler.name()
+        experiment.scenario.name(),
+        experiment.scheduler.name()
     );
 }
 
@@ -69,97 +63,100 @@ fn spec(seed: u64) -> RunSpec {
         warmup_secs: 30,
         measure_secs: 60,
         seed,
+        ..RunSpec::default()
     }
+}
+
+fn experiment(scenario: ScenarioSpec, scheduler: SchedulerKind, seed: u64) -> Experiment {
+    Experiment::new(scenario, scheduler).with_run(spec(seed))
 }
 
 #[test]
 fn star_minimal_equivalent_across_seeds() {
-    let scenario = Scenario::star(6);
     for seed in [1, 2, 3, 5, 8, 13] {
-        assert_equivalent(&scenario, &SchedulerKind::minimal(8), &spec(seed));
+        assert_equivalent(&experiment(
+            ScenarioSpec::star(6),
+            SchedulerKind::minimal(8),
+            seed,
+        ));
     }
 }
 
 #[test]
 fn star_gt_tsch_equivalent_across_seeds() {
-    let scenario = Scenario::star(6);
     for seed in [1, 4, 9] {
-        assert_equivalent(&scenario, &SchedulerKind::gt_tsch_default(), &spec(seed));
+        assert_equivalent(&experiment(
+            ScenarioSpec::star(6),
+            SchedulerKind::gt_tsch_default(),
+            seed,
+        ));
     }
 }
 
 #[test]
 fn two_dodag_gt_tsch_equivalent() {
-    let scenario = Scenario::two_dodag(7);
     for seed in [1, 2] {
-        assert_equivalent(&scenario, &SchedulerKind::gt_tsch_default(), &spec(seed));
+        assert_equivalent(&experiment(
+            ScenarioSpec::two_dodag(7),
+            SchedulerKind::gt_tsch_default(),
+            seed,
+        ));
     }
 }
 
 #[test]
 fn two_dodag_orchestra_equivalent() {
-    let scenario = Scenario::two_dodag(6);
     for seed in [1, 2] {
-        assert_equivalent(&scenario, &SchedulerKind::orchestra_default(), &spec(seed));
+        assert_equivalent(&experiment(
+            ScenarioSpec::two_dodag(6),
+            SchedulerKind::orchestra_default(),
+            seed,
+        ));
     }
 }
 
 #[test]
 fn large_grid_low_power_equivalent() {
     // The benches' acceptance case: the 120-node grid under the
-    // steady-state low-power cadences (EngineConfig::low_power) and
+    // steady-state low-power cadences (RunSpec::low_power) and
     // 1 packet/min telemetry.
-    let scenario = Scenario::large_grid();
-    let scheduler = SchedulerKind::gt_tsch_default();
-    let spec = RunSpec {
-        traffic_ppm: 1.0,
-        warmup_secs: 20,
-        measure_secs: 25,
-        seed: 7,
-    };
-    let mut reports = Vec::new();
-    for naive in [false, true] {
-        let config = EngineConfig {
-            seed: spec.seed,
-            ..EngineConfig::low_power()
-        };
-        let sk = scheduler.clone();
-        let mut builder = Network::builder(scenario.topology.clone(), config)
-            .roots(scenario.roots.iter().copied())
-            .traffic_ppm(spec.traffic_ppm)
-            .scheduler_factory(move |id, is_root| sk.instantiate(id, is_root));
-        if naive {
-            builder = builder.naive_stepping();
-        }
-        reports.push(measured(&mut builder.build(), &spec));
-    }
-    assert_eq!(reports[0], reports[1], "low-power runs diverge");
+    let exp = Experiment::new(ScenarioSpec::large_grid(), SchedulerKind::gt_tsch_default())
+        .with_run(RunSpec {
+            traffic_ppm: 1.0,
+            warmup_secs: 20,
+            measure_secs: 25,
+            seed: 7,
+            low_power: true,
+        });
+    assert_equivalent(&exp);
 }
 
 #[test]
 fn large_grid_gt_tsch_equivalent() {
     // The 120-node sparse-traffic scenario the event core was built for.
     // Short window: the oracle leg is O(nodes × slots).
-    let scenario = Scenario::large_grid();
-    let spec = RunSpec {
-        traffic_ppm: 6.0,
-        warmup_secs: 20,
-        measure_secs: 20,
-        seed: 1,
-    };
-    assert_equivalent(&scenario, &SchedulerKind::gt_tsch_default(), &spec);
+    let exp = Experiment::new(ScenarioSpec::large_grid(), SchedulerKind::gt_tsch_default())
+        .with_run(RunSpec {
+            traffic_ppm: 6.0,
+            warmup_secs: 20,
+            measure_secs: 20,
+            seed: 1,
+            ..RunSpec::default()
+        });
+    assert_equivalent(&exp);
 }
 
 #[test]
 fn large_star_minimal_equivalent() {
-    let scenario = Scenario::large_star();
-    let spec = RunSpec {
-        traffic_ppm: 6.0,
-        warmup_secs: 10,
-        measure_secs: 15,
-        seed: 3,
-    };
-    assert_equivalent(&scenario, &SchedulerKind::minimal(16), &spec);
+    let exp =
+        Experiment::new(ScenarioSpec::large_star(), SchedulerKind::minimal(16)).with_run(RunSpec {
+            traffic_ppm: 6.0,
+            warmup_secs: 10,
+            measure_secs: 15,
+            seed: 3,
+            ..RunSpec::default()
+        });
+    assert_equivalent(&exp);
 }
 
 #[test]
@@ -167,14 +164,18 @@ fn large_grid_orchestra_equivalent() {
     // The Rx-wake-bound case the multi-slotframe passive-listen index
     // targets: 120 Orchestra nodes whose three-frame schedules listen in
     // roughly one slot in five, almost always to silence.
-    let scenario = Scenario::large_grid();
-    let spec = RunSpec {
+    let exp = Experiment::new(
+        ScenarioSpec::large_grid(),
+        SchedulerKind::orchestra_default(),
+    )
+    .with_run(RunSpec {
         traffic_ppm: 6.0,
         warmup_secs: 20,
         measure_secs: 20,
         seed: 2,
-    };
-    assert_equivalent(&scenario, &SchedulerKind::orchestra_default(), &spec);
+        ..RunSpec::default()
+    });
+    assert_equivalent(&exp);
 }
 
 #[test]
@@ -182,59 +183,170 @@ fn large_star_orchestra_equivalent() {
     // Dense single-hop counterpart: every transmission is audible to all
     // 120 nodes, so the listener probe and the cyclic-union index carry
     // the whole load.
-    let scenario = Scenario::large_star();
-    let spec = RunSpec {
+    let exp = Experiment::new(
+        ScenarioSpec::large_star(),
+        SchedulerKind::orchestra_default(),
+    )
+    .with_run(RunSpec {
         traffic_ppm: 6.0,
         warmup_secs: 10,
         measure_secs: 15,
         seed: 5,
-    };
-    assert_equivalent(&scenario, &SchedulerKind::orchestra_default(), &spec);
+        ..RunSpec::default()
+    });
+    assert_equivalent(&exp);
 }
 
 #[test]
 fn interference_bursts_stay_equivalent() {
-    // The 120-node interference scenario: NoiseBurst rewrites every
-    // link PRR twice per window; both cores must absorb the repeated
-    // mid-run mutations identically, at scale.
-    let scenario = Scenario::interference_grid();
-    let s = RunSpec {
+    // The 120-node interference scenario: the noise overlay rewrites
+    // every link PRR twice per window; both cores must absorb the
+    // repeated mid-run mutations identically, at scale.
+    let exp = Experiment::new(
+        ScenarioSpec::interference_grid(),
+        SchedulerKind::gt_tsch_default(),
+    )
+    .with_run(RunSpec {
         traffic_ppm: 6.0,
         warmup_secs: 10,
         measure_secs: 12,
         seed: 17,
-    };
-    let noise = NoiseBurst {
+        ..RunSpec::default()
+    })
+    .with_overlay(Overlay::Noise(NoiseBurst {
         quiet: SimDuration::from_secs(3),
         burst: SimDuration::from_secs(2),
         prr_factor: 0.1,
-    };
-    let scheduler = SchedulerKind::gt_tsch_default();
-    let mut reports = Vec::new();
-    for naive in [false, true] {
-        let mut net = build(&scenario, &scheduler, &s, naive);
-        net.run_for(SimDuration::from_secs(s.warmup_secs));
-        net.start_measurement();
-        noise.run(&mut net, SimDuration::from_secs(s.measure_secs));
-        net.finish_measurement();
-        reports.push((net.report(), net.asn()));
-    }
-    assert_eq!(reports[0], reports[1], "noise-burst runs diverge");
+    }));
+    assert_equivalent(&exp);
+}
+
+#[test]
+fn mobility_overlay_stays_equivalent() {
+    // Step mobility on the Fig. 8 network: one leaf walks out of its
+    // DODAG entirely, then into the *other* DODAG's radio space, then
+    // home — audibility adjacency and every touched PRR are rewritten
+    // three times mid-measurement, and the relocated node must be
+    // picked up by probe-woken listens identically on both cores.
+    let exp = experiment(
+        ScenarioSpec::two_dodag(6),
+        SchedulerKind::gt_tsch_default(),
+        21,
+    )
+    .with_overlay(Overlay::Mobility(
+        StepMobility::new()
+            .hop(
+                SimDuration::from_secs(10),
+                NodeId::new(5),
+                Position::new(500.0, 200.0),
+            )
+            .hop(
+                SimDuration::from_secs(25),
+                NodeId::new(5),
+                Position::new(1_000.0 - 25.0, 10.0),
+            )
+            .hop(
+                SimDuration::from_secs(45),
+                NodeId::new(5),
+                Position::new(25.0, 10.0),
+            ),
+    ));
+    assert_equivalent(&exp);
+}
+
+#[test]
+fn mobility_overlay_at_scale_stays_equivalent() {
+    // The 120-node grid with a corner node leaping across it: a large
+    // audibility rebuild while 119 passive listeners keep their
+    // schedules — the case where a stale audibility cache would
+    // instantly desynchronize the cores.
+    let exp = Experiment::new(
+        ScenarioSpec::large_grid(),
+        SchedulerKind::orchestra_default(),
+    )
+    .with_run(RunSpec {
+        traffic_ppm: 6.0,
+        warmup_secs: 10,
+        measure_secs: 15,
+        seed: 23,
+        ..RunSpec::default()
+    })
+    .with_overlay(Overlay::Mobility(
+        StepMobility::new()
+            .hop(
+                SimDuration::from_secs(5),
+                NodeId::new(119),
+                Position::new(0.0, 15.0),
+            )
+            .hop(
+                SimDuration::from_secs(10),
+                NodeId::new(119),
+                Position::new(330.0, 270.0),
+            ),
+    ));
+    assert_equivalent(&exp);
+}
+
+#[test]
+fn duty_cycle_overlay_stays_equivalent() {
+    // A tight radio-on budget that actually bites (minimal schedules
+    // idle-listen constantly): throttle decisions are made from lazily
+    // settled counters every 2 s, so any accounting drift between the
+    // cores becomes a diverging throttle set and a diverging report.
+    let exp = experiment(ScenarioSpec::star(6), SchedulerKind::minimal(8), 29).with_overlay(
+        Overlay::DutyCycle(DutyCycleBudget {
+            window: SimDuration::from_secs(20),
+            check: SimDuration::from_secs(2),
+            max_duty_percent: 2.0,
+        }),
+    );
+    assert_equivalent(&exp);
+}
+
+#[test]
+fn composed_overlays_stay_equivalent() {
+    // All three overlay kinds on one run: noise bursts over a walking
+    // node under a duty budget. Exercises same-instant event ordering
+    // (declaration order) and noise's re-read of the audible-link set
+    // after a move.
+    let exp = experiment(ScenarioSpec::star(6), SchedulerKind::minimal(8), 31)
+        .with_overlay(Overlay::Noise(NoiseBurst {
+            quiet: SimDuration::from_secs(4),
+            burst: SimDuration::from_secs(2),
+            prr_factor: 0.3,
+        }))
+        .with_overlay(Overlay::Mobility(
+            StepMobility::new()
+                .hop(
+                    SimDuration::from_secs(12),
+                    NodeId::new(2),
+                    Position::new(300.0, 0.0),
+                )
+                .hop(
+                    SimDuration::from_secs(36),
+                    NodeId::new(2),
+                    Position::new(0.0, 25.0),
+                ),
+        ))
+        .with_overlay(Overlay::DutyCycle(DutyCycleBudget {
+            window: SimDuration::from_secs(15),
+            check: SimDuration::from_secs(3),
+            max_duty_percent: 5.0,
+        }));
+    assert_equivalent(&exp);
 }
 
 #[test]
 fn mid_run_fault_injection_stays_equivalent() {
     // kill_node + PRR override exercise the lazy-accounting freeze path.
-    let scenario = Scenario::star(6);
-    let s = spec(11);
-    let scheduler = SchedulerKind::minimal(8);
+    let exp = experiment(ScenarioSpec::star(6), SchedulerKind::minimal(8), 11);
     let mut reports = Vec::new();
     for naive in [false, true] {
-        let mut net = build(&scenario, &scheduler, &s, naive);
+        let mut net = build(&exp, naive);
         net.run_for(SimDuration::from_secs(20));
-        net.kill_node(gtt_net::NodeId::new(4));
-        net.set_link_prr_symmetric(gtt_net::NodeId::new(0), gtt_net::NodeId::new(2), 0.5);
-        reports.push(measured(&mut net, &s));
+        net.kill_node(NodeId::new(4));
+        net.set_link_prr_symmetric(NodeId::new(0), NodeId::new(2), 0.5);
+        reports.push((exp.run_on(&mut net), net.asn()));
     }
     assert_eq!(reports[0], reports[1], "fault-injected runs diverge");
 }
