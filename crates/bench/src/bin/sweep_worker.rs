@@ -1,7 +1,7 @@
 //! Multi-process sweep sharder: fills the shared sweep cache from
 //! shard files of canonically-encoded experiments.
 //!
-//! Usage: `sweep_worker [--cache-dir DIR] SHARD_FILE...`
+//! Usage: `sweep_worker [--cache-dir DIR] [--jobs N] SHARD_FILE...`
 //!
 //! A shard file holds one cell per line — blank lines and `#` comments
 //! are skipped, and the *last* whitespace-separated token of each line
@@ -9,7 +9,10 @@
 //! `<key> <hit|miss> <hex>` lines of a figure binary's `--list` output
 //! are valid shard lines as-is). For every cell the worker checks the
 //! cache (default `target/sweep-cache`), simulates on a miss, and
-//! writes the result back atomically.
+//! writes the result back atomically. Cells are drained by `--jobs N`
+//! in-process threads (default: one per available core) — the cache
+//! writes are atomic temp+rename, so in-process and cross-process
+//! parallelism compose freely.
 //!
 //! Sharding a sweep across processes (or hosts sharing the directory)
 //! is therefore plain text surgery:
@@ -30,12 +33,14 @@
 //! [`Experiment`]: gtt_workload::Experiment
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use gtt_bench::ensure_cached;
+use gtt_bench::{ensure_cached, jobs_from};
 use gtt_workload::Experiment;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = jobs_from(&args);
     let mut cache_dir = PathBuf::from("target/sweep-cache");
     let mut shard_files = Vec::new();
     let mut i = 0;
@@ -48,6 +53,7 @@ fn main() {
                     _ => panic!("--cache-dir needs a path"),
                 };
             }
+            "--jobs" => i += 1, // value parsed by jobs_from
             flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
             file => shard_files.push(PathBuf::from(file)),
         }
@@ -55,10 +61,12 @@ fn main() {
     }
     assert!(
         !shard_files.is_empty(),
-        "usage: sweep_worker [--cache-dir DIR] SHARD_FILE..."
+        "usage: sweep_worker [--cache-dir DIR] [--jobs N] SHARD_FILE..."
     );
 
-    let (mut hits, mut computed) = (0usize, 0usize);
+    // Decode every shard line up front so a torn line aborts before any
+    // simulation time is spent.
+    let mut cells: Vec<Experiment> = Vec::new();
     for file in &shard_files {
         let text = std::fs::read_to_string(file)
             .unwrap_or_else(|e| panic!("cannot read shard file {}: {e}", file.display()));
@@ -68,26 +76,53 @@ fn main() {
                 continue;
             }
             let hex = line.split_whitespace().next_back().expect("non-empty line");
-            let experiment = Experiment::decode_hex(hex).unwrap_or_else(|e| {
+            cells.push(Experiment::decode_hex(hex).unwrap_or_else(|e| {
                 panic!(
                     "{}:{}: bad experiment encoding: {e}",
                     file.display(),
                     lineno + 1
                 )
-            });
-            if ensure_cached(&cache_dir, &experiment) {
-                hits += 1;
-            } else {
-                computed += 1;
-                eprintln!(
-                    "  computed {} {} seed {}",
-                    experiment.scenario.name(),
-                    experiment.scheduler.name(),
-                    experiment.run.seed
-                );
-            }
+            }));
         }
     }
+
+    let threads = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        jobs
+    }
+    .min(cells.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let hits = AtomicUsize::new(0);
+    let computed = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= cells.len() {
+                    break;
+                }
+                let experiment = &cells[j];
+                if ensure_cached(&cache_dir, experiment) {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "  computed {} {} seed {}",
+                        experiment.scenario.name(),
+                        experiment.scheduler.name(),
+                        experiment.run.seed
+                    );
+                }
+            });
+        }
+    })
+    .expect("sweep_worker thread panicked");
+
+    let (hits, computed) = (hits.into_inner(), computed.into_inner());
     println!(
         "sweep_worker: {} cells into {} ({} already cached, {} computed)",
         hits + computed,

@@ -33,7 +33,7 @@ pub use figures::{
     fig_noise_period, fig_noise_period_points,
 };
 pub use sweep::{
-    cell_key, ensure_cached, probe_cached, render_shard_list, PointResult, SweepConfig, SweepPoint,
-    SweepResults,
+    cell_key, ensure_cached, jobs_from, probe_cached, render_shard_list, PointResult, SweepConfig,
+    SweepPoint, SweepResults,
 };
 pub use table::render_figure_tables;

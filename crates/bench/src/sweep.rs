@@ -92,15 +92,17 @@ impl SweepConfig {
     }
 
     /// The figure binaries' shared configuration: `--quick` selects the
-    /// 2-seed smoke set, the persistent cache lives under
-    /// `target/sweep-cache` (`--cache-dir PATH` relocates it, `--no-cache`
-    /// disables it).
+    /// 2-seed smoke set, `--jobs N` pins the worker-thread count
+    /// (default: one per available core), and the persistent cache lives
+    /// under `target/sweep-cache` (`--cache-dir PATH` relocates it,
+    /// `--no-cache` disables it).
     ///
     /// # Panics
     ///
     /// Panics when `--cache-dir` is given without a path (a silently
     /// defaulted directory would make a sharding flow re-simulate
-    /// everything and report confusing misses).
+    /// everything and report confusing misses), or when `--jobs` is
+    /// given without a positive integer.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
@@ -112,11 +114,12 @@ impl SweepConfig {
             },
             None => "target/sweep-cache".into(),
         };
-        let config = if quick {
+        let mut config = if quick {
             SweepConfig::quick()
         } else {
             SweepConfig::default()
         };
+        config.threads = jobs_from(&args);
         if no_cache {
             config
         } else {
@@ -129,6 +132,26 @@ impl SweepConfig {
     /// dry-run that feeds `sweep_worker` shard files).
     pub fn list_requested() -> bool {
         std::env::args().any(|a| a == "--list")
+    }
+}
+
+/// Parses `--jobs N` from an argv slice: `0` (auto — one worker per
+/// available core) when the flag is absent. Shared by every binary that
+/// fans simulation out over threads (`fig*`, `bench_engine`,
+/// `sweep_worker`).
+///
+/// # Panics
+///
+/// Panics when `--jobs` is present without a positive integer — a
+/// silently defaulted job count would hide a typo in a benchmark
+/// command line.
+pub fn jobs_from(args: &[String]) -> usize {
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => panic!("--jobs needs a positive integer"),
+        },
+        None => 0,
     }
 }
 

@@ -223,7 +223,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     len: Range<usize>,

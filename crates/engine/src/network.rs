@@ -60,7 +60,7 @@ pub(crate) struct Snapshot {
 /// compare/sift hot path free of time-unit conversions. Duplicate and
 /// stale entries are allowed (they cost one pop and a dedup); correctness
 /// only requires that no needed wake-up is *missing*.
-type WakeEntry = Reverse<(u64, u32)>;
+pub(crate) type WakeEntry = Reverse<(u64, u32)>;
 
 /// A due node's planned radio action before listener indices are known.
 #[derive(Debug, Clone, Copy)]
@@ -91,7 +91,7 @@ enum Planned {
 /// and are recomputed lazily on the next probe; until then every probe
 /// of a sleeping peer is an O(1) array read that never touches the node.
 #[derive(Debug, Clone, Copy)]
-struct ProbeEntry {
+pub(crate) struct ProbeEntry {
     /// Raw ASN of the next listen ([`u64::MAX`] = never listens).
     next: u64,
     /// Channel offset of that listen.
@@ -99,7 +99,7 @@ struct ProbeEntry {
 }
 
 impl ProbeEntry {
-    const NEVER: ProbeEntry = ProbeEntry {
+    pub(crate) const NEVER: ProbeEntry = ProbeEntry {
         next: u64::MAX,
         offset: gtt_mac::ChannelOffset::new(0),
     };
@@ -109,7 +109,7 @@ impl ProbeEntry {
 /// allocate. Taken out of the [`Network`] for the duration of a slot
 /// (`std::mem::take`) to keep the borrow checker out of the hot path.
 #[derive(Debug, Default)]
-struct SlotScratch {
+pub(crate) struct SlotScratch {
     /// Due node indices (sorted, deduplicated, alive).
     due: Vec<usize>,
     /// Planned actions of the due nodes, in node order.
@@ -145,24 +145,23 @@ pub struct Network {
     pub(crate) medium: RadioMedium,
     pub(crate) tracker: PacketTracker,
     pub(crate) asn: Asn,
-    packet_counter: u64,
     pub(crate) measure_start: Option<SimTime>,
     pub(crate) measure_end: Option<SimTime>,
     pub(crate) snapshots: Vec<Snapshot>,
     /// The event-driven core's clock: pending per-node wake-ups.
-    wake: BinaryHeap<WakeEntry>,
+    pub(crate) wake: BinaryHeap<WakeEntry>,
     /// Whether the wake queue has been seeded (done lazily on the first
     /// stepping call, after scheduler `init` hooks installed cells).
-    wake_init: bool,
+    pub(crate) wake_init: bool,
     /// Per-node "due or already probed this slot" stamp (`ASN + 1`; 0 =
     /// never) for the listener probe — stamping instead of clearing
     /// makes the per-slot reset free.
-    wake_scratch: Vec<u64>,
+    pub(crate) wake_scratch: Vec<u64>,
     /// Dense listener-probe index, one [`ProbeEntry`] per node.
-    probe_index: Vec<ProbeEntry>,
+    pub(crate) probe_index: Vec<ProbeEntry>,
     /// Per-node staleness of `probe_index` (set when the node is
     /// processed, killed or externally mutated).
-    probe_stale: Vec<bool>,
+    pub(crate) probe_stale: Vec<bool>,
     /// Per-node authoritative wake slot: the raw ASN of the *latest*
     /// entry pushed for the node (`u64::MAX` = none). Every state change
     /// that can move a node's wake re-pushes and updates this, so a
@@ -170,17 +169,22 @@ pub struct Network {
     /// dropped in O(1) — without this, deadlines that move later (a DIO
     /// refreshing the earliest-expiry neighbor, an EB re-arm) leave a
     /// trail of stale wake-ups that each cost a full no-op upkeep.
-    wake_slot: Vec<u64>,
+    pub(crate) wake_slot: Vec<u64>,
     /// Per-node slot of the *timer* component of the last scheduled
     /// wake (`u64::MAX` = no timer pending). Deadlines only move while a
     /// node is processed, and every processing reschedules, so a wake
     /// strictly before this slot is a pure radio wake-up whose upkeep
     /// pass is a provable no-op — skipped without touching the node.
-    timer_wake: Vec<u64>,
+    pub(crate) timer_wake: Vec<u64>,
     /// Per-slot vectors, reused across slots.
-    scratch: SlotScratch,
+    pub(crate) scratch: SlotScratch,
     /// Use the exhaustive per-slot oracle loop instead of the wake queue.
-    naive: bool,
+    pub(crate) naive: bool,
+    /// Resolve radio-disjoint partition islands on scoped threads inside
+    /// [`Network::run_until`] (see `parallel.rs`); reports are
+    /// byte-identical either way.
+    #[cfg(feature = "parallel")]
+    pub(crate) parallel: bool,
 }
 
 /// Builder for [`Network`] (C-BUILDER).
@@ -191,6 +195,8 @@ pub struct NetworkBuilder {
     traffic_ppm: Option<f64>,
     factory: Option<SchedulerFactory>,
     naive: bool,
+    #[cfg(feature = "parallel")]
+    parallel: bool,
 }
 
 /// Produces one scheduling function per node; called with the node id
@@ -207,6 +213,8 @@ impl Network {
             traffic_ppm: None,
             factory: None,
             naive: false,
+            #[cfg(feature = "parallel")]
+            parallel: false,
         }
     }
 
@@ -331,6 +339,18 @@ impl Network {
             }
             return;
         }
+        #[cfg(feature = "parallel")]
+        if self.parallel {
+            self.run_until_parallel(end);
+            return;
+        }
+        self.run_until_event(end);
+    }
+
+    /// The event-driven sequential core of [`Network::run_until`]; also
+    /// what each partition island runs on its own thread under the
+    /// `parallel` feature.
+    pub(crate) fn run_until_event(&mut self, end: SimTime) {
         self.ensure_wake_queue();
         let slot = self.config.mac.slot_duration;
         // `now() < end` ⟺ `asn < at_or_after(end)`: the loop and the heap
@@ -705,7 +725,7 @@ impl Network {
     /// Seeds the wake queue on first use: every alive node is woken in
     /// the current slot (one exhaustive slot), after which each reports
     /// its own next wake-up.
-    fn ensure_wake_queue(&mut self) {
+    pub(crate) fn ensure_wake_queue(&mut self) {
         if self.wake_init {
             return;
         }
@@ -927,6 +947,25 @@ impl Network {
         self.nodes[node.index()].app_throttled = throttled;
     }
 
+    /// Enables or disables island-parallel stepping at runtime.
+    ///
+    /// When enabled, [`Network::run_until`] (and everything built on it:
+    /// `run_for`, `run_slots`) resolves radio-disjoint partition islands
+    /// on scoped threads. Reports are byte-identical either way — this
+    /// is purely a wall-clock switch, which is why it is *not* part of
+    /// an experiment's canonical encoding. Single-slot [`Network::step`]
+    /// always runs sequentially.
+    #[cfg(feature = "parallel")]
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// True when island-parallel stepping is enabled.
+    #[cfg(feature = "parallel")]
+    pub fn parallel_enabled(&self) -> bool {
+        self.parallel
+    }
+
     fn apply_upkeep(&mut self, i: usize, output: UpkeepOutput, now: SimTime) {
         // Scheduler reactions to parent changes.
         for (old, new) in output.parent_changes {
@@ -937,9 +976,12 @@ impl Network {
             let Some(parent) = self.nodes[i].rpl.parent() else {
                 continue;
             };
-            let id = PacketId::new(self.packet_counter);
-            self.packet_counter += 1;
             let origin = self.nodes[i].id();
+            // Origin-keyed ids: each node numbers its own packets, so id
+            // assignment never depends on cross-node stepping order and
+            // partition islands can generate packets concurrently.
+            let id = PacketId::new(((origin.index() as u64) << 48) | self.nodes[i].packet_seq);
+            self.nodes[i].packet_seq += 1;
             self.tracker.record_generated(id, origin, now);
             self.nodes[i].generated_total += 1;
             let frame = Frame::new(id, origin, Dest::Unicast(parent), now, Payload::Data);
@@ -1036,6 +1078,14 @@ impl NetworkBuilder {
         self
     }
 
+    /// Builds the network with island-parallel stepping enabled (same
+    /// switch as [`Network::set_parallel`]).
+    #[cfg(feature = "parallel")]
+    pub fn parallel_stepping(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
     /// Builds the network and runs every scheduler's `init` hook.
     ///
     /// # Panics
@@ -1124,7 +1174,6 @@ impl NetworkBuilder {
             medium: RadioMedium::new(self.topology, medium_rng),
             tracker: PacketTracker::new(),
             asn: Asn::ZERO,
-            packet_counter: 0,
             measure_start: None,
             measure_end: None,
             snapshots: Vec::new(),
@@ -1137,6 +1186,8 @@ impl NetworkBuilder {
             timer_wake: vec![u64::MAX; n],
             scratch: SlotScratch::default(),
             naive: self.naive,
+            #[cfg(feature = "parallel")]
+            parallel: self.parallel,
         };
         for i in 0..net.nodes.len() {
             net.nodes[i].with_scheduler(SimTime::ZERO, |sf, ctx| sf.init(ctx));

@@ -1,0 +1,238 @@
+//! Island-parallel stepping (the `parallel` feature).
+//!
+//! Nodes in different connected components of the *audibility* graph
+//! ([`Topology::audibility_islands`](gtt_net::Topology::audibility_islands))
+//! cannot exchange energy — not even as interference — so a stepping
+//! window that contains no topology mutation can be resolved
+//! island-by-island in any order, including concurrently. This module
+//! exploits that: [`Network::run_until`] with the parallel switch on
+//! splits the network into one full-length sub-`Network` per island,
+//! runs each on its own scoped thread through the ordinary sequential
+//! event core, and merges the results back in canonical island order
+//! (islands sorted by smallest member id).
+//!
+//! # Why the reports are byte-identical
+//!
+//! Every source of nondeterminism is keyed by node, not by stepping
+//! order:
+//!
+//! * link-error draws come from per-node streams
+//!   ([`DrawStreams`](gtt_net::DrawStreams)) keyed by the drawing node,
+//! * packet ids are origin-keyed (`origin << 48 | seq`), and
+//! * the merge itself copies per-member state and unions the tracker in
+//!   canonical order ([`PacketTracker::absorb_branch`]).
+//!
+//! Topology mutations (`move_node`, PRR overrides, `kill_node`,
+//! `node_mut`) all happen *between* stepping calls, so islands are
+//! stable for the whole window and are recomputed fresh on the next
+//! call — a mid-run mobility hop that splits or merges islands is
+//! handled by construction. `tests/step_equivalence.rs` pins parallel ==
+//! sequential == naive-step byte-for-byte, including that case.
+
+use std::collections::BinaryHeap;
+
+use gtt_metrics::TrackerMark;
+use gtt_net::NodeId;
+use gtt_sim::SimTime;
+
+use crate::network::{Network, ProbeEntry, SlotScratch, WakeEntry};
+use crate::node::Node;
+
+impl Network {
+    /// [`Network::run_until`] resolving each partition island on its own
+    /// scoped thread. Falls back to the sequential event core when the
+    /// audibility graph has fewer than two islands.
+    pub(crate) fn run_until_parallel(&mut self, end: SimTime) {
+        let islands = self.medium.topology().audibility_islands();
+        if islands.len() < 2 {
+            self.run_until_event(end);
+            return;
+        }
+        self.ensure_wake_queue();
+
+        // Route pending wake-ups to the owning island's heap.
+        let mut island_of = vec![0usize; self.nodes.len()];
+        for (k, members) in islands.iter().enumerate() {
+            for &m in members {
+                island_of[m.index()] = k;
+            }
+        }
+        let mut heaps: Vec<BinaryHeap<WakeEntry>> =
+            islands.iter().map(|_| BinaryHeap::new()).collect();
+        for entry in std::mem::take(&mut self.wake) {
+            let std::cmp::Reverse((_, i)) = entry;
+            heaps[island_of[i as usize]].push(entry);
+        }
+
+        let mark = self.tracker.mark();
+        let mut subs: Vec<Network> = islands
+            .iter()
+            .zip(heaps)
+            .map(|(members, wake)| self.split_island(members, wake))
+            .collect();
+
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = subs
+                .iter_mut()
+                .map(|sub| scope.spawn(move |_| sub.run_until_event(end)))
+                .collect();
+            for handle in handles {
+                handle.join().expect("island thread panicked");
+            }
+        })
+        .expect("island scope failed");
+
+        // Merge in canonical island order: islands are disjoint, so the
+        // order only decides tracker union tie-breaks on corner cases
+        // that disjointness already rules out — but fixing it keeps the
+        // whole path a pure function of (seed, experiment).
+        for (members, sub) in islands.iter().zip(subs) {
+            debug_assert_eq!(sub.asn, {
+                let slot = self.config.mac.slot_duration;
+                gtt_mac::Asn::at_or_after(end, slot)
+            });
+            self.asn = sub.asn;
+            self.merge_island(sub, members, &mark);
+        }
+    }
+
+    /// Moves `members` out of `self` into a full-length sub-network
+    /// (non-members are dead [`Node::placeholder`]s) that can step the
+    /// island independently. `self` keeps placeholders in the members'
+    /// slots until [`Network::merge_island`] swaps them back.
+    fn split_island(&mut self, members: &[NodeId], wake: BinaryHeap<WakeEntry>) -> Network {
+        let n = self.nodes.len();
+        let mut nodes: Vec<Node> = (0..n)
+            .map(|i| Node::placeholder(NodeId::from_index(i), &self.config))
+            .collect();
+        let mut wake_slot = vec![u64::MAX; n];
+        let mut timer_wake = vec![u64::MAX; n];
+        for &m in members {
+            let i = m.index();
+            std::mem::swap(&mut nodes[i], &mut self.nodes[i]);
+            wake_slot[i] = self.wake_slot[i];
+            timer_wake[i] = self.timer_wake[i];
+        }
+        Network {
+            config: self.config.clone(),
+            nodes,
+            // The medium clone carries every node's draw-stream state;
+            // the island only advances its own members' streams
+            // (listener- and transmitter-keyed draws), which are copied
+            // back at merge.
+            medium: self.medium.clone(),
+            tracker: self.tracker.clone(),
+            asn: self.asn,
+            measure_start: self.measure_start,
+            measure_end: self.measure_end,
+            snapshots: Vec::new(),
+            wake,
+            wake_init: true,
+            wake_scratch: vec![0; n],
+            // All-stale probe entries only cost the island one re-probe
+            // per listener; resolution results are unaffected.
+            probe_index: vec![ProbeEntry::NEVER; n],
+            probe_stale: vec![true; n],
+            wake_slot,
+            timer_wake,
+            scratch: SlotScratch::default(),
+            naive: false,
+            parallel: false,
+        }
+    }
+
+    /// Folds a stepped island back into `self`: member nodes, wake
+    /// state, per-member draw streams, and the tracker delta.
+    fn merge_island(&mut self, mut sub: Network, members: &[NodeId], mark: &TrackerMark) {
+        for &m in members {
+            let i = m.index();
+            std::mem::swap(&mut self.nodes[i], &mut sub.nodes[i]);
+            self.wake_slot[i] = sub.wake_slot[i];
+            self.timer_wake[i] = sub.timer_wake[i];
+            // The island's probe entries were built against its own
+            // wake heap; re-derive lazily in the parent.
+            self.probe_stale[i] = true;
+        }
+        // Island heaps only ever contain member entries, so the union
+        // of the merged heaps is exactly the parent's pending wake set.
+        self.wake.extend(sub.wake.drain());
+        self.medium.adopt_draws(&sub.medium, members);
+        self.tracker.absorb_branch(sub.tracker, mark);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use gtt_net::{LinkModel, Position, TopologyBuilder};
+    use gtt_sim::SimDuration;
+
+    use crate::config::EngineConfig;
+    use crate::minimal::MinimalSchedule;
+    use crate::network::Network;
+
+    /// Two 4-node stars 1 km apart: two islands.
+    fn two_star_network(parallel: bool) -> Network {
+        let topo = TopologyBuilder::new(40.0)
+            .link_model(LinkModel::default())
+            .nodes((0..4).map(|i| Position::new(f64::from(i) * 25.0, 0.0)))
+            .nodes((0..4).map(|i| Position::new(1000.0 + f64::from(i) * 25.0, 0.0)))
+            .build();
+        let mut builder = Network::builder(topo, EngineConfig::default())
+            .root(gtt_net::NodeId::new(0))
+            .root(gtt_net::NodeId::new(4))
+            .traffic_ppm(30.0)
+            .scheduler_factory(|_, _| Box::new(MinimalSchedule::new(8)));
+        if parallel {
+            builder = builder.parallel_stepping();
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_byte_for_byte() {
+        let mut seq = two_star_network(false);
+        let mut par = two_star_network(true);
+        for net in [&mut seq, &mut par] {
+            net.run_for(SimDuration::from_secs(30));
+            net.start_measurement();
+            net.run_for(SimDuration::from_secs(30));
+            net.finish_measurement();
+        }
+        assert_eq!(seq.asn(), par.asn());
+        assert_eq!(seq.report(), par.report());
+    }
+
+    #[test]
+    fn set_parallel_toggles_at_runtime() {
+        let mut seq = two_star_network(false);
+        let mut par = two_star_network(false);
+        par.set_parallel(true);
+        assert!(par.parallel_enabled());
+        seq.run_for(SimDuration::from_secs(20));
+        par.run_for(SimDuration::from_secs(20));
+        // Toggling back mid-run keeps the trajectory identical: the
+        // switch changes wall-clock behavior only.
+        par.set_parallel(false);
+        for net in [&mut seq, &mut par] {
+            net.start_measurement();
+            net.run_for(SimDuration::from_secs(20));
+            net.finish_measurement();
+        }
+        assert_eq!(seq.report(), par.report());
+    }
+
+    #[test]
+    fn single_island_falls_back_to_sequential() {
+        let topo = TopologyBuilder::new(40.0)
+            .link_model(LinkModel::default())
+            .nodes((0..5).map(|i| Position::new(f64::from(i) * 25.0, 0.0)))
+            .build();
+        let mut net = Network::builder(topo, EngineConfig::default())
+            .root(gtt_net::NodeId::new(0))
+            .scheduler_factory(|_, _| Box::new(MinimalSchedule::new(8)))
+            .parallel_stepping()
+            .build();
+        net.run_for(SimDuration::from_secs(10));
+        assert!(net.asn().raw() > 0);
+    }
+}

@@ -64,7 +64,12 @@ impl SfContext<'_> {
 /// `gtt-orchestra` (the autonomous baseline). All hooks except
 /// [`SchedulingFunction::init`] have no-op defaults, because autonomous
 /// schedulers like Orchestra need only react to parent changes.
-pub trait SchedulingFunction {
+///
+/// `Send` is a supertrait so whole nodes can move across threads: the
+/// island-parallel step path (the `parallel` feature) runs each radio
+/// partition island on its own scoped thread. Schedulers are plain
+/// owned state machines, so this costs implementations nothing.
+pub trait SchedulingFunction: Send {
     /// Short name used in reports ("gt-tsch", "orchestra", …).
     fn name(&self) -> &'static str;
 

@@ -25,4 +25,4 @@ pub mod tracker;
 
 pub use row::FigureRow;
 pub use stats::{mean, std_dev, Summary};
-pub use tracker::PacketTracker;
+pub use tracker::{PacketTracker, TrackerMark};

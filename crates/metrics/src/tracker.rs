@@ -37,6 +37,14 @@ pub struct PacketTracker {
     stray_deliveries: u64,
 }
 
+/// Counter snapshot for [`PacketTracker::absorb_branch`]: the values the
+/// branch trackers started from, so only post-mark deltas are summed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackerMark {
+    duplicates: u64,
+    stray_deliveries: u64,
+}
+
 impl PacketTracker {
     /// Creates a tracker counting everything (no window).
     pub fn new() -> Self {
@@ -180,6 +188,36 @@ impl PacketTracker {
         self.delivered() as f64 / (w.as_secs_f64() / 60.0)
     }
 
+    /// A counter snapshot taken before cloning the tracker into
+    /// parallel branches; see [`PacketTracker::absorb_branch`].
+    pub fn mark(&self) -> TrackerMark {
+        TrackerMark {
+            duplicates: self.duplicates,
+            stray_deliveries: self.stray_deliveries,
+        }
+    }
+
+    /// Folds a branch tracker (a clone of `self` taken at `mark` that
+    /// has since recorded more packets) back into `self`.
+    ///
+    /// Map entries are unioned: entries present in both are identical
+    /// clones of the shared prefix, and entries recorded by different
+    /// branches are disjoint when packet ids are origin-keyed and each
+    /// origin/root lives in exactly one branch (the partition-island
+    /// invariant). For the counters, the delta each branch accumulated
+    /// past the mark is added, so parallel branches never double-count
+    /// the shared prefix.
+    pub fn absorb_branch(&mut self, branch: PacketTracker, mark: &TrackerMark) {
+        debug_assert_eq!(self.window_start, branch.window_start);
+        debug_assert_eq!(self.window_end, branch.window_end);
+        self.generated.extend(branch.generated);
+        for (id, (t_rx, hops)) in branch.delivered {
+            self.delivered.entry(id).or_insert((t_rx, hops));
+        }
+        self.duplicates += branch.duplicates - mark.duplicates;
+        self.stray_deliveries += branch.stray_deliveries - mark.stray_deliveries;
+    }
+
     /// Per-origin delivery counts (diagnostics: spotting starved nodes).
     pub fn delivered_by_origin(&self) -> BTreeMap<NodeId, u64> {
         let mut map = BTreeMap::new();
@@ -291,6 +329,32 @@ mod tests {
         assert_eq!(t.generated_by_origin()[&NodeId::new(2)], 2);
         assert_eq!(t.delivered_by_origin()[&NodeId::new(2)], 1);
         assert!(!t.delivered_by_origin().contains_key(&NodeId::new(1)));
+    }
+
+    #[test]
+    fn absorb_branch_unions_without_double_counting() {
+        let mut t = PacketTracker::new();
+        t.set_window(SimTime::ZERO, SimTime::from_secs(60));
+        // Shared prefix: one packet, one duplicate, one stray.
+        t.record_generated(id(1), NodeId::new(1), SimTime::from_secs(1));
+        t.record_delivered(id(1), SimTime::from_secs(2), 1);
+        t.record_delivered(id(1), SimTime::from_secs(3), 1); // duplicate
+        t.record_delivered(id(99), SimTime::from_secs(3), 1); // stray
+        let mark = t.mark();
+        // Two branches clone the prefix and diverge (disjoint ids).
+        let mut a = t.clone();
+        let mut b = t.clone();
+        a.record_generated(id(2), NodeId::new(2), SimTime::from_secs(4));
+        a.record_delivered(id(2), SimTime::from_secs(5), 2);
+        a.record_delivered(id(2), SimTime::from_secs(6), 2); // duplicate
+        b.record_generated(id(3), NodeId::new(3), SimTime::from_secs(4));
+        b.record_delivered(id(77), SimTime::from_secs(5), 1); // stray
+        t.absorb_branch(a, &mark);
+        t.absorb_branch(b, &mark);
+        assert_eq!(t.generated(), 3);
+        assert_eq!(t.delivered(), 2);
+        assert_eq!(t.duplicates(), 2, "prefix duplicate counted once");
+        assert_eq!(t.stray_deliveries(), 2, "prefix stray counted once");
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub use channel::PhysicalChannel;
 pub use frame::{Dest, Frame, PacketId};
 pub use geometry::Position;
 pub use id::NodeId;
-pub use medium::{Listener, RadioMedium, RxOutcome, SlotOutcomes, Transmission};
+pub use medium::{DrawStreams, Listener, RadioMedium, RxOutcome, SlotOutcomes, Transmission};
 pub use queue::{PacketQueue, QueueStats};
 pub use topology::{LinkModel, Topology, TopologyBuilder};

@@ -10,12 +10,80 @@
 //! audible at a listener destroy each other there (including the
 //! hidden-terminal case where the two senders cannot hear one another).
 
-use gtt_sim::Pcg32;
+use gtt_sim::{Pcg32, SplitMix64};
 
 use crate::channel::PhysicalChannel;
 use crate::frame::{Dest, Frame};
 use crate::id::NodeId;
 use crate::topology::Topology;
+
+/// Per-node deterministic Bernoulli draw streams.
+///
+/// Every node owns an independent [`SplitMix64`] stream; a link-error
+/// draw consumes from the stream of the node it is *keyed* by (the
+/// listener for forward-PRR draws, the transmitter for ACK reverse-PRR
+/// draws). Because TSCH radios are half-duplex, a node makes at most one
+/// draw per slot, so each node's draw sequence depends only on the
+/// ordered slots in which *that node* draws — never on how many other
+/// nodes drew first in the same slot. That order-independence is what
+/// lets radio-disjoint partition islands be resolved on different
+/// threads (or in a different listener order, as the `naive-step` oracle
+/// does) while producing bit-identical outcomes.
+///
+/// The streams are derived from a single [`Pcg32`] by node index, so one
+/// experiment seed still determines all channel noise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrawStreams {
+    streams: Vec<SplitMix64>,
+}
+
+impl DrawStreams {
+    /// Derives one stream per node from `rng`: a root value seeds a
+    /// [`SplitMix64`] whose consecutive outputs seed the per-node
+    /// streams in node-id order.
+    pub fn new(mut rng: Pcg32, nodes: usize) -> Self {
+        let mut derive = SplitMix64::new(rng.next_u64());
+        DrawStreams {
+            streams: (0..nodes)
+                .map(|_| SplitMix64::new(derive.next_u64()))
+                .collect(),
+        }
+    }
+
+    /// Bernoulli draw from `node`'s stream: `true` with probability `p`.
+    ///
+    /// Matches [`Pcg32::gen_bool`]'s clamping contract exactly: `p <= 0`
+    /// and `p >= 1` return without consuming from the stream, so perfect
+    /// and dead links never advance any node's draw sequence.
+    pub fn gen_bool(&mut self, node: NodeId, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            let bits = self.streams[node.index()].next_u64();
+            ((bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+        }
+    }
+
+    /// Copies `members`' stream states from `other` into `self`.
+    ///
+    /// The island merge path runs each partition island on a clone of
+    /// the medium and then folds the advanced per-member stream states
+    /// back into the parent, keeping every node's draw sequence
+    /// continuous across split/merge boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stream sets have different lengths or a member
+    /// id is out of range.
+    pub fn adopt(&mut self, other: &DrawStreams, members: &[NodeId]) {
+        assert_eq!(self.streams.len(), other.streams.len());
+        for &m in members {
+            self.streams[m.index()] = other.streams[m.index()].clone();
+        }
+    }
+}
 
 /// One node transmitting in the current slot.
 #[derive(Debug, Clone)]
@@ -108,9 +176,11 @@ impl<P> SlotOutcomes<P> {
 
 /// The shared radio medium.
 ///
-/// Owns its own PRNG stream so that link-error draws are independent of
-/// every node's local randomness — adding a node to a scenario does not
-/// perturb the channel noise other nodes experience.
+/// Owns its own per-node draw streams ([`DrawStreams`]) so that
+/// link-error draws are independent of every node's local randomness —
+/// adding a node to a scenario does not perturb the channel noise other
+/// nodes experience, and resolving radio-disjoint islands in any order
+/// (or in parallel) produces identical draws.
 ///
 /// # Example
 ///
@@ -137,7 +207,7 @@ impl<P> SlotOutcomes<P> {
 #[derive(Debug, Clone)]
 pub struct RadioMedium {
     topology: Topology,
-    rng: Pcg32,
+    draws: DrawStreams,
     /// When `true`, ACK frames are themselves subject to the reverse
     /// link's PRR; when `false`, ACKs of decoded frames always arrive.
     lossy_acks: bool,
@@ -175,14 +245,22 @@ struct MediumScratch {
 }
 
 impl RadioMedium {
-    /// Creates a medium over `topology` with its own RNG stream.
+    /// Creates a medium over `topology`, deriving per-node draw streams
+    /// from `rng` (see [`DrawStreams::new`]).
     pub fn new(topology: Topology, rng: Pcg32) -> Self {
+        let draws = DrawStreams::new(rng, topology.len());
         RadioMedium {
             topology,
-            rng,
+            draws,
             lossy_acks: true,
             scratch: MediumScratch::default(),
         }
+    }
+
+    /// Copies `members`' draw-stream states from `other`'s medium into
+    /// this one (see [`DrawStreams::adopt`]); part of the island merge.
+    pub fn adopt_draws(&mut self, other: &RadioMedium, members: &[NodeId]) {
+        self.draws.adopt(&other.draws, members);
     }
 
     /// Enables or disables ACK loss on the reverse link (default: enabled).
@@ -215,9 +293,10 @@ impl RadioMedium {
     /// Resolves one timeslot into `out` (cleared first), allocation-free
     /// once the reusable buffers have warmed up.
     ///
-    /// For every listener, *in the supplied listener order* (the order of
-    /// the medium's Bernoulli draws is part of the engine's equivalence
-    /// contract with the `naive-step` oracle): collect the transmissions
+    /// For every listener, *in the supplied listener order* (outcome
+    /// order matters to callers; the Bernoulli draws themselves are
+    /// keyed per node via [`DrawStreams`], so draw results are
+    /// independent of listener order): collect the transmissions
     /// on its channel that are audible at its position (interference
     /// range). Zero ⇒ idle; two or more ⇒ collision; exactly one ⇒
     /// decoded iff it is also within *communication* range and the link's
@@ -245,7 +324,7 @@ impl RadioMedium {
     ) {
         let RadioMedium {
             topology,
-            rng,
+            draws,
             lossy_acks,
             scratch,
         } = self;
@@ -344,7 +423,8 @@ impl RadioMedium {
                     1 => {
                         let tx = &transmissions[first];
                         let prr = topology.prr(tx.frame.src, listener.node);
-                        if prr > 0.0 && rng.gen_bool(prr) {
+                        // Forward draw: keyed by the listening node.
+                        if prr > 0.0 && draws.gen_bool(listener.node, prr) {
                             if tx.frame.dst == Dest::Unicast(listener.node) {
                                 scratch.dest_decoded[first] = true;
                             }
@@ -368,8 +448,11 @@ impl RadioMedium {
                     } else if !*lossy_acks {
                         Some(true)
                     } else {
+                        // Reverse draw: keyed by the transmitting node
+                        // (half-duplex, so it cannot also have drawn as
+                        // a listener this slot).
                         let reverse_prr = topology.prr(dst, t.frame.src);
-                        Some(reverse_prr > 0.0 && rng.gen_bool(reverse_prr))
+                        Some(reverse_prr > 0.0 && draws.gen_bool(t.frame.src, reverse_prr))
                     }
                 }
             };

@@ -97,6 +97,26 @@ impl Default for RunSpec {
 /// overlay-driven measurement window → report). Anything needing finer
 /// control (fault-injection tests, engine benches) starts from
 /// [`Experiment::network_builder`] and drives the network itself.
+///
+/// # Example
+///
+/// The minimal build-and-run flow — describe the run as data, call
+/// [`Experiment::run`], read the [`NetworkReport`]:
+///
+/// ```
+/// use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
+///
+/// let report = Experiment::new(ScenarioSpec::star(4), SchedulerKind::minimal(8))
+///     .with_run(RunSpec {
+///         warmup_secs: 20,
+///         measure_secs: 20,
+///         seed: 3,
+///         ..RunSpec::default()
+///     })
+///     .run();
+/// assert!(report.join_ratio > 0.9, "a 4-node star forms in 20 s");
+/// assert!(report.delivered <= report.generated);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     /// What network the run happens on.
@@ -175,6 +195,18 @@ impl Experiment {
     /// timeline across the measurement window, report.
     pub fn run(&self) -> NetworkReport {
         self.run_on(&mut self.build_network())
+    }
+
+    /// [`Experiment::run`] with island-parallel stepping enabled (the
+    /// `parallel` feature): radio-disjoint partition islands step on
+    /// scoped threads. The report is byte-identical to
+    /// [`Experiment::run`]'s — which is why the switch is *not* part of
+    /// the canonical encoding — so cached sweep cells can be shared
+    /// freely between parallel and sequential runs.
+    #[cfg(feature = "parallel")]
+    pub fn run_parallel(&self) -> NetworkReport {
+        let mut net = self.network_builder().parallel_stepping().build();
+        self.run_on(&mut net)
     }
 
     /// [`Experiment::run`] on an already-built network (one produced by

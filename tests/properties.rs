@@ -9,8 +9,8 @@ use gt_tsch::ChannelAllocator;
 use gtt_mac::{Asn, ChannelOffset, HoppingSequence};
 use gtt_metrics::PacketTracker;
 use gtt_net::{
-    Dest, Frame, LinkModel, Listener, NodeId, PacketId, PacketQueue, PhysicalChannel, Position,
-    RadioMedium, RxOutcome, SlotOutcomes, Topology, TopologyBuilder, Transmission,
+    Dest, DrawStreams, Frame, LinkModel, Listener, NodeId, PacketId, PacketQueue, PhysicalChannel,
+    Position, RadioMedium, RxOutcome, SlotOutcomes, Topology, TopologyBuilder, Transmission,
 };
 use gtt_sim::{EventQueue, Pcg32, SimTime};
 use gtt_sixtop::{CellSpec, ReturnCode, SixpBody, SixpCellKind, SixpMessage};
@@ -285,14 +285,15 @@ proptest! {
 
 /// The brute-force O(listeners × transmissions) slot resolution the
 /// medium's per-channel index replaced, reimplemented over the public
-/// topology API with its own (identically-seeded) RNG stream. Every RNG
-/// draw must happen in exactly the same order as the production path —
-/// listener order, then transmission order for ACKs — or the streams
-/// diverge and the comparison fails.
+/// topology API with its own (identically-derived) per-node draw
+/// streams. Forward draws are keyed by the listening node and ACK draws
+/// by the transmitting node, exactly as the production path keys them,
+/// so the streams stay aligned without depending on any cross-node
+/// iteration order.
 #[allow(clippy::type_complexity)]
 fn reference_resolve(
     topology: &Topology,
-    rng: &mut Pcg32,
+    draws: &mut DrawStreams,
     transmissions: &[Transmission<u8>],
     listeners: &[Listener],
 ) -> (Vec<(NodeId, RxOutcome<u8>)>, Vec<Option<bool>>) {
@@ -318,7 +319,7 @@ fn reference_resolve(
             1 => {
                 let tx = &transmissions[first];
                 let prr = topology.prr(tx.frame.src, listener.node);
-                if prr > 0.0 && rng.gen_bool(prr) {
+                if prr > 0.0 && draws.gen_bool(listener.node, prr) {
                     decoded[first].push(listener.node);
                     RxOutcome::Received(tx.frame.clone())
                 } else {
@@ -339,7 +340,7 @@ fn reference_resolve(
                     Some(false)
                 } else {
                     let reverse = topology.prr(dst, t.frame.src);
-                    Some(reverse > 0.0 && rng.gen_bool(reverse))
+                    Some(reverse > 0.0 && draws.gen_bool(t.frame.src, reverse))
                 }
             }
         })
@@ -372,7 +373,7 @@ proptest! {
         let channels = [17u8, 23, 15].map(PhysicalChannel::new);
 
         let mut medium = RadioMedium::new(topology.clone(), Pcg32::new(seed));
-        let mut reference_rng = Pcg32::new(seed);
+        let mut reference_draws = DrawStreams::new(Pcg32::new(seed), topology.len());
         let mut out = SlotOutcomes::default();
 
         for slot in 0..slots {
@@ -413,7 +414,7 @@ proptest! {
             }
 
             let (expected_rx, expected_acked) =
-                reference_resolve(&topology, &mut reference_rng, &transmissions, &listeners);
+                reference_resolve(&topology, &mut reference_draws, &transmissions, &listeners);
             medium.resolve_slot_into(&transmissions, &listeners, &mut out);
             prop_assert_eq!(&out.rx, &expected_rx, "slot {} rx diverged", slot);
             prop_assert_eq!(&out.acked, &expected_acked, "slot {} acks diverged", slot);

@@ -11,7 +11,8 @@
 //!
 //! Requires the `naive-step` feature (CI runs
 //! `cargo test -p gtt-tests --features naive-step`): the oracle switch is
-//! not exposed in default builds.
+//! not exposed in default builds. With `parallel` also on, a third leg
+//! pins the island-parallel stepping path against both cores.
 
 use gtt_engine::{Network, NetworkReport};
 use gtt_net::{NodeId, Position};
@@ -334,6 +335,107 @@ fn composed_overlays_stay_equivalent() {
             max_duty_percent: 5.0,
         }));
     assert_equivalent(&exp);
+}
+
+/// Island-parallel leg (the `parallel` feature, CI's parallel smoke
+/// job): the scoped-thread island path must be byte-identical to *both*
+/// the sequential event core and the naive-step oracle. Three-way
+/// comparison so a shared bug in the two fast cores can't hide.
+#[cfg(feature = "parallel")]
+fn assert_parallel_equivalent(experiment: &Experiment) {
+    let mut reports: Vec<(NetworkReport, gtt_mac::Asn)> = Vec::new();
+    // naive oracle, sequential event core, island-parallel event core.
+    for (naive, parallel) in [(true, false), (false, false), (false, true)] {
+        let mut builder = experiment.network_builder();
+        if naive {
+            builder = builder.naive_stepping();
+        }
+        if parallel {
+            builder = builder.parallel_stepping();
+        }
+        let mut net = builder.build();
+        let report = experiment.run_on(&mut net);
+        reports.push((report, net.asn()));
+    }
+    assert_eq!(
+        reports[1],
+        reports[2],
+        "{} / {} / seed {}: parallel and sequential runs diverge",
+        experiment.scenario.name(),
+        experiment.scheduler.name(),
+        experiment.run.seed
+    );
+    assert_eq!(
+        reports[0],
+        reports[1],
+        "{} / {} / seed {}: event-driven core and oracle diverge",
+        experiment.scenario.name(),
+        experiment.scheduler.name(),
+        experiment.run.seed
+    );
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_two_dodag_equivalent() {
+    // Two radio-disjoint DODAGs: the genuine two-island case where the
+    // parallel path actually splits, steps on two threads, and merges.
+    assert_parallel_equivalent(&experiment(
+        ScenarioSpec::two_dodag(7),
+        SchedulerKind::gt_tsch_default(),
+        1,
+    ));
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_large_grid_equivalent() {
+    // The 120-node grid is one connected island: the parallel switch
+    // must fall back to the sequential core without perturbing anything.
+    let exp = Experiment::new(ScenarioSpec::large_grid(), SchedulerKind::gt_tsch_default())
+        .with_run(RunSpec {
+            traffic_ppm: 6.0,
+            warmup_secs: 20,
+            measure_secs: 20,
+            seed: 1,
+            ..RunSpec::default()
+        });
+    assert_parallel_equivalent(&exp);
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_island_split_and_merge_equivalent() {
+    // The mobility case from `mobility_overlay_stays_equivalent`: node 5
+    // walks out of its DODAG (briefly its own third island), into the
+    // other DODAG's radio space (merging two islands into one), then
+    // home. Every hop changes the island partition mid-run, so the
+    // parallel path re-partitions across split *and* merge and must
+    // still match both sequential cores byte-for-byte.
+    let exp = experiment(
+        ScenarioSpec::two_dodag(6),
+        SchedulerKind::gt_tsch_default(),
+        21,
+    )
+    .with_overlay(Overlay::Mobility(
+        StepMobility::new()
+            .hop(
+                SimDuration::from_secs(10),
+                NodeId::new(5),
+                Position::new(500.0, 200.0),
+            )
+            .hop(
+                SimDuration::from_secs(25),
+                NodeId::new(5),
+                Position::new(1_000.0 - 25.0, 10.0),
+            )
+            .hop(
+                SimDuration::from_secs(45),
+                NodeId::new(5),
+                Position::new(25.0, 10.0),
+            ),
+    ));
+    assert_parallel_equivalent(&exp);
 }
 
 #[test]

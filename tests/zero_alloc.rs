@@ -151,7 +151,7 @@ fn steady_state_slot_path_performs_zero_allocations() {
         .build();
     // Long warm-up: the DODAG converges, Trickle stretches, every queue,
     // heap and scratch buffer reaches its steady-state capacity.
-    net.run_for(SimDuration::from_secs(120));
+    net.run_for(SimDuration::from_secs(180));
     let during = count_allocs(|| net.run_for(SimDuration::from_secs(60)));
     assert_eq!(
         during, 0,
