@@ -1,0 +1,122 @@
+//! City-scale smoke benchmark: proves the 10k-node regime is open.
+//!
+//! Usage: `city [--quick] [--move-bench]`
+//!
+//! * Default / `--quick` — runs the `city-1k` (10 × 100) and `city-10k`
+//!   (100 × 100) scenarios on the event core and prints wall time,
+//!   slots/s and a PDR sanity line per run. `--quick` simulates 60 s
+//!   per scenario (the CI smoke budget); the default is 300 s.
+//! * `--move-bench` — times incremental [`Topology::set_position`] on
+//!   the 10k-node city against the pre-spatial-index baseline (a full
+//!   O(n²) audibility recompute per move, which is what every hop used
+//!   to cost) and prints the per-move speedup.
+//!
+//! Exit is always 0: this is a smoke/reporting binary, the budget gate
+//! is the CI step timeout wrapped around it.
+
+use std::time::Instant;
+
+use gtt_net::{NodeId, Position, Topology};
+use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
+
+/// Simulates `sim_secs` of a city scenario on the event core and
+/// reports wall time plus the measured-window PDR as a sanity check
+/// that the network actually converged and delivered traffic.
+fn smoke(dodags: usize, nodes_per_dodag: usize, sim_secs: u64) {
+    let exp = Experiment::new(
+        ScenarioSpec::city(dodags, nodes_per_dodag),
+        SchedulerKind::gt_tsch_default(),
+    )
+    .with_run(RunSpec {
+        traffic_ppm: 1.0,
+        warmup_secs: 0,
+        measure_secs: sim_secs,
+        seed: 1,
+        low_power: true,
+    });
+    let mut net = exp.network_builder().build();
+    let start = Instant::now();
+    let report = exp.run_on(&mut net);
+    let secs = start.elapsed().as_secs_f64();
+    let slots = net.asn().raw();
+    println!(
+        "  {:<12} {:>6} nodes  {sim_secs:>4} s sim  {secs:>7.2} s wall  {:>8.0} slots/s  pdr {:.3}",
+        exp.scenario.name(),
+        dodags * nodes_per_dodag,
+        slots as f64 / secs,
+        report.row.pdr_percent
+    );
+}
+
+/// The pre-PR cost of one hop: recompute the full pairwise audibility
+/// relation. (The old `set_position` rebuilt both adjacency tables this
+/// way; counting audible pairs without materializing the rows slightly
+/// *under*-prices it, which keeps the reported speedup honest.)
+fn brute_force_rebuild(topo: &Topology) -> usize {
+    let mut audible_pairs = 0;
+    for a in topo.node_ids() {
+        for b in topo.node_ids() {
+            if topo.audible(a, b) {
+                audible_pairs += 1;
+            }
+        }
+    }
+    audible_pairs
+}
+
+/// Times incremental moves vs the O(n²) baseline on the 10k city.
+fn move_bench() {
+    let scenario = ScenarioSpec::city(100, 100).build();
+    let mut topo = scenario.topology;
+    let n = topo.len();
+    // A courier leaf hopping between cluster discs (origins on a
+    // 10-wide grid at 1 km spacing) — the worst case for the index,
+    // since every hop crosses buckets and changes island membership.
+    let courier = NodeId::new(99);
+    let spots = [
+        Position::new(1_060.0, 60.0),
+        Position::new(60.0, 1_060.0),
+        Position::new(5_060.0, 5_060.0),
+        Position::new(60.0, 60.0),
+    ];
+    let incr_moves = 1_000;
+    let start = Instant::now();
+    for k in 0..incr_moves {
+        topo.set_position(courier, spots[k % spots.len()]);
+    }
+    let incr_per_move = start.elapsed().as_secs_f64() / incr_moves as f64;
+
+    let brute_reps = 5;
+    let start = Instant::now();
+    let mut sink = 0;
+    for _ in 0..brute_reps {
+        sink += std::hint::black_box(brute_force_rebuild(&topo));
+    }
+    let brute_per_move = start.elapsed().as_secs_f64() / brute_reps as f64;
+    std::hint::black_box(sink);
+
+    println!(
+        "  set_position at n={n}: {:.1} µs/move incremental vs {:.0} µs/move \
+         brute-force rebuild — {:.0}x",
+        incr_per_move * 1e6,
+        brute_per_move * 1e6,
+        brute_per_move / incr_per_move
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--move-bench") {
+        println!("city move bench (10k nodes, incremental vs pre-index per-hop cost):");
+        move_bench();
+        return;
+    }
+    let sim_secs = if args.iter().any(|a| a == "--quick") {
+        60
+    } else {
+        300
+    };
+    println!("city smoke ({sim_secs} s simulated per scenario, event core):");
+    smoke(10, 100, sim_secs);
+    smoke(100, 100, sim_secs);
+}

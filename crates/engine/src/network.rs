@@ -185,6 +185,13 @@ pub struct Network {
     /// byte-identical either way.
     #[cfg(feature = "parallel")]
     pub(crate) parallel: bool,
+    /// Retained island sub-network shells, keyed by island membership,
+    /// so consecutive stepping windows over a stable partition reuse
+    /// their allocations instead of rebuilding n placeholders per island
+    /// per window (see `parallel.rs`). Pure scratch: never observable in
+    /// reports.
+    #[cfg(feature = "parallel")]
+    pub(crate) island_pool: crate::parallel::IslandPool,
 }
 
 /// Builder for [`Network`] (C-BUILDER).
@@ -1188,6 +1195,8 @@ impl NetworkBuilder {
             naive: self.naive,
             #[cfg(feature = "parallel")]
             parallel: self.parallel,
+            #[cfg(feature = "parallel")]
+            island_pool: crate::parallel::IslandPool::default(),
         };
         for i in 0..net.nodes.len() {
             net.nodes[i].with_scheduler(SimTime::ZERO, |sf, ctx| sf.init(ctx));

@@ -169,10 +169,18 @@ pub struct TschMac<P> {
     backoff: SharedCellBackoff,
     rng: Pcg32,
     in_flight: Option<InFlight<P>>,
-    /// Per-neighbor link statistics, indexed by `NodeId::index()` and
-    /// grown on demand — the RPL layer reads ETX for every neighbor on
-    /// every housekeeping poll, which makes this lookup a hot path.
+    /// Per-neighbor link statistics, grown on demand — the RPL layer
+    /// reads ETX for every neighbor on every housekeeping poll, which
+    /// makes this lookup a hot path. Offset-compressed: `link_stats[k]`
+    /// belongs to node id `link_stats_base + k`. Peers cluster in id
+    /// space (scenario generators hand out contiguous per-DODAG id
+    /// blocks), so anchoring at the lowest peer heard keeps each vector
+    /// O(neighborhood id span) instead of O(own ids' magnitude) — at
+    /// 10 000 nodes the difference between megabytes and gigabytes
+    /// network-wide.
     link_stats: Vec<Option<LinkStats>>,
+    /// Node id owning `link_stats[0]` (meaningless while empty).
+    link_stats_base: usize,
     counters: MacCounters,
     wake_cache: Option<WakeCache>,
     /// Candidate-cell scratch for `plan_slot`, reused every active slot
@@ -313,6 +321,7 @@ impl<P: Clone> TschMac<P> {
             rng,
             in_flight: None,
             link_stats: Vec::new(),
+            link_stats_base: 0,
             counters: MacCounters::default(),
             wake_cache: None,
             plan_scratch: Vec::new(),
@@ -356,25 +365,39 @@ impl<P: Clone> TschMac<P> {
 
     /// Per-neighbor link statistics, in node-id order.
     pub fn link_stats(&self) -> impl Iterator<Item = (NodeId, &LinkStats)> + '_ {
+        let base = self.link_stats_base;
         self.link_stats
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|s| (NodeId::from_index(i), s)))
+            .filter_map(move |(k, s)| s.as_ref().map(|s| (NodeId::from_index(base + k), s)))
     }
 
     /// The (created-on-first-touch) stats slot for `peer`.
     fn stats_entry(&mut self, peer: NodeId) -> &mut LinkStats {
         let i = peer.index();
-        if i >= self.link_stats.len() {
-            self.link_stats.resize_with(i + 1, || None);
+        if self.link_stats.is_empty() {
+            self.link_stats_base = i;
+        } else if i < self.link_stats_base {
+            // Rare: a peer below every id heard so far. Shift the vector
+            // right so the new peer becomes the anchor.
+            let pad = self.link_stats_base - i;
+            self.link_stats
+                .splice(0..0, std::iter::repeat_with(|| None).take(pad));
+            self.link_stats_base = i;
         }
-        self.link_stats[i].get_or_insert_with(LinkStats::default)
+        let k = i - self.link_stats_base;
+        if k >= self.link_stats.len() {
+            self.link_stats.resize_with(k + 1, || None);
+        }
+        self.link_stats[k].get_or_insert_with(LinkStats::default)
     }
 
     /// ETX estimate towards `neighbor` (1.0 before any sample).
     pub fn etx(&self, neighbor: NodeId) -> f64 {
-        self.link_stats
-            .get(neighbor.index())
+        neighbor
+            .index()
+            .checked_sub(self.link_stats_base)
+            .and_then(|k| self.link_stats.get(k))
             .and_then(|s| s.as_ref())
             .map_or(1.0, |s| s.etx.value())
     }

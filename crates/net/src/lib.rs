@@ -43,6 +43,7 @@ pub mod geometry;
 pub mod id;
 pub mod medium;
 pub mod queue;
+mod spatial;
 pub mod topology;
 
 pub use channel::PhysicalChannel;

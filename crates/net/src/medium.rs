@@ -32,9 +32,23 @@ use crate::topology::Topology;
 ///
 /// The streams are derived from a single [`Pcg32`] by node index, so one
 /// experiment seed still determines all channel noise.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct DrawStreams {
     streams: Vec<SplitMix64>,
+}
+
+impl Clone for DrawStreams {
+    fn clone(&self) -> Self {
+        DrawStreams {
+            streams: self.streams.clone(),
+        }
+    }
+
+    // Allocation-reusing refresh for the island-parallel engine's pooled
+    // sub-networks: `Vec::clone_from` keeps the stream buffer alive.
+    fn clone_from(&mut self, source: &Self) {
+        self.streams.clone_from(&source.streams);
+    }
 }
 
 impl DrawStreams {
@@ -204,7 +218,7 @@ impl<P> SlotOutcomes<P> {
 /// assert!(matches!(out.rx[0].1, RxOutcome::Received(_)));
 /// assert_eq!(out.acked[0], Some(true));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RadioMedium {
     topology: Topology,
     draws: DrawStreams,
@@ -215,11 +229,34 @@ pub struct RadioMedium {
     scratch: MediumScratch,
 }
 
+impl Clone for RadioMedium {
+    fn clone(&self) -> Self {
+        RadioMedium {
+            topology: self.topology.clone(),
+            draws: self.draws.clone(),
+            lossy_acks: self.lossy_acks,
+            scratch: self.scratch.clone(),
+        }
+    }
+
+    // Allocation-reusing refresh: the island-parallel engine re-clones
+    // the medium into each pooled sub-network on every `run_until`
+    // window. Field-wise `clone_from` keeps the topology's adjacency
+    // rows, the draw streams and the slot scratch buffers alive instead
+    // of reallocating them per island per window.
+    fn clone_from(&mut self, source: &Self) {
+        self.topology.clone_from(&source.topology);
+        self.draws.clone_from(&source.draws);
+        self.lossy_acks = source.lossy_acks;
+        self.scratch.clone_from(&source.scratch);
+    }
+}
+
 /// Reusable per-slot buffers behind [`RadioMedium::resolve_slot_into`]:
 /// the per-channel transmitter index and the half-duplex bitset. All
 /// state is rebuilt each slot; keeping the allocations alive is what
 /// makes steady-state resolution allocation-free.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 struct MediumScratch {
     /// `channel number → bucket index + 1` (0 = no transmission on that
     /// channel this slot). 256 entries, allocated on first use; only the
@@ -242,6 +279,31 @@ struct MediumScratch {
     /// the only membership question the ACK pass ever asks, collapsing
     /// the old per-transmission `Vec<NodeId>` decode sets.
     dest_decoded: Vec<bool>,
+}
+
+impl Clone for MediumScratch {
+    fn clone(&self) -> Self {
+        MediumScratch {
+            chan_map: self.chan_map.clone(),
+            active: self.active.clone(),
+            spans: self.spans.clone(),
+            cursors: self.cursors.clone(),
+            grouped: self.grouped.clone(),
+            is_tx: self.is_tx.clone(),
+            dest_decoded: self.dest_decoded.clone(),
+        }
+    }
+
+    // Field-wise so `RadioMedium::clone_from` reuses the buffers.
+    fn clone_from(&mut self, source: &Self) {
+        self.chan_map.clone_from(&source.chan_map);
+        self.active.clone_from(&source.active);
+        self.spans.clone_from(&source.spans);
+        self.cursors.clone_from(&source.cursors);
+        self.grouped.clone_from(&source.grouped);
+        self.is_tx.clone_from(&source.is_tx);
+        self.dest_decoded.clone_from(&source.dest_decoded);
+    }
 }
 
 impl RadioMedium {

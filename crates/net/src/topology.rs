@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::geometry::Position;
 use crate::id::NodeId;
+use crate::spatial::SpatialGrid;
 
 /// How per-link packet reception ratio (PRR) is derived.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,7 +63,7 @@ impl LinkModel {
 /// Built with [`TopologyBuilder`]; consumed by the
 /// [`RadioMedium`](crate::RadioMedium) for per-slot resolution and by
 /// scenario builders for sanity checks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
     positions: Vec<Position>,
     range: f64,
@@ -70,12 +71,65 @@ pub struct Topology {
     link_model: LinkModel,
     prr_overrides: BTreeMap<(NodeId, NodeId), f64>,
     /// Per-node audible peers (within interference range), in id order —
-    /// precomputed at build time and rebuilt on every
+    /// precomputed at build time and updated incrementally on every
     /// [`Topology::set_position`] call (the only way positions change),
     /// so it never goes stale; PRR overrides affect link quality, not
     /// audibility. The event-driven engine walks this to find the
     /// listeners a transmission could reach without scanning all nodes.
     audible_adj: Vec<Vec<NodeId>>,
+    /// Per-node in-range peers, in id order — the communication-range
+    /// subset of `audible_adj` (interference factor ≥ 1 guarantees
+    /// in-range ⊆ audible), maintained by the same incremental updates.
+    range_adj: Vec<Vec<NodeId>>,
+    /// Grid-bucketed positions (cell side = interference range):
+    /// audibility queries enumerate the 3×3 cell block around a node
+    /// instead of all pairs, making `build` O(n·k) and `set_position`
+    /// output-sensitive.
+    grid: SpatialGrid,
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        Topology {
+            positions: self.positions.clone(),
+            range: self.range,
+            interference_factor: self.interference_factor,
+            link_model: self.link_model,
+            prr_overrides: self.prr_overrides.clone(),
+            audible_adj: self.audible_adj.clone(),
+            range_adj: self.range_adj.clone(),
+            grid: self.grid.clone(),
+        }
+    }
+
+    // Allocation-reusing refresh: the island-parallel engine re-clones
+    // the topology into pooled sub-networks on every `run_until` window,
+    // and `Vec::clone_from` reuses the adjacency row buffers instead of
+    // reallocating ~n vectors per island per window.
+    fn clone_from(&mut self, source: &Self) {
+        self.positions.clone_from(&source.positions);
+        self.range = source.range;
+        self.interference_factor = source.interference_factor;
+        self.link_model = source.link_model;
+        self.prr_overrides.clone_from(&source.prr_overrides);
+        self.audible_adj.clone_from(&source.audible_adj);
+        self.range_adj.clone_from(&source.range_adj);
+        self.grid.clone_from(&source.grid);
+    }
+}
+
+/// Removes `id` from a sorted row; no-op if absent.
+fn remove_sorted(row: &mut Vec<NodeId>, id: NodeId) {
+    if let Ok(pos) = row.binary_search(&id) {
+        row.remove(pos);
+    }
+}
+
+/// Inserts `id` into a sorted row at its sorted position; no-op if present.
+fn insert_sorted(row: &mut Vec<NodeId>, id: NodeId) {
+    if let Err(pos) = row.binary_search(&id) {
+        row.insert(pos, id);
+    }
 }
 
 impl Topology {
@@ -199,34 +253,104 @@ impl Topology {
         self.prr_overrides.remove(&(a, b));
     }
 
-    /// Moves `node` to `to`, recomputing the audibility adjacency.
+    /// Moves `node` to `to`, updating the audibility adjacency
+    /// incrementally.
     ///
     /// Mobility support: link PRRs follow from the new distances
     /// immediately (the link model is evaluated per query), and the
-    /// precomputed audible-neighbor lists are rebuilt here so per-slot
-    /// consumers keep their O(degree) walks. Explicit PRR overrides are
-    /// left untouched — they are pinned faults, not distance-derived.
+    /// precomputed neighbor lists are patched here so per-slot consumers
+    /// keep their O(degree) walks. Only the moved node's neighborhood is
+    /// recomputed — its old rows double as the reverse-edge lists
+    /// (audibility and range are symmetric), and candidates for the new
+    /// rows come from the spatial grid's 3×3 cell block, so a hop costs
+    /// O(k log k) for k bucket-local candidates instead of the old O(n²)
+    /// full rebuild. Explicit PRR overrides are left untouched — they
+    /// are pinned faults, not distance-derived.
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn set_position(&mut self, node: NodeId, to: Position) {
-        self.positions[node.index()] = to;
-        self.audible_adj = Self::audibility_of(self);
+        let i = node.index();
+        // Detach: symmetry means the node's own rows list exactly the
+        // peer rows that mention it.
+        let mut audible_row = std::mem::take(&mut self.audible_adj[i]);
+        for &peer in &audible_row {
+            remove_sorted(&mut self.audible_adj[peer.index()], node);
+        }
+        let mut range_row = std::mem::take(&mut self.range_adj[i]);
+        for &peer in &range_row {
+            remove_sorted(&mut self.range_adj[peer.index()], node);
+        }
+        self.positions[i] = to;
+        self.grid.relocate(node, to);
+        // Recompute only the moved node's rows, reusing their buffers.
+        audible_row.clear();
+        self.grid.for_each_candidate(self.grid.cell(node), |b| {
+            if self.audible(node, b) {
+                audible_row.push(b);
+            }
+        });
+        audible_row.sort_unstable();
+        audible_row.dedup();
+        range_row.clear();
+        range_row.extend(
+            audible_row
+                .iter()
+                .copied()
+                .filter(|&b| self.in_range(node, b)),
+        );
+        for &peer in &audible_row {
+            insert_sorted(&mut self.audible_adj[peer.index()], node);
+        }
+        for &peer in &range_row {
+            insert_sorted(&mut self.range_adj[peer.index()], node);
+        }
+        self.audible_adj[i] = audible_row;
+        self.range_adj[i] = range_row;
     }
 
-    /// The audible-neighbor adjacency implied by the current positions.
-    fn audibility_of(topo: &Topology) -> Vec<Vec<NodeId>> {
-        topo.node_ids()
-            .map(|a| topo.node_ids().filter(|&b| topo.audible(a, b)).collect())
-            .collect()
+    /// Recomputes both adjacency tables from the spatial grid: O(n·k)
+    /// for k bucket-local candidates per node, instead of all pairs.
+    fn rebuild_adjacency(&mut self) {
+        let n = self.positions.len();
+        let audible: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| {
+                let a = NodeId::from_index(i);
+                let mut row = Vec::new();
+                self.grid.for_each_candidate(self.grid.cell(a), |b| {
+                    if self.audible(a, b) {
+                        row.push(b);
+                    }
+                });
+                row.sort_unstable();
+                row.dedup();
+                row
+            })
+            .collect();
+        let range: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| {
+                let a = NodeId::from_index(i);
+                audible[i]
+                    .iter()
+                    .copied()
+                    .filter(|&b| self.in_range(a, b))
+                    .collect()
+            })
+            .collect();
+        self.audible_adj = audible;
+        self.range_adj = range;
     }
 
-    /// All in-range neighbors of `node`, in id order.
-    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
-        self.node_ids()
-            .filter(|&other| self.in_range(node, other))
-            .collect()
+    /// All in-range neighbors of `node`, in id order. Precomputed: the
+    /// communication-range subset of [`Topology::audible_neighbors`],
+    /// O(degree) to walk, no distance math.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.range_adj[node.index()]
     }
 
     /// All nodes a transmission by `node` is audible at (interference
@@ -254,9 +378,10 @@ impl Topology {
         seen[0] = true;
         let mut count = 1;
         while let Some(i) = stack.pop() {
-            for (j, seen_j) in seen.iter_mut().enumerate() {
-                if !*seen_j && self.in_range(NodeId::from_index(i), NodeId::from_index(j)) {
-                    *seen_j = true;
+            for &nb in &self.range_adj[i] {
+                let j = nb.index();
+                if !seen[j] {
+                    seen[j] = true;
                     count += 1;
                     stack.push(j);
                 }
@@ -279,27 +404,44 @@ impl Topology {
     /// is a pure function of the audibility graph.
     pub fn audibility_islands(&self) -> Vec<Vec<NodeId>> {
         let n = self.positions.len();
-        let mut seen = vec![false; n];
-        let mut islands = Vec::new();
-        let mut stack = Vec::new();
-        for start in 0..n {
-            if seen[start] {
-                continue;
+        // Union-find with path halving over the precomputed (bucket-
+        // local) audibility edges. NodeId is u16-backed, so u32 parents
+        // always fit.
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
             }
-            let mut members = Vec::new();
-            seen[start] = true;
-            stack.push(start);
-            while let Some(i) = stack.pop() {
-                members.push(NodeId::from_index(i));
-                for &nb in &self.audible_adj[i] {
-                    if !seen[nb.index()] {
-                        seen[nb.index()] = true;
-                        stack.push(nb.index());
-                    }
+            i
+        }
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for i in 0..n {
+            for &nb in &self.audible_adj[i] {
+                let a = find(&mut parent, i as u32);
+                let b = find(&mut parent, nb.index() as u32);
+                if a != b {
+                    // Root at the smaller id: with path halving this
+                    // keeps the forest shallow and the final scan cheap.
+                    parent[a.max(b) as usize] = a.min(b);
                 }
             }
-            members.sort_unstable();
-            islands.push(members);
+        }
+        // Group 0..n by root: the ascending scan yields members in id
+        // order and islands ordered by their smallest member — the
+        // canonical form — with no sorting pass.
+        let mut island_of_root = vec![usize::MAX; n];
+        let mut islands: Vec<Vec<NodeId>> = Vec::new();
+        for i in 0..n {
+            let root = find(&mut parent, i as u32) as usize;
+            let slot = island_of_root[root];
+            let slot = if slot == usize::MAX {
+                island_of_root[root] = islands.len();
+                islands.push(Vec::new());
+                islands.len() - 1
+            } else {
+                slot
+            };
+            islands[slot].push(NodeId::from_index(i));
         }
         islands
     }
@@ -405,8 +547,10 @@ impl TopologyBuilder {
         self.link_prr(a, b, prr).link_prr(b, a, prr)
     }
 
-    /// Finalizes the topology.
+    /// Finalizes the topology: buckets the positions on the spatial grid
+    /// and precomputes both adjacency tables in O(n·k).
     pub fn build(self) -> Topology {
+        let grid = SpatialGrid::build(self.range * self.interference_factor, &self.positions);
         let mut topo = Topology {
             positions: self.positions,
             range: self.range,
@@ -414,8 +558,10 @@ impl TopologyBuilder {
             link_model: self.link_model,
             prr_overrides: self.prr_overrides,
             audible_adj: Vec::new(),
+            range_adj: Vec::new(),
+            grid,
         };
-        topo.audible_adj = Topology::audibility_of(&topo);
+        topo.rebuild_adjacency();
         topo
     }
 }
@@ -435,9 +581,50 @@ mod tests {
     fn in_range_and_neighbors() {
         let t = line(30.0, 4, 35.0);
         let n1 = NodeId::new(1);
-        assert_eq!(t.neighbors(n1), vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(t.neighbors(n1), [NodeId::new(0), NodeId::new(2)]);
         assert!(!t.in_range(NodeId::new(0), NodeId::new(2)));
         assert!(!t.in_range(n1, n1), "a node is not its own neighbor");
+        assert_eq!(t.neighbors(NodeId::new(0)), [n1]);
+    }
+
+    #[test]
+    fn neighbors_follow_moves_and_stay_in_id_order() {
+        let mut t = line(30.0, 4, 35.0);
+        let n3 = NodeId::new(3);
+        // Walk n3 between n0 and n1: every row it enters stays sorted.
+        t.set_position(n3, Position::new(15.0, 0.0));
+        assert_eq!(t.neighbors(n3), [NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(t.neighbors(NodeId::new(0)), [NodeId::new(1), n3]);
+        assert_eq!(
+            t.neighbors(NodeId::new(1)),
+            [NodeId::new(0), NodeId::new(2), n3]
+        );
+        assert_eq!(t.neighbors(NodeId::new(2)), [NodeId::new(1)]);
+    }
+
+    #[test]
+    fn incremental_moves_match_a_fresh_build() {
+        // A sequence of moves (cell changes, island splits, returns) must
+        // leave the topology byte-equal to one built from the final
+        // positions — including the spatial grid's internal state.
+        let mut t = TopologyBuilder::new(30.0)
+            .interference_factor(1.5)
+            .nodes((0..6).map(|i| Position::new(f64::from(i) * 25.0, 0.0)))
+            .build();
+        let moves = [
+            (NodeId::new(2), Position::new(500.0, 500.0)),
+            (NodeId::new(0), Position::new(-40.0, 10.0)),
+            (NodeId::new(2), Position::new(26.0, 1.0)),
+            (NodeId::new(5), Position::new(26.0, -1.0)),
+        ];
+        for (node, to) in moves {
+            t.set_position(node, to);
+        }
+        let rebuilt = TopologyBuilder::new(30.0)
+            .interference_factor(1.5)
+            .nodes(t.node_ids().map(|id| t.position(id)).collect::<Vec<_>>())
+            .build();
+        assert_eq!(t, rebuilt);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::{Experiment, RunSpec, SchedulerKind};
 
 /// Version of the canonical encoding. Part of every encoded experiment
 /// (and therefore of every cache key derived from one).
-pub const ENCODING_VERSION: u16 = 1;
+pub const ENCODING_VERSION: u16 = 2;
 
 /// Leading magic of every encoded experiment.
 const MAGIC: &[u8; 4] = b"GTTX";
@@ -278,6 +278,14 @@ fn enc_scenario_spec(e: &mut Enc, s: &ScenarioSpec) {
                 e.u16(r.raw());
             }
         }
+        TopologySpec::City {
+            dodags,
+            nodes_per_dodag,
+        } => {
+            e.u8(10);
+            e.usize(*dodags);
+            e.usize(*nodes_per_dodag);
+        }
     }
 }
 
@@ -338,12 +346,19 @@ fn dec_scenario_spec(d: &mut Dec) -> Result<ScenarioSpec, DecodeError> {
             for _ in 0..n_roots {
                 roots.push(NodeId::new(d.u16()?));
             }
-            TopologySpec::Custom(Scenario {
+            TopologySpec::Custom(Box::new(Scenario {
                 name,
                 topology: builder.build(),
                 roots,
-            })
+            }))
         }
+        // Tag 10 (`City`) is new in schema v2; v1 streams can never
+        // carry it because `Experiment::decode` rejects foreign versions
+        // before any tag is read.
+        10 => TopologySpec::City {
+            dodags: d.usize()?,
+            nodes_per_dodag: d.usize()?,
+        },
         tag => {
             return Err(DecodeError::BadTag {
                 what: "topology",
@@ -674,11 +689,26 @@ mod tests {
             ScenarioSpec::large_star(),
             ScenarioSpec::interference_grid(),
             ScenarioSpec::random(10, 120.0, 5),
+            ScenarioSpec::city(4, 25),
         ];
         for spec in specs {
             let exp = crate::Experiment::new(spec, SchedulerKind::orchestra_default());
             assert_eq!(Experiment::decode(&exp.encode()).unwrap(), exp);
         }
+    }
+
+    #[test]
+    fn city_spec_is_rejected_from_older_version_streams() {
+        // `City` (tag 10) arrived with schema v2. A v1 decoder could
+        // misparse its bytes, so the version gate — checked before any
+        // tag — must wholesale-reject streams stamped with an older
+        // version rather than attempt tag-level decoding.
+        let exp = crate::Experiment::new(ScenarioSpec::city(10, 100), SchedulerKind::minimal(8));
+        let v1 = exp.encode_with_version(1);
+        assert_eq!(
+            Experiment::decode(&v1),
+            Err(DecodeError::UnsupportedVersion(1))
+        );
     }
 
     #[test]

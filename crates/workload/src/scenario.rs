@@ -29,6 +29,13 @@ const RING1: f64 = 25.0;
 const RING2: f64 = 50.0;
 /// Separation between DODAGs — far beyond any interference.
 const DODAG_SPACING: f64 = 1_000.0;
+/// Radial spacing coefficient of the city clusters' sunflower layout:
+/// the typical nearest-neighbour distance in metres, chosen well under
+/// [`RANGE`] so every cluster is multi-hop but robustly connected.
+const CITY_RING: f64 = 12.0;
+/// The golden angle in radians — successive sunflower points never
+/// align, giving a near-uniform deterministic disc packing.
+const GOLDEN_ANGLE: f64 = 2.399_963_229_728_653;
 
 impl Scenario {
     /// One DODAG of `n` nodes (root + rings), rooted at the first node.
@@ -174,6 +181,60 @@ impl Scenario {
             }
         }
         panic!("no connected random placement of {n} nodes in {side}m found");
+    }
+
+    /// A city-scale deployment: `dodags` clusters of `nodes_per_dodag`
+    /// nodes each, every cluster rooted at its own border router.
+    ///
+    /// Clusters sit on a square grid at `DODAG_SPACING` (1 km) pitch —
+    /// far beyond any interference, so each DODAG is its own audibility
+    /// island and the island-parallel engine scales across them. Within
+    /// a cluster, nodes follow a deterministic sunflower (phyllotaxis)
+    /// layout around the root: node `j` sits at radius
+    /// `CITY_RING · √j`, angle `j · golden-angle`, giving a near-uniform
+    /// multi-hop disc (~12–20 m nearest-neighbour spacing under the 40 m
+    /// range; 100 nodes span a ~120 m radius, several hops deep). No RNG
+    /// is involved, so the layout is a pure function of the two counts —
+    /// exactly what the canonical experiment encoding needs.
+    ///
+    /// `city(10, 100)` is the 1k-node benchmark scenario, `city(100,
+    /// 100)` the 10k-node one.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dodags ≥ 1`, `nodes_per_dodag ≥ 2`, and the total
+    /// node count fits a `u16` id space.
+    pub fn city(dodags: usize, nodes_per_dodag: usize) -> Scenario {
+        assert!(dodags >= 1, "a city needs at least one dodag");
+        assert!(
+            nodes_per_dodag >= 2,
+            "each city dodag needs at least 2 nodes"
+        );
+        assert!(
+            dodags * nodes_per_dodag <= usize::from(u16::MAX) + 1,
+            "city of {dodags}x{nodes_per_dodag} nodes overflows the u16 id space"
+        );
+        let cols = (dodags as f64).sqrt().ceil() as usize;
+        let mut positions = Vec::with_capacity(dodags * nodes_per_dodag);
+        let mut roots = Vec::with_capacity(dodags);
+        for d in 0..dodags {
+            let origin = Position::new(
+                (d % cols) as f64 * DODAG_SPACING,
+                (d / cols) as f64 * DODAG_SPACING,
+            );
+            roots.push(NodeId::from_index(positions.len()));
+            positions.push(origin);
+            for j in 1..nodes_per_dodag {
+                let r = CITY_RING * (j as f64).sqrt();
+                let theta = j as f64 * GOLDEN_ANGLE;
+                positions.push(origin.offset(r * theta.cos(), r * theta.sin()));
+            }
+        }
+        Scenario {
+            name: format!("city-{dodags}x{nodes_per_dodag}"),
+            topology: TopologyBuilder::new(RANGE).nodes(positions).build(),
+            roots,
+        }
     }
 
     /// Replaces the link model (default:
@@ -345,6 +406,49 @@ mod tests {
     #[should_panic(expected = "dodag size")]
     fn oversized_dodag_rejected() {
         let _ = Scenario::single_dodag(11);
+    }
+
+    #[test]
+    fn city_clusters_are_isolated_islands_with_their_own_roots() {
+        let s = Scenario::city(5, 40);
+        assert_eq!(s.name, "city-5x40");
+        assert_eq!(s.topology.len(), 200);
+        assert_eq!(
+            s.roots,
+            (0..5)
+                .map(|d| NodeId::from_index(d * 40))
+                .collect::<Vec<_>>()
+        );
+        // One audibility island per cluster — each internally connected
+        // (islands are connected components by definition) and none
+        // bridging to a neighbour cluster.
+        let islands = s.topology.audibility_islands();
+        assert_eq!(islands.len(), 5);
+        for (d, island) in islands.iter().enumerate() {
+            assert_eq!(
+                *island,
+                (d * 40..(d + 1) * 40)
+                    .map(NodeId::from_index)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn city_clusters_are_multihop_and_deterministic() {
+        let s = Scenario::city(1, 100);
+        // The sunflower disc is several hops deep: the outermost node is
+        // out of the root's range but the cluster is still connected.
+        assert!(!s.topology.in_range(NodeId::new(0), NodeId::new(99)));
+        assert!(s.topology.is_connected());
+        // Pure function of the counts: no hidden RNG.
+        assert_eq!(s.topology, Scenario::city(1, 100).topology);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u16 id space")]
+    fn oversized_city_rejected() {
+        let _ = Scenario::city(700, 100);
     }
 
     #[test]

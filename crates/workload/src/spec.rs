@@ -65,8 +65,17 @@ pub enum TopologySpec {
         /// Placement seed (independent of the run seed).
         seed: u64,
     },
-    /// A hand-built scenario, carried (and encoded) in full.
-    Custom(Scenario),
+    /// A hand-built scenario, carried (and encoded) in full. Boxed so
+    /// the common generator variants stay a few words wide.
+    Custom(Box<Scenario>),
+    /// [`Scenario::city`] — multi-DODAG clustered layouts at 1k/10k
+    /// nodes, one border-router root per cluster.
+    City {
+        /// Cluster (DODAG) count (≥ 1).
+        dodags: usize,
+        /// Nodes per cluster including its root (≥ 2).
+        nodes_per_dodag: usize,
+    },
 }
 
 /// Declarative description of the network an experiment runs on: a
@@ -144,7 +153,15 @@ impl ScenarioSpec {
 
     /// Wraps a hand-built [`Scenario`].
     pub fn custom(scenario: Scenario) -> Self {
-        Self::new(TopologySpec::Custom(scenario))
+        Self::new(TopologySpec::Custom(Box::new(scenario)))
+    }
+
+    /// [`Scenario::city`] as a spec.
+    pub fn city(dodags: usize, nodes_per_dodag: usize) -> Self {
+        Self::new(TopologySpec::City {
+            dodags,
+            nodes_per_dodag,
+        })
     }
 
     /// Replaces the link model (builder style).
@@ -166,6 +183,10 @@ impl ScenarioSpec {
             TopologySpec::InterferenceGrid => "interference-grid-120".into(),
             TopologySpec::Random { n, .. } => format!("random-{n}"),
             TopologySpec::Custom(s) => s.name.clone(),
+            TopologySpec::City {
+                dodags,
+                nodes_per_dodag,
+            } => format!("city-{dodags}x{nodes_per_dodag}"),
         }
     }
 
@@ -190,7 +211,11 @@ impl ScenarioSpec {
             TopologySpec::LargeStar => Scenario::large_star(),
             TopologySpec::InterferenceGrid => Scenario::interference_grid(),
             TopologySpec::Random { n, side, seed } => Scenario::random(*n, *side, *seed),
-            TopologySpec::Custom(s) => s.clone(),
+            TopologySpec::Custom(s) => (**s).clone(),
+            TopologySpec::City {
+                dodags,
+                nodes_per_dodag,
+            } => Scenario::city(*dodags, *nodes_per_dodag),
         };
         match self.link {
             Some(model) => scenario.with_link_model(model),
@@ -222,6 +247,7 @@ mod tests {
                 ScenarioSpec::random(10, 120.0, 5),
                 Scenario::random(10, 120.0, 5),
             ),
+            (ScenarioSpec::city(4, 25), Scenario::city(4, 25)),
         ];
         for (spec, scenario) in pairs {
             assert_eq!(spec.build(), scenario, "{}", spec.name());

@@ -421,3 +421,117 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------- spatial audibility index
+
+/// The brute-force O(n²) adjacency the grid-bucketed spatial index
+/// replaced, recomputed over the public pairwise geometry API (which is
+/// independent of the index): per-node audible peers and in-range
+/// peers, both in id order.
+fn reference_adjacency(topo: &Topology) -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>) {
+    let audible = topo
+        .node_ids()
+        .map(|a| topo.node_ids().filter(|&b| topo.audible(a, b)).collect())
+        .collect();
+    let in_range = topo
+        .node_ids()
+        .map(|a| topo.node_ids().filter(|&b| topo.in_range(a, b)).collect())
+        .collect();
+    (audible, in_range)
+}
+
+/// DFS connected components over the reference audible adjacency — the
+/// pre-union-find islands algorithm, in the same canonical form
+/// (members sorted, islands ordered by smallest member).
+fn reference_islands(audible: &[Vec<NodeId>]) -> Vec<Vec<NodeId>> {
+    let n = audible.len();
+    let mut seen = vec![false; n];
+    let mut islands = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut members = Vec::new();
+        seen[start] = true;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            members.push(NodeId::from_index(i));
+            for &nb in &audible[i] {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    stack.push(nb.index());
+                }
+            }
+        }
+        members.sort_unstable();
+        islands.push(members);
+    }
+    islands
+}
+
+/// Every index-backed query must match the brute-force reference
+/// byte-for-byte (`Vec<NodeId>` equality is byte equality for u16 ids).
+fn assert_matches_reference(topo: &Topology) -> Result<(), TestCaseError> {
+    let (audible, in_range) = reference_adjacency(topo);
+    for (i, id) in topo.node_ids().enumerate() {
+        prop_assert_eq!(
+            topo.audible_neighbors(id),
+            audible[i].as_slice(),
+            "audible row of n{} diverged",
+            i
+        );
+        prop_assert_eq!(
+            topo.neighbors(id),
+            in_range[i].as_slice(),
+            "in-range row of n{} diverged",
+            i
+        );
+    }
+    prop_assert_eq!(topo.audibility_islands(), reference_islands(&audible));
+    Ok(())
+}
+
+proptest! {
+    /// The spatial index is invisible: audibility rows, in-range rows
+    /// and islands equal the brute-force O(n²) reference over random
+    /// topologies and random `set_position` sequences (local rewalks
+    /// and island-splitting teleports alike), and the incrementally-
+    /// maintained topology stays fully equal — grid internals included —
+    /// to one built from scratch at the final positions.
+    #[test]
+    fn spatial_index_matches_brute_force_adjacency(
+        seed in 0u64..1_000_000,
+        n in 1usize..20,
+        moves in 0usize..12,
+    ) {
+        let mut layout = Pcg32::new(seed ^ 0x51ce_b00c);
+        // Sides from ~1 to ~9 grid cells: exercises everything from
+        // "all nodes in one bucket" to sparse multi-island spreads.
+        let side = 50.0 + layout.gen_f64() * 350.0;
+        let mut topo = TopologyBuilder::new(45.0)
+            .interference_factor(1.0 + layout.gen_f64())
+            .nodes((0..n).map(|_| {
+                Position::new(layout.gen_f64() * side, layout.gen_f64() * side)
+            }))
+            .build();
+        assert_matches_reference(&topo)?;
+        for _ in 0..moves {
+            let node = NodeId::from_index(layout.gen_range_u32(0, n as u32) as usize);
+            let to = if layout.gen_f64() < 0.2 {
+                // Teleport far off the populated grid: forces island
+                // splits and empty-bucket erasure.
+                Position::new(side * 4.0 + layout.gen_f64() * side, side * 4.0)
+            } else {
+                Position::new(layout.gen_f64() * side, layout.gen_f64() * side)
+            };
+            topo.set_position(node, to);
+            assert_matches_reference(&topo)?;
+        }
+        let rebuilt = TopologyBuilder::new(topo.range())
+            .interference_factor(topo.interference_factor())
+            .nodes(topo.node_ids().map(|id| topo.position(id)).collect::<Vec<_>>())
+            .build();
+        prop_assert_eq!(&topo, &rebuilt, "incremental state diverged from a fresh build");
+    }
+}

@@ -439,6 +439,79 @@ fn parallel_island_split_and_merge_equivalent() {
 }
 
 #[test]
+fn city_reduced_equivalent() {
+    // A reduced city (3 clustered DODAGs × 12 nodes): the multi-island
+    // phyllotaxis layout the spatial index was built for, shrunk so the
+    // O(nodes × slots) oracle leg stays affordable. Pins the grid-backed
+    // adjacency against the exhaustive loop end to end.
+    let exp = Experiment::new(ScenarioSpec::city(3, 12), SchedulerKind::gt_tsch_default())
+        .with_run(RunSpec {
+            traffic_ppm: 6.0,
+            warmup_secs: 20,
+            measure_secs: 20,
+            seed: 3,
+            ..RunSpec::default()
+        });
+    assert_equivalent(&exp);
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_city_equivalent() {
+    // Three genuine radio islands stepped on scoped threads (with the
+    // retained island-shell pool active across `run_until` windows) must
+    // match both sequential cores byte-for-byte.
+    let exp = Experiment::new(ScenarioSpec::city(3, 12), SchedulerKind::gt_tsch_default())
+        .with_run(RunSpec {
+            traffic_ppm: 6.0,
+            warmup_secs: 20,
+            measure_secs: 20,
+            seed: 3,
+            ..RunSpec::default()
+        });
+    assert_parallel_equivalent(&exp);
+}
+
+#[test]
+#[cfg(feature = "parallel")]
+fn parallel_city_mobility_island_churn_equivalent() {
+    // Pool-keying stress: a leaf of cluster 0 walks to open ground (its
+    // own fourth island), into cluster 1's radio space (3 islands with
+    // changed membership), then home (back to the original partition).
+    // Every hop re-keys the island set, so pooled shells are checked
+    // out, missed, and rebuilt across the churn — and the final reports
+    // must still match both sequential cores byte-for-byte. Cluster
+    // origins for `city(3, _)` sit at (0,0), (1000,0) and (0,1000).
+    let exp = Experiment::new(ScenarioSpec::city(3, 12), SchedulerKind::gt_tsch_default())
+        .with_run(RunSpec {
+            traffic_ppm: 6.0,
+            warmup_secs: 15,
+            measure_secs: 30,
+            seed: 27,
+            ..RunSpec::default()
+        })
+        .with_overlay(Overlay::Mobility(
+            StepMobility::new()
+                .hop(
+                    SimDuration::from_secs(10),
+                    NodeId::new(11),
+                    Position::new(500.0, 500.0),
+                )
+                .hop(
+                    SimDuration::from_secs(25),
+                    NodeId::new(11),
+                    Position::new(1_010.0, 10.0),
+                )
+                .hop(
+                    SimDuration::from_secs(40),
+                    NodeId::new(11),
+                    Position::new(20.0, 5.0),
+                ),
+        ));
+    assert_parallel_equivalent(&exp);
+}
+
+#[test]
 fn mid_run_fault_injection_stays_equivalent() {
     // kill_node + PRR override exercise the lazy-accounting freeze path.
     let exp = experiment(ScenarioSpec::star(6), SchedulerKind::minimal(8), 11);
