@@ -4,7 +4,8 @@
 //! Usage: `bench_engine [--quick] [--out PATH] [--only SUBSTR] [--stats]
 //! [--jobs N]`
 //!
-//! * `--quick` — shorter simulated window (CI smoke budget).
+//! * `--quick` — shorter simulated window (CI smoke budget). Also skips
+//!   the `city_10k` metrics row (below).
 //! * `--out PATH` — where to write the JSON (default `BENCH_engine.json`
 //!   in the current directory).
 //! * `--only SUBSTR` — run only the cases whose `name/scheduler/ppm`
@@ -36,6 +37,13 @@
 //! cell in every slot keeps every node listening). The mobility and
 //! duty-cycle overlay rows are reporting-only (no gate): they track how
 //! the overlay timeline costs scale, not an optimization target.
+//!
+//! Full runs additionally measure the `city_10k` metrics row: 60 s of
+//! the 100 × 100 city at 30 ppm on the event core alone (the naive
+//! oracle is infeasible at 10k nodes), reporting slots/s plus the
+//! packet-tracker footprint. Unlike the wall-clock speedup gates, its
+//! gate — ≤ 12 bytes per tracked packet — is host-independent: the
+//! footprint is computed from vector capacities, not timings.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -54,6 +62,54 @@ use gtt_workload::{
 /// and because both rows run on the same host, the ratio gate holds on
 /// slow CI runners where an absolute slots/s floor would not.
 const CITY_MOBILITY_RETENTION: f64 = 0.5;
+
+/// Tracker-memory gate for the `city_10k` row: amortized bytes per
+/// tracked packet (8-byte generation time + 1 delivered bit per packet
+/// plus lane headers). Host-independent — measured from capacities.
+const CITY_10K_BYTES_PER_PACKET: f64 = 12.0;
+
+/// Simulated window of the `city_10k` row. Fixed (not tied to
+/// `sim_secs`): 60 s at 30 ppm is enough traffic to amortize the
+/// per-lane headers, and 10 000 nodes cost real wall-clock per second.
+const CITY_10K_SIM_SECS: u64 = 60;
+const CITY_10K_TRAFFIC_PPM: f64 = 30.0;
+
+/// The `city_10k` metrics row: slots/s on the event core plus the
+/// packet-tracker footprint the memory gate checks.
+struct City10k {
+    nodes: usize,
+    sim_slots: u64,
+    event_slots_per_sec: f64,
+    footprint: gtt_metrics::TrackerFootprint,
+}
+
+/// Measures the city-10k row (one run, event core only: at 10k nodes
+/// the naive oracle would take longer than the rest of the matrix
+/// combined, and the gated quantity is memory, not a speedup).
+fn city_10k_row() -> City10k {
+    let exp = Experiment::new(
+        ScenarioSpec::city(100, 100),
+        SchedulerKind::gt_tsch_default(),
+    )
+    .with_run(RunSpec {
+        traffic_ppm: CITY_10K_TRAFFIC_PPM,
+        warmup_secs: 0,
+        measure_secs: CITY_10K_SIM_SECS,
+        seed: 1,
+        low_power: true,
+    });
+    let nodes = exp.scenario.build().topology.len();
+    let mut net = exp.network_builder().build();
+    let start = Instant::now();
+    let _ = exp.run_on(&mut net);
+    let secs = start.elapsed().as_secs_f64();
+    City10k {
+        nodes,
+        sim_slots: net.asn().raw(),
+        event_slots_per_sec: net.asn().raw() as f64 / secs,
+        footprint: net.tracker().footprint(),
+    }
+}
 
 struct Case {
     /// Row label (usually the scenario name; overlay rows tag it).
@@ -209,7 +265,7 @@ fn measure(case: &Case, sim: SimDuration, slot: SimDuration) -> Measurement {
     }
 }
 
-fn json(measurements: &[Measurement], sim_secs: u64) -> String {
+fn json(measurements: &[Measurement], sim_secs: u64, city_10k: Option<&City10k>) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_slots_per_sec\",\n");
     out.push_str(&format!("  \"sim_secs\": {sim_secs},\n"));
@@ -240,7 +296,24 @@ fn json(measurements: &[Measurement], sim_secs: u64) -> String {
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(c) = city_10k {
+        out.push_str(&format!(
+            ",\n  \"city_10k\": {{\"nodes\": {}, \"sim_secs\": {CITY_10K_SIM_SECS}, \
+             \"traffic_ppm\": {CITY_10K_TRAFFIC_PPM}, \"sim_slots\": {}, \
+             \"event_slots_per_sec\": {:.0}, \"tracker_bytes\": {}, \
+             \"tracker_lanes\": {}, \"tracked_packets\": {}, \
+             \"bytes_per_tracked_packet\": {:.2}}}",
+            c.nodes,
+            c.sim_slots,
+            c.event_slots_per_sec,
+            c.footprint.bytes,
+            c.footprint.lanes,
+            c.footprint.tracked,
+            c.footprint.bytes_per_tracked()
+        ));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -600,7 +673,29 @@ fn main() {
         city_mob.event_slots_per_sec, city_static.event_slots_per_sec
     );
 
-    let body = json(&measurements, sim_secs);
+    // The city-10k metrics row: full runs only — 10k nodes for 60 s is
+    // beyond the --quick CI budget (the `city --mem-smoke` CI step gates
+    // the same quantity there).
+    let city_10k = if quick {
+        None
+    } else {
+        eprintln!("bench_engine: city-10k metrics row ({CITY_10K_SIM_SECS} s, event core)…");
+        let c = city_10k_row();
+        eprintln!(
+            "  {:<17} {:<10} {:>4} nodes  event {:>9.0} slots/s  tracker {} B / {} packets ({:.2} B/packet, {} lanes)",
+            "city-10k",
+            "gt-tsch",
+            c.nodes,
+            c.event_slots_per_sec,
+            c.footprint.bytes,
+            c.footprint.tracked,
+            c.footprint.bytes_per_tracked(),
+            c.footprint.lanes
+        );
+        Some(c)
+    };
+
+    let body = json(&measurements, sim_secs, city_10k.as_ref());
     let mut file = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
     file.write_all(body.as_bytes())
@@ -627,6 +722,16 @@ fn main() {
     if retention < CITY_MOBILITY_RETENTION {
         eprintln!("WARNING: city mobility retention below the {CITY_MOBILITY_RETENTION} floor");
         failed = true;
+    }
+    if let Some(c) = &city_10k {
+        if c.footprint.bytes_per_tracked() > CITY_10K_BYTES_PER_PACKET {
+            eprintln!(
+                "WARNING: city-10k tracker footprint {:.2} B/packet above the \
+                 {CITY_10K_BYTES_PER_PACKET} B budget",
+                c.footprint.bytes_per_tracked()
+            );
+            failed = true;
+        }
     }
     // Only full sequential runs gate: --quick (60 s sim, used by the CI
     // smoke job) is there for the wall-clock budget, a short window on a

@@ -1,34 +1,55 @@
 //! City-scale smoke benchmark: proves the 10k-node regime is open.
 //!
-//! Usage: `city [--quick] [--move-bench]`
+//! Usage: `city [--quick] [--move-bench] [--mem-smoke]`
 //!
 //! * Default / `--quick` — runs the `city-1k` (10 × 100) and `city-10k`
 //!   (100 × 100) scenarios on the event core and prints wall time,
-//!   slots/s and a PDR sanity line per run. `--quick` simulates 60 s
-//!   per scenario (the CI smoke budget); the default is 300 s.
+//!   slots/s, a PDR sanity line and the metrics-tracker footprint per
+//!   run. `--quick` simulates 60 s per scenario (the CI smoke budget);
+//!   the default is 300 s.
 //! * `--move-bench` — times incremental [`Topology::set_position`] on
 //!   the 10k-node city against the pre-spatial-index baseline (a full
 //!   O(n²) audibility recompute per move, which is what every hop used
 //!   to cost) and prints the per-move speedup.
+//! * `--mem-smoke` — the memory gate: runs the 10k city for 60 s at
+//!   30 ppm (enough traffic that per-lane headers amortize) and **fails**
+//!   (exit 1) unless the tracker footprint stays at or under
+//!   12 bytes per tracked packet *and* under a fixed 6 MB budget —
+//!   proving metrics memory is O(live + bitset), not O(packets ever).
 //!
-//! Exit is always 0: this is a smoke/reporting binary, the budget gate
-//! is the CI step timeout wrapped around it.
+//! Outside `--mem-smoke`, exit is always 0: smoke modes are
+//! reporting-only, the budget gate is the CI step timeout wrapped around
+//! the binary.
 
 use std::time::Instant;
 
+use gtt_metrics::TrackerFootprint;
 use gtt_net::{NodeId, Position, Topology};
 use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
 
+/// Tracker-footprint budget enforced by `--mem-smoke`: amortized bytes
+/// per tracked packet (host-independent, from vector capacities).
+const MEM_GATE_BYTES_PER_PACKET: f64 = 12.0;
+/// Absolute tracker budget for the 60 s / 30 ppm / 10k-node gate run:
+/// ~300k tracked packets at ≤ 12 B each plus slack for lane headers.
+const MEM_GATE_TOTAL_BYTES: usize = 6 << 20;
+
 /// Simulates `sim_secs` of a city scenario on the event core and
 /// reports wall time plus the measured-window PDR as a sanity check
-/// that the network actually converged and delivered traffic.
-fn smoke(dodags: usize, nodes_per_dodag: usize, sim_secs: u64) {
+/// that the network actually converged and delivered traffic. Returns
+/// the metrics-tracker footprint for the `--mem-smoke` gate.
+fn smoke(
+    dodags: usize,
+    nodes_per_dodag: usize,
+    sim_secs: u64,
+    traffic_ppm: f64,
+) -> TrackerFootprint {
     let exp = Experiment::new(
         ScenarioSpec::city(dodags, nodes_per_dodag),
         SchedulerKind::gt_tsch_default(),
     )
     .with_run(RunSpec {
-        traffic_ppm: 1.0,
+        traffic_ppm,
         warmup_secs: 0,
         measure_secs: sim_secs,
         seed: 1,
@@ -39,6 +60,7 @@ fn smoke(dodags: usize, nodes_per_dodag: usize, sim_secs: u64) {
     let report = exp.run_on(&mut net);
     let secs = start.elapsed().as_secs_f64();
     let slots = net.asn().raw();
+    let fp = net.tracker().footprint();
     println!(
         "  {:<12} {:>6} nodes  {sim_secs:>4} s sim  {secs:>7.2} s wall  {:>8.0} slots/s  pdr {:.3}",
         exp.scenario.name(),
@@ -46,6 +68,16 @@ fn smoke(dodags: usize, nodes_per_dodag: usize, sim_secs: u64) {
         slots as f64 / secs,
         report.row.pdr_percent
     );
+    println!(
+        "  {:<12} tracker: {} B over {} packets ({:.2} B/packet, {} lanes, {} live slots)",
+        "",
+        fp.bytes,
+        fp.tracked,
+        fp.bytes_per_tracked(),
+        fp.lanes,
+        fp.live
+    );
+    fp
 }
 
 /// The pre-PR cost of one hop: recompute the full pairwise audibility
@@ -104,11 +136,46 @@ fn move_bench() {
     );
 }
 
+/// The CI memory gate: 10k nodes, 60 s, 30 ppm, hard footprint budgets.
+fn mem_smoke() -> bool {
+    println!("city memory smoke (10k nodes, 60 s sim, 30 ppm, tracker footprint gate):");
+    let fp = smoke(100, 100, 60, 30.0);
+    let mut ok = true;
+    if fp.bytes_per_tracked() > MEM_GATE_BYTES_PER_PACKET {
+        println!(
+            "  GATE FAIL: {:.2} B/tracked packet > {MEM_GATE_BYTES_PER_PACKET} budget",
+            fp.bytes_per_tracked()
+        );
+        ok = false;
+    }
+    if fp.bytes > MEM_GATE_TOTAL_BYTES {
+        println!(
+            "  GATE FAIL: tracker footprint {} B > {MEM_GATE_TOTAL_BYTES} B budget",
+            fp.bytes
+        );
+        ok = false;
+    }
+    if ok {
+        println!(
+            "  gate ok: {:.2} B/packet <= {MEM_GATE_BYTES_PER_PACKET}, {} B <= {MEM_GATE_TOTAL_BYTES} B",
+            fp.bytes_per_tracked(),
+            fp.bytes
+        );
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--move-bench") {
         println!("city move bench (10k nodes, incremental vs pre-index per-hop cost):");
         move_bench();
+        return;
+    }
+    if args.iter().any(|a| a == "--mem-smoke") {
+        if !mem_smoke() {
+            std::process::exit(1);
+        }
         return;
     }
     let sim_secs = if args.iter().any(|a| a == "--quick") {
@@ -117,6 +184,6 @@ fn main() {
         300
     };
     println!("city smoke ({sim_secs} s simulated per scenario, event core):");
-    smoke(10, 100, sim_secs);
-    smoke(100, 100, sim_secs);
+    smoke(10, 100, sim_secs, 1.0);
+    smoke(100, 100, sim_secs, 1.0);
 }

@@ -39,7 +39,9 @@ use gtt_workload::Experiment;
 /// inputs, different simulator.) `--no-cache` (or deleting
 /// `target/sweep-cache`) forces fresh runs, and CI's figure smoke
 /// always passes `--no-cache` for this reason.
-const CACHE_SCHEMA: &str = "gtt-sweep-cache v2";
+// v3: mean delay is now an integer-nanosecond streaming sum (ulp-level
+// delay_ms drift vs the old per-packet f64 summation).
+const CACHE_SCHEMA: &str = "gtt-sweep-cache v3";
 
 /// One (x-value, experiment) point of a sweep. The per-seed cells are
 /// the point's experiment re-seeded from [`SweepConfig::seeds`].

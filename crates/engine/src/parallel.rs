@@ -19,8 +19,9 @@
 //! * link-error draws come from per-node streams
 //!   ([`DrawStreams`](gtt_net::DrawStreams)) keyed by the drawing node,
 //! * packet ids are origin-keyed (`origin << 48 | seq`), and
-//! * the merge itself copies per-member state and unions the tracker in
-//!   canonical order ([`PacketTracker::absorb_branch`]).
+//! * the merge itself copies per-member state and folds the tracker's
+//!   member lanes plus integer counter/delay deltas back in canonical
+//!   order ([`PacketTracker::absorb_branch`]).
 //!
 //! Topology mutations (`move_node`, PRR overrides, `kill_node`,
 //! `node_mut`) all happen *between* stepping calls, so islands are
@@ -266,8 +267,9 @@ impl Network {
         // the pooled shell.
         self.wake.extend(sub.wake.drain());
         self.medium.adopt_draws(&sub.medium, members);
-        self.tracker
-            .absorb_branch(std::mem::take(&mut sub.tracker), mark);
+        // Member lanes swap into the parent; the stale prefix buffers the
+        // shell receives back are recycled by the next refresh.
+        self.tracker.absorb_branch(&mut sub.tracker, mark, members);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Measurement reports.
 
 use gtt_mac::MacCounters;
-use gtt_metrics::FigureRow;
+use gtt_metrics::{jain_index, DelayStats, FigureRow};
 use gtt_net::NodeId;
 use gtt_rpl::Rank;
 
@@ -30,8 +30,23 @@ pub struct NodeSummary {
     pub collisions_heard: u64,
     /// Total scheduled cells at the end of the run.
     pub scheduled_cells: usize,
+    /// Application packets this node generated in the window.
+    pub generated: u64,
+    /// Of those, packets delivered to a DODAG root.
+    pub delivered: u64,
     /// MAC counter deltas over the window.
     pub counters: MacCounters,
+}
+
+impl NodeSummary {
+    /// This node's packet delivery ratio in percent (100 when it
+    /// generated nothing, matching the network-wide convention).
+    pub fn pdr_percent(&self) -> f64 {
+        if self.generated == 0 {
+            return 100.0;
+        }
+        100.0 * self.delivered as f64 / self.generated as f64
+    }
 }
 
 /// The outcome of one measured run: the paper's six series plus per-node
@@ -55,11 +70,38 @@ pub struct NetworkReport {
     pub mean_hops: f64,
     /// Fraction of non-root nodes joined at the end.
     pub join_ratio: f64,
+    /// Streaming end-to-end delay statistics (integer-nanosecond sums,
+    /// min/max, fixed-bin histogram for percentiles) over delivered
+    /// packets — deterministic across sequential/parallel/oracle runs.
+    pub delay: DelayStats,
     /// Per-node breakdown.
     pub per_node: Vec<NodeSummary>,
 }
 
 impl NetworkReport {
+    /// Per-origin packet delivery ratio, dense over all nodes in
+    /// canonical id order (roots included, reporting 100% since they
+    /// generate nothing).
+    pub fn pdr_by_origin(&self) -> Vec<(NodeId, f64)> {
+        self.per_node
+            .iter()
+            .map(|n| (n.id, n.pdr_percent()))
+            .collect()
+    }
+
+    /// Jain's fairness index over non-root delivered throughput —
+    /// `(Σx)²/(n·Σx²)` in `[1/n, 1]`, 1.0 when all non-root nodes saw
+    /// equal service (or nothing was delivered at all).
+    pub fn fairness(&self) -> f64 {
+        let delivered: Vec<f64> = self
+            .per_node
+            .iter()
+            .filter(|n| !n.is_root)
+            .map(|n| n.delivered as f64)
+            .collect();
+        jain_index(&delivered)
+    }
+
     pub(crate) fn collect(net: &Network) -> NetworkReport {
         let start = net
             .measure_start
@@ -75,6 +117,7 @@ impl NetworkReport {
         let mut queue_loss_sum = 0.0;
         let mut non_roots = 0u32;
 
+        let tracker = net.tracker();
         for (i, node) in net.nodes.iter().enumerate() {
             let snap = net.snapshots.get(i).copied().unwrap_or_default();
             let c = node.mac.counters();
@@ -110,6 +153,7 @@ impl NetworkReport {
                 non_roots += 1;
             }
 
+            let (origin_generated, origin_delivered) = tracker.origin_stats(node.id());
             per_node.push(NodeSummary {
                 id: node.id(),
                 is_root,
@@ -121,11 +165,12 @@ impl NetworkReport {
                 routing_drops: node.routing_drops - snap.routing_drops,
                 collisions_heard: d.collisions_heard,
                 scheduled_cells: node.mac.schedule().total_cells(),
+                generated: origin_generated,
+                delivered: origin_delivered,
                 counters: d,
             });
         }
 
-        let tracker = net.tracker();
         let row = FigureRow {
             pdr_percent: tracker.pdr_percent(),
             delay_ms: tracker.mean_delay_ms(),
@@ -146,6 +191,7 @@ impl NetworkReport {
             delivered: tracker.delivered(),
             mean_hops: tracker.mean_hops(),
             join_ratio: net.join_ratio(),
+            delay: tracker.delay_stats().clone(),
             per_node,
         }
     }
@@ -155,12 +201,22 @@ impl std::fmt::Display for NetworkReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "[{}] generated={} delivered={} join={:.0}%",
+            "[{}] generated={} delivered={} join={:.0}% fairness={:.3}",
             self.scheduler,
             self.generated,
             self.delivered,
-            self.join_ratio * 100.0
+            self.join_ratio * 100.0,
+            self.fairness()
         )?;
+        if self.delay.count() > 0 {
+            writeln!(
+                f,
+                "delay p50/p95/p99 = {:.1}/{:.1}/{:.1} ms",
+                self.delay.percentile_ms(50.0),
+                self.delay.percentile_ms(95.0),
+                self.delay.percentile_ms(99.0)
+            )?;
+        }
         writeln!(f, "{}", FigureRow::header())?;
         write!(f, "{}", self.row)
     }

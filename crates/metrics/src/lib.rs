@@ -24,5 +24,5 @@ pub mod stats;
 pub mod tracker;
 
 pub use row::FigureRow;
-pub use stats::{mean, std_dev, Summary};
-pub use tracker::{PacketTracker, TrackerMark};
+pub use stats::{jain_index, mean, std_dev, Summary};
+pub use tracker::{DelayStats, PacketTracker, TrackerFootprint, TrackerMark, DELAY_BINS};

@@ -1,9 +1,373 @@
 //! End-to-end packet tracking.
+//!
+//! The tracker exploits the engine's origin-keyed packet ids
+//! (`origin << 48 | seq`, with `seq` assigned monotonically per origin):
+//! instead of a map keyed by packet id, it keeps one lane per origin in
+//! a dense, offset-anchored `Vec`, and each lane stores a
+//! generation-time *column* indexed by sequence number plus a delivered
+//! *bitset* (one bit per packet). Both record paths are O(1) — no tree
+//! or hash lookup — and steady-state memory is ~9 bytes per tracked
+//! packet (8-byte generation time + 1 delivered bit) plus a fixed
+//! per-lane header, an order of magnitude below the old per-packet
+//! `BTreeMap` nodes.
+//!
+//! Delay and hop statistics are *streaming* ([`DelayStats`]): integer
+//! nanosecond sums in `u128`, min/max, and a fixed-bin histogram for
+//! percentiles. Integer sums are summation-order-independent, which is
+//! what keeps `NetworkReport`s byte-identical across sequential,
+//! island-parallel and naive-step oracle runs (see DETERMINISM.md).
 
 use std::collections::BTreeMap;
 
 use gtt_net::{NodeId, PacketId};
 use gtt_sim::{SimDuration, SimTime};
+
+/// Bits of a [`PacketId`] holding the per-origin sequence number; the
+/// remaining high bits are the origin's node index.
+const SEQ_BITS: u32 = 48;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+/// Column sentinel: no packet recorded at this sequence slot.
+const HOLE: SimTime = SimTime::MAX;
+
+fn split_id(id: PacketId) -> (u64, u64) {
+    (id.raw() >> SEQ_BITS, id.raw() & SEQ_MASK)
+}
+
+// ---------------------------------------------------------------- bitset
+
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+}
+
+fn bit_set(bits: &mut Vec<u64>, i: usize) {
+    let word = i / 64;
+    if word >= bits.len() {
+        bits.resize(word + 1, 0);
+    }
+    bits[word] |= 1 << (i % 64);
+}
+
+// ------------------------------------------------------------ histogram
+
+/// Number of fixed delay-histogram bins (see [`DelayStats::bins`]).
+///
+/// Bins 0..8 are exact microseconds; past that, each power-of-two octave
+/// splits into 4 sub-bins (≤ 25% relative resolution), which covers the
+/// full `u64` microsecond range in `8 + 61·4 = 252` bins.
+pub const DELAY_BINS: usize = 252;
+
+fn delay_bin(d_us: u64) -> usize {
+    if d_us < 8 {
+        return d_us as usize;
+    }
+    let o = 63 - u64::from(d_us.leading_zeros()); // octave, >= 3
+    let sub = (d_us >> (o - 2)) & 3;
+    let b = 8 + (o - 3) * 4 + sub;
+    (b as usize).min(DELAY_BINS - 1)
+}
+
+/// Upper edge of bin `b`, in microseconds (saturating for the top bin).
+fn bin_upper_us(b: usize) -> u64 {
+    if b < 8 {
+        return b as u64 + 1;
+    }
+    let k = (b - 8) as u64;
+    let o = 3 + k / 4;
+    let sub = k % 4;
+    let edge = (1u128 << o) + u128::from(sub + 1) * (1u128 << (o - 2));
+    u64::try_from(edge).unwrap_or(u64::MAX)
+}
+
+// ----------------------------------------------------------- delay stats
+
+/// Streaming end-to-end delay and hop statistics over delivered packets.
+///
+/// All accumulators are integers (nanosecond sums in `u128`, bin
+/// counts), so the aggregate is independent of the order deliveries were
+/// recorded in — parallel branches merge exactly (see
+/// [`PacketTracker::absorb_branch`]). Percentiles come from the
+/// fixed-bin histogram and report the upper edge of the matched bin
+/// (≤ 25% relative error by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayStats {
+    count: u64,
+    sum_ns: u128,
+    min_us: u64,
+    max_us: u64,
+    hops_sum: u64,
+    bins: [u64; DELAY_BINS],
+}
+
+impl Default for DelayStats {
+    fn default() -> Self {
+        DelayStats {
+            count: 0,
+            sum_ns: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            hops_sum: 0,
+            bins: [0; DELAY_BINS],
+        }
+    }
+}
+
+impl DelayStats {
+    fn record(&mut self, delay: SimDuration, hops: u8) {
+        let us = delay.as_micros();
+        self.count += 1;
+        self.sum_ns += u128::from(us) * 1_000;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        self.hops_sum += u64::from(hops);
+        self.bins[delay_bin(us)] += 1;
+    }
+
+    /// Adds a branch's post-`mark` delta into `self`: counts, sums and
+    /// bins by integer difference, min/max idempotently. Exact because
+    /// every accumulator is an integer.
+    fn absorb_delta(&mut self, branch: &DelayStats, mark: &DelayStats) {
+        self.count += branch.count - mark.count;
+        self.sum_ns += branch.sum_ns - mark.sum_ns;
+        self.hops_sum += branch.hops_sum - mark.hops_sum;
+        self.min_us = self.min_us.min(branch.min_us);
+        self.max_us = self.max_us.max(branch.max_us);
+        for (s, (b, m)) in self
+            .bins
+            .iter_mut()
+            .zip(branch.bins.iter().zip(mark.bins.iter()))
+        {
+            *s += b - m;
+        }
+    }
+
+    /// Delivered packets the statistics cover.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean end-to-end delay in milliseconds (0.0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        (self.sum_ns as f64 / 1e6) / self.count as f64
+    }
+
+    /// Mean hop count (0.0 when empty).
+    pub fn mean_hops(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.hops_sum as f64 / self.count as f64
+    }
+
+    /// Smallest observed delay in milliseconds (`None` when empty).
+    pub fn min_ms(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.min_us as f64 / 1e3)
+    }
+
+    /// Largest observed delay in milliseconds (`None` when empty).
+    pub fn max_ms(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.max_us as f64 / 1e3)
+    }
+
+    /// The `p`-th percentile delay in milliseconds, from the histogram
+    /// (upper edge of the matched bin; 0.0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 100.0`.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (b, n) in self.bins.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bin_upper_us(b) as f64 / 1e3;
+            }
+        }
+        self.max_us as f64 / 1e3
+    }
+
+    /// The raw histogram bins (see [`DELAY_BINS`] for the layout).
+    pub fn bins(&self) -> &[u64; DELAY_BINS] {
+        &self.bins
+    }
+}
+
+// ----------------------------------------------------------- origin lane
+
+/// Per-origin packet state: a generation-time column indexed by
+/// `seq - seq_base` (with [`HOLE`] sentinels for never-recorded or
+/// purged slots) and a delivered bitset over the same slots.
+#[derive(Debug, Default, PartialEq)]
+struct OriginLane {
+    seq_base: u64,
+    gen: Vec<SimTime>,
+    delivered: Vec<u64>,
+    generated: u64,
+    delivered_count: u64,
+    /// Conservative bounds on the live generation times (used only for
+    /// the O(1) purge fast paths; re-recording a slot may widen them).
+    min_gen: SimTime,
+    max_gen: SimTime,
+}
+
+impl Clone for OriginLane {
+    fn clone(&self) -> Self {
+        OriginLane {
+            seq_base: self.seq_base,
+            gen: self.gen.clone(),
+            delivered: self.delivered.clone(),
+            generated: self.generated,
+            delivered_count: self.delivered_count,
+            min_gen: self.min_gen,
+            max_gen: self.max_gen,
+        }
+    }
+
+    /// Reuses the column allocations — island shells are refreshed with
+    /// `clone_from` every window (see `refresh_island_shell`).
+    fn clone_from(&mut self, src: &Self) {
+        self.seq_base = src.seq_base;
+        self.gen.clone_from(&src.gen);
+        self.delivered.clone_from(&src.delivered);
+        self.generated = src.generated;
+        self.delivered_count = src.delivered_count;
+        self.min_gen = src.min_gen;
+        self.max_gen = src.max_gen;
+    }
+}
+
+impl OriginLane {
+    fn new_empty_bounds() -> (SimTime, SimTime) {
+        (HOLE, SimTime::ZERO)
+    }
+
+    /// Column slot for `seq`, growing the column (and shifting the
+    /// bitset) as needed. Front growth only happens on out-of-order
+    /// generic use — the engine's per-origin seqs are monotonic.
+    fn slot_for(&mut self, seq: u64) -> usize {
+        if self.gen.is_empty() {
+            self.seq_base = seq;
+            self.gen.push(HOLE);
+            return 0;
+        }
+        if seq < self.seq_base {
+            let k = (self.seq_base - seq) as usize;
+            self.gen.splice(0..0, std::iter::repeat(HOLE).take(k));
+            // Shift every delivered bit up by k (slot i -> i + k).
+            let mut shifted = vec![0u64; self.gen.len().div_ceil(64)];
+            for (w, word) in self.delivered.iter().enumerate() {
+                let mut word = *word;
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let j = w * 64 + bit + k;
+                    shifted[j / 64] |= 1 << (j % 64);
+                }
+            }
+            self.delivered = shifted;
+            self.seq_base = seq;
+            return 0;
+        }
+        let i = (seq - self.seq_base) as usize;
+        if i >= self.gen.len() {
+            self.gen.resize(i + 1, HOLE);
+        }
+        i
+    }
+
+    /// One-pass purge to generation times in `[start, end)`, with O(1)
+    /// full-keep and full-drop fast paths off the lane's time bounds.
+    /// Returns `(dropped_generated, dropped_delivered)`.
+    fn purge(&mut self, start: SimTime, end: SimTime) -> (u64, u64) {
+        if self.generated == 0 {
+            if !self.gen.is_empty() {
+                self.clear();
+            }
+            return (0, 0);
+        }
+        if self.min_gen >= start && self.max_gen < end {
+            // Full keep: nothing to scan; release slack capacity so the
+            // footprint reflects live state.
+            self.gen.shrink_to_fit();
+            self.delivered.shrink_to_fit();
+            return (0, 0);
+        }
+        if self.max_gen < start || self.min_gen >= end {
+            let dropped = (self.generated, self.delivered_count);
+            self.clear();
+            return dropped;
+        }
+        // General case: one pass marking out-of-window slots as holes,
+        // then trim the hole margins (advancing seq_base) and rebuild
+        // the bitset over the kept range.
+        let mut dropped_gen = 0u64;
+        let mut dropped_del = 0u64;
+        let (mut min_gen, mut max_gen) = Self::new_empty_bounds();
+        let mut first_keep = usize::MAX;
+        let mut last_keep = 0usize;
+        for i in 0..self.gen.len() {
+            let t = self.gen[i];
+            if t == HOLE {
+                continue;
+            }
+            if t >= start && t < end {
+                min_gen = min_gen.min(t);
+                max_gen = max_gen.max(t);
+                first_keep = first_keep.min(i);
+                last_keep = i;
+            } else {
+                dropped_gen += 1;
+                if bit_get(&self.delivered, i) {
+                    dropped_del += 1;
+                }
+                self.gen[i] = HOLE;
+            }
+        }
+        if first_keep == usize::MAX {
+            self.clear();
+            return (dropped_gen, dropped_del);
+        }
+        let len = last_keep - first_keep + 1;
+        let mut kept_bits = vec![0u64; len.div_ceil(64)];
+        let mut kept_del = 0u64;
+        for i in first_keep..=last_keep {
+            if self.gen[i] != HOLE && bit_get(&self.delivered, i) {
+                let j = i - first_keep;
+                kept_bits[j / 64] |= 1 << (j % 64);
+                kept_del += 1;
+            }
+        }
+        self.gen.copy_within(first_keep..=last_keep, 0);
+        self.gen.truncate(len);
+        self.gen.shrink_to_fit();
+        self.delivered = kept_bits;
+        self.seq_base += first_keep as u64;
+        self.generated -= dropped_gen;
+        self.delivered_count = kept_del;
+        self.min_gen = min_gen;
+        self.max_gen = max_gen;
+        (dropped_gen, dropped_del)
+    }
+
+    fn clear(&mut self) {
+        self.seq_base = 0;
+        self.gen = Vec::new();
+        self.delivered = Vec::new();
+        self.generated = 0;
+        self.delivered_count = 0;
+        (self.min_gen, self.max_gen) = Self::new_empty_bounds();
+    }
+}
+
+// -------------------------------------------------------------- tracker
 
 /// Follows application packets from generation to delivery at a DODAG
 /// root.
@@ -12,6 +376,18 @@ use gtt_sim::{SimDuration, SimTime};
 /// convergence) from the steady state the paper measures: packets
 /// generated outside the window are still simulated but not counted.
 ///
+/// Packet ids must be origin-keyed (`origin << 48 | seq`, as
+/// `Network::apply_upkeep` assigns them): the high bits select the
+/// origin's lane, the low bits its column slot. Generation times must be
+/// strictly below [`SimTime::MAX`] (the column's hole sentinel).
+///
+/// Delay/hop statistics are streaming ([`DelayStats`]) and cannot be
+/// re-derived for purged packets: when [`PacketTracker::set_window`]
+/// drops a *delivered* packet, they reset to empty. The engine's
+/// warm-up → `start_measurement` → `finish_measurement` pattern only
+/// purges before any measured delivery exists, so reported statistics
+/// are exact.
+///
 /// # Example
 ///
 /// ```
@@ -19,30 +395,91 @@ use gtt_sim::{SimDuration, SimTime};
 /// use gtt_net::{NodeId, PacketId};
 /// use gtt_sim::SimTime;
 ///
+/// let origin = NodeId::new(3);
+/// let id = PacketId::new((origin.index() as u64) << 48);
 /// let mut t = PacketTracker::new();
 /// t.set_window(SimTime::ZERO, SimTime::from_secs(60));
-/// t.record_generated(PacketId::new(0), NodeId::new(3), SimTime::from_secs(1));
-/// t.record_delivered(PacketId::new(0), SimTime::from_secs(2), 2);
+/// t.record_generated(id, origin, SimTime::from_secs(1));
+/// t.record_delivered(id, SimTime::from_secs(2), 2);
 /// assert_eq!(t.generated(), 1);
 /// assert_eq!(t.delivered(), 1);
 /// assert!((t.pdr_percent() - 100.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct PacketTracker {
     window_start: Option<SimTime>,
     window_end: Option<SimTime>,
-    generated: BTreeMap<PacketId, (NodeId, SimTime)>,
-    delivered: BTreeMap<PacketId, (SimTime, u8)>,
+    /// Origin index of `lanes[0]` (offset-anchored dense vector).
+    first_track: u64,
+    lanes: Vec<OriginLane>,
+    generated_total: u64,
+    delivered_total: u64,
     duplicates: u64,
     stray_deliveries: u64,
+    delay: DelayStats,
 }
 
-/// Counter snapshot for [`PacketTracker::absorb_branch`]: the values the
-/// branch trackers started from, so only post-mark deltas are summed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+impl Clone for PacketTracker {
+    fn clone(&self) -> Self {
+        PacketTracker {
+            window_start: self.window_start,
+            window_end: self.window_end,
+            first_track: self.first_track,
+            lanes: self.lanes.clone(),
+            generated_total: self.generated_total,
+            delivered_total: self.delivered_total,
+            duplicates: self.duplicates,
+            stray_deliveries: self.stray_deliveries,
+            delay: self.delay.clone(),
+        }
+    }
+
+    /// Reuses lane and column allocations (`Vec::clone_from` calls
+    /// `OriginLane::clone_from` element-wise) — the island-shell pool
+    /// refreshes its tracker with this every window.
+    fn clone_from(&mut self, src: &Self) {
+        self.window_start = src.window_start;
+        self.window_end = src.window_end;
+        self.first_track = src.first_track;
+        self.lanes.clone_from(&src.lanes);
+        self.generated_total = src.generated_total;
+        self.delivered_total = src.delivered_total;
+        self.duplicates = src.duplicates;
+        self.stray_deliveries = src.stray_deliveries;
+        self.delay.clone_from(&src.delay);
+    }
+}
+
+/// Snapshot for [`PacketTracker::absorb_branch`]: the counter and
+/// delay-statistics values the branch trackers started from, so only
+/// post-mark deltas are folded back in.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrackerMark {
     duplicates: u64,
     stray_deliveries: u64,
+    delay: DelayStats,
+}
+
+/// Memory accounting for a [`PacketTracker`] (see
+/// [`PacketTracker::footprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackerFootprint {
+    /// Total retained heap + inline bytes (lane headers, generation-time
+    /// columns, delivered bitsets), computed from vector capacities.
+    pub bytes: usize,
+    /// Allocated origin lanes.
+    pub lanes: usize,
+    /// Packets currently tracked (generated inside the window).
+    pub tracked: u64,
+    /// Retained column slots, holes included (`>= tracked`).
+    pub live: u64,
+}
+
+impl TrackerFootprint {
+    /// Bytes per tracked packet — the city-scale memory gate's metric.
+    pub fn bytes_per_tracked(&self) -> f64 {
+        self.bytes as f64 / self.tracked.max(1) as f64
+    }
 }
 
 impl PacketTracker {
@@ -56,6 +493,11 @@ impl PacketTracker {
     /// Packets already recorded outside the window are purged (with
     /// their deliveries), so the usual warm-up → `set_window` → measure
     /// sequence never leaks formation-phase traffic into the report.
+    /// The purge is a single pass per lane with O(1) full-keep /
+    /// full-drop fast paths, so repeated warm-up → window cycles never
+    /// re-scan delivered state quadratically. If any *delivered* packet
+    /// is purged, the streaming delay statistics reset (see the type
+    /// docs).
     ///
     /// # Panics
     ///
@@ -64,10 +506,19 @@ impl PacketTracker {
         assert!(end > start, "measurement window must be non-empty");
         self.window_start = Some(start);
         self.window_end = Some(end);
-        self.generated
-            .retain(|_, (_, t_gen)| *t_gen >= start && *t_gen < end);
-        let generated = &self.generated;
-        self.delivered.retain(|id, _| generated.contains_key(id));
+        let mut dropped_gen = 0u64;
+        let mut dropped_del = 0u64;
+        for lane in &mut self.lanes {
+            let (g, d) = lane.purge(start, end);
+            dropped_gen += g;
+            dropped_del += d;
+        }
+        self.generated_total -= dropped_gen;
+        self.delivered_total -= dropped_del;
+        if dropped_del > 0 {
+            self.delay = DelayStats::default();
+        }
+        self.lanes.shrink_to_fit();
     }
 
     /// The measurement window length, if configured.
@@ -85,44 +536,109 @@ impl PacketTracker {
         }
     }
 
-    /// Records a packet generated at `origin`.
+    fn lane_index(&self, track: u64) -> Option<usize> {
+        if self.lanes.is_empty() || track < self.first_track {
+            return None;
+        }
+        let i = (track - self.first_track) as usize;
+        (i < self.lanes.len()).then_some(i)
+    }
+
+    fn lane_for(&mut self, track: u64) -> &mut OriginLane {
+        if self.lanes.is_empty() {
+            self.first_track = track;
+            self.lanes.push(OriginLane::default());
+        } else if track < self.first_track {
+            let k = (self.first_track - track) as usize;
+            self.lanes
+                .splice(0..0, (0..k).map(|_| OriginLane::default()));
+            self.first_track = track;
+        } else {
+            let i = (track - self.first_track) as usize;
+            if i >= self.lanes.len() {
+                self.lanes.resize_with(i + 1, OriginLane::default);
+            }
+        }
+        let i = (track - self.first_track) as usize;
+        &mut self.lanes[i]
+    }
+
+    /// Records a packet generated at `origin` — O(1).
+    ///
+    /// `origin` must match the id's high bits (debug-asserted); the lane
+    /// is selected from the id so generic callers cannot desynchronize
+    /// the two. Re-recording an already-tracked id updates its
+    /// generation time without double-counting.
     pub fn record_generated(&mut self, id: PacketId, origin: NodeId, now: SimTime) {
+        let (track, seq) = split_id(id);
+        debug_assert_eq!(
+            track,
+            origin.index() as u64,
+            "packet id origin bits must match the origin node"
+        );
+        debug_assert!(now < SimTime::MAX, "generation time must be below MAX");
         if !self.in_window(now) {
             return;
         }
-        self.generated.insert(id, (origin, now));
+        let lane = self.lane_for(track);
+        let slot = lane.slot_for(seq);
+        let fresh = lane.gen[slot] == HOLE;
+        if fresh {
+            lane.generated += 1;
+        }
+        lane.gen[slot] = now;
+        lane.min_gen = lane.min_gen.min(now);
+        lane.max_gen = lane.max_gen.max(now);
+        if fresh {
+            self.generated_total += 1;
+        }
     }
 
-    /// Records a packet delivered to a root after `hops` link-layer hops.
+    /// Records a packet delivered to a root after `hops` link-layer
+    /// hops — O(1).
     ///
     /// Deliveries of untracked packets (generated outside the window) are
-    /// ignored; duplicate deliveries are counted separately and do not
-    /// inflate PDR.
+    /// counted as strays; duplicate deliveries are counted separately and
+    /// do not inflate PDR.
     pub fn record_delivered(&mut self, id: PacketId, now: SimTime, hops: u8) {
-        if !self.generated.contains_key(&id) {
+        let (track, seq) = split_id(id);
+        let Some(li) = self.lane_index(track) else {
+            self.stray_deliveries += 1;
+            return;
+        };
+        let lane = &mut self.lanes[li];
+        if lane.gen.is_empty() || seq < lane.seq_base {
             self.stray_deliveries += 1;
             return;
         }
-        if self.delivered.contains_key(&id) {
+        let i = (seq - lane.seq_base) as usize;
+        if i >= lane.gen.len() || lane.gen[i] == HOLE {
+            self.stray_deliveries += 1;
+            return;
+        }
+        if bit_get(&lane.delivered, i) {
             self.duplicates += 1;
             return;
         }
-        self.delivered.insert(id, (now, hops));
+        bit_set(&mut lane.delivered, i);
+        lane.delivered_count += 1;
+        self.delivered_total += 1;
+        self.delay.record(now.saturating_since(lane.gen[i]), hops);
     }
 
     /// Packets generated inside the window.
     pub fn generated(&self) -> u64 {
-        self.generated.len() as u64
+        self.generated_total
     }
 
     /// Tracked packets delivered to a root.
     pub fn delivered(&self) -> u64 {
-        self.delivered.len() as u64
+        self.delivered_total
     }
 
     /// Tracked packets never delivered.
     pub fn lost(&self) -> u64 {
-        self.generated() - self.delivered()
+        self.generated_total - self.delivered_total
     }
 
     /// Duplicate root deliveries observed.
@@ -137,35 +653,25 @@ impl PacketTracker {
 
     /// Packet delivery ratio in percent (100 when nothing was generated).
     pub fn pdr_percent(&self) -> f64 {
-        if self.generated.is_empty() {
+        if self.generated_total == 0 {
             return 100.0;
         }
-        100.0 * self.delivered.len() as f64 / self.generated.len() as f64
+        100.0 * self.delivered_total as f64 / self.generated_total as f64
+    }
+
+    /// The streaming delay/hop statistics over delivered packets.
+    pub fn delay_stats(&self) -> &DelayStats {
+        &self.delay
     }
 
     /// Mean end-to-end delay of delivered packets, in milliseconds.
     pub fn mean_delay_ms(&self) -> f64 {
-        if self.delivered.is_empty() {
-            return 0.0;
-        }
-        let total: f64 = self
-            .delivered
-            .iter()
-            .map(|(id, (t_rx, _))| {
-                let (_, t_gen) = self.generated[id];
-                t_rx.saturating_since(t_gen).as_millis_f64()
-            })
-            .sum();
-        total / self.delivered.len() as f64
+        self.delay.mean_ms()
     }
 
     /// Mean hop count of delivered packets.
     pub fn mean_hops(&self) -> f64 {
-        if self.delivered.is_empty() {
-            return 0.0;
-        }
-        let total: u64 = self.delivered.values().map(|(_, h)| *h as u64).sum();
-        total as f64 / self.delivered.len() as f64
+        self.delay.mean_hops()
     }
 
     /// Lost packets per minute of measurement window.
@@ -188,53 +694,113 @@ impl PacketTracker {
         self.delivered() as f64 / (w.as_secs_f64() / 60.0)
     }
 
-    /// A counter snapshot taken before cloning the tracker into
-    /// parallel branches; see [`PacketTracker::absorb_branch`].
+    /// A snapshot taken before cloning the tracker into parallel
+    /// branches; see [`PacketTracker::absorb_branch`].
     pub fn mark(&self) -> TrackerMark {
         TrackerMark {
             duplicates: self.duplicates,
             stray_deliveries: self.stray_deliveries,
+            delay: self.delay.clone(),
         }
     }
 
     /// Folds a branch tracker (a clone of `self` taken at `mark` that
-    /// has since recorded more packets) back into `self`.
+    /// has since recorded more packets for `members` only) back into
+    /// `self`.
     ///
-    /// Map entries are unioned: entries present in both are identical
-    /// clones of the shared prefix, and entries recorded by different
-    /// branches are disjoint when packet ids are origin-keyed and each
-    /// origin/root lives in exactly one branch (the partition-island
-    /// invariant). For the counters, the delta each branch accumulated
-    /// past the mark is added, so parallel branches never double-count
-    /// the shared prefix.
-    pub fn absorb_branch(&mut self, branch: PacketTracker, mark: &TrackerMark) {
+    /// Member lanes are swapped in wholesale: packets from an origin are
+    /// generated *and* delivered inside that origin's audibility island
+    /// (the routing path never leaves it), so the branch's lane for a
+    /// member is a strict superset of the shared prefix `self` still
+    /// holds, and islands being disjoint means no other branch touched
+    /// it. The branch is taken by `&mut` so the stale prefix buffers it
+    /// receives in the swap stay with the pooled island shell, where the
+    /// next window's `clone_from` refresh recycles them. Global counters
+    /// and delay statistics add the branch's post-mark delta; every
+    /// accumulator is an integer, so the merged result is independent of
+    /// merge order — DETERMINISM.md's canonical island order keeps even
+    /// the degenerate corner cases a pure function of the experiment.
+    pub fn absorb_branch(
+        &mut self,
+        branch: &mut PacketTracker,
+        mark: &TrackerMark,
+        members: &[NodeId],
+    ) {
         debug_assert_eq!(self.window_start, branch.window_start);
         debug_assert_eq!(self.window_end, branch.window_end);
-        self.generated.extend(branch.generated);
-        for (id, (t_rx, hops)) in branch.delivered {
-            self.delivered.entry(id).or_insert((t_rx, hops));
+        for &m in members {
+            let track = m.index() as u64;
+            let Some(bi) = branch.lane_index(track) else {
+                continue;
+            };
+            let bl = &mut branch.lanes[bi];
+            if bl.gen.is_empty() {
+                continue;
+            }
+            let sl = self.lane_for(track);
+            let d_gen = bl.generated - sl.generated;
+            let d_del = bl.delivered_count - sl.delivered_count;
+            std::mem::swap(sl, bl);
+            self.generated_total += d_gen;
+            self.delivered_total += d_del;
         }
         self.duplicates += branch.duplicates - mark.duplicates;
         self.stray_deliveries += branch.stray_deliveries - mark.stray_deliveries;
+        self.delay.absorb_delta(&branch.delay, &mark.delay);
+    }
+
+    /// Per-origin `(generated, delivered)` counts — O(1).
+    pub fn origin_stats(&self, origin: NodeId) -> (u64, u64) {
+        match self.lane_index(origin.index() as u64) {
+            Some(i) => {
+                let lane = &self.lanes[i];
+                (lane.generated, lane.delivered_count)
+            }
+            None => (0, 0),
+        }
     }
 
     /// Per-origin delivery counts (diagnostics: spotting starved nodes).
+    /// O(lanes), one entry per origin with at least one delivery.
     pub fn delivered_by_origin(&self) -> BTreeMap<NodeId, u64> {
+        self.origin_counts(|lane| lane.delivered_count)
+    }
+
+    /// Per-origin generation counts. O(lanes).
+    pub fn generated_by_origin(&self) -> BTreeMap<NodeId, u64> {
+        self.origin_counts(|lane| lane.generated)
+    }
+
+    fn origin_counts(&self, count: impl Fn(&OriginLane) -> u64) -> BTreeMap<NodeId, u64> {
         let mut map = BTreeMap::new();
-        for (id, _) in self.delivered.iter() {
-            let (origin, _) = self.generated[id];
-            *map.entry(origin).or_insert(0) += 1;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let n = count(lane);
+            if n > 0 {
+                map.insert(NodeId::from_index(self.first_track as usize + i), n);
+            }
         }
         map
     }
 
-    /// Per-origin generation counts.
-    pub fn generated_by_origin(&self) -> BTreeMap<NodeId, u64> {
-        let mut map = BTreeMap::new();
-        for (origin, _) in self.generated.values() {
-            *map.entry(*origin).or_insert(0) += 1;
+    /// Current memory accounting, from vector capacities. Measure after
+    /// `finish_measurement` (whose purge releases slack capacity) for
+    /// the steady-state figure the city-10k gate checks.
+    pub fn footprint(&self) -> TrackerFootprint {
+        use std::mem::size_of;
+        let mut bytes =
+            size_of::<PacketTracker>() + self.lanes.capacity() * size_of::<OriginLane>();
+        let mut live = 0u64;
+        for lane in &self.lanes {
+            bytes += lane.gen.capacity() * size_of::<SimTime>();
+            bytes += lane.delivered.capacity() * size_of::<u64>();
+            live += lane.gen.len() as u64;
         }
-        map
+        TrackerFootprint {
+            bytes,
+            lanes: self.lanes.len(),
+            tracked: self.generated_total,
+            live,
+        }
     }
 }
 
@@ -242,8 +808,9 @@ impl PacketTracker {
 mod tests {
     use super::*;
 
-    fn id(n: u64) -> PacketId {
-        PacketId::new(n)
+    /// Origin-keyed id, as the engine assigns them.
+    fn id(origin: u16, seq: u64) -> PacketId {
+        PacketId::new((u64::from(origin) << 48) | seq)
     }
 
     #[test]
@@ -251,10 +818,10 @@ mod tests {
         let mut t = PacketTracker::new();
         t.set_window(SimTime::ZERO, SimTime::from_secs(60));
         for i in 0..10 {
-            t.record_generated(id(i), NodeId::new(1), SimTime::from_secs(i));
+            t.record_generated(id(1, i), NodeId::new(1), SimTime::from_secs(i));
         }
         for i in 0..7 {
-            t.record_delivered(id(i), SimTime::from_secs(i + 1), 2);
+            t.record_delivered(id(1, i), SimTime::from_secs(i + 1), 2);
         }
         assert_eq!(t.generated(), 10);
         assert_eq!(t.delivered(), 7);
@@ -267,24 +834,44 @@ mod tests {
     #[test]
     fn delay_is_averaged_over_delivered_only() {
         let mut t = PacketTracker::new();
-        t.record_generated(id(1), NodeId::new(1), SimTime::from_millis(0));
-        t.record_generated(id(2), NodeId::new(1), SimTime::from_millis(0));
-        t.record_generated(id(3), NodeId::new(1), SimTime::from_millis(0));
-        t.record_delivered(id(1), SimTime::from_millis(100), 1);
-        t.record_delivered(id(2), SimTime::from_millis(300), 3);
-        // id 3 lost.
+        t.record_generated(id(1, 0), NodeId::new(1), SimTime::from_millis(0));
+        t.record_generated(id(1, 1), NodeId::new(1), SimTime::from_millis(0));
+        t.record_generated(id(1, 2), NodeId::new(1), SimTime::from_millis(0));
+        t.record_delivered(id(1, 0), SimTime::from_millis(100), 1);
+        t.record_delivered(id(1, 1), SimTime::from_millis(300), 3);
+        // seq 2 lost.
         assert!((t.mean_delay_ms() - 200.0).abs() < 1e-9);
         assert!((t.mean_hops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_stats_min_max_and_percentiles() {
+        let mut t = PacketTracker::new();
+        for i in 0..100u64 {
+            t.record_generated(id(2, i), NodeId::new(2), SimTime::ZERO);
+            t.record_delivered(id(2, i), SimTime::from_millis(i + 1), 1);
+        }
+        let d = t.delay_stats();
+        assert_eq!(d.count(), 100);
+        assert_eq!(d.min_ms(), Some(1.0));
+        assert_eq!(d.max_ms(), Some(100.0));
+        // The histogram reports the upper edge of the matched bin:
+        // within 25% above the true percentile.
+        let p50 = d.percentile_ms(50.0);
+        assert!((50.0..=63.0).contains(&p50), "p50 = {p50}");
+        let p99 = d.percentile_ms(99.0);
+        assert!((99.0..=124.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(d.bins().iter().sum::<u64>(), 100);
     }
 
     #[test]
     fn warmup_packets_excluded() {
         let mut t = PacketTracker::new();
         t.set_window(SimTime::from_secs(10), SimTime::from_secs(70));
-        t.record_generated(id(1), NodeId::new(1), SimTime::from_secs(5)); // warm-up
-        t.record_generated(id(2), NodeId::new(1), SimTime::from_secs(15));
-        t.record_delivered(id(1), SimTime::from_secs(16), 1); // stray
-        t.record_delivered(id(2), SimTime::from_secs(16), 1);
+        t.record_generated(id(1, 0), NodeId::new(1), SimTime::from_secs(5)); // warm-up
+        t.record_generated(id(1, 1), NodeId::new(1), SimTime::from_secs(15));
+        t.record_delivered(id(1, 0), SimTime::from_secs(16), 1); // stray
+        t.record_delivered(id(1, 1), SimTime::from_secs(16), 1);
         assert_eq!(t.generated(), 1);
         assert_eq!(t.delivered(), 1);
         assert_eq!(t.stray_deliveries(), 1);
@@ -295,10 +882,10 @@ mod tests {
         // The engine records from t=0 and only then brackets the window:
         // pre-window packets (and their deliveries) must be dropped.
         let mut t = PacketTracker::new();
-        t.record_generated(id(1), NodeId::new(1), SimTime::from_secs(5));
-        t.record_delivered(id(1), SimTime::from_secs(6), 1);
-        t.record_generated(id(2), NodeId::new(1), SimTime::from_secs(20));
-        t.record_delivered(id(2), SimTime::from_secs(21), 1);
+        t.record_generated(id(1, 0), NodeId::new(1), SimTime::from_secs(5));
+        t.record_delivered(id(1, 0), SimTime::from_secs(6), 1);
+        t.record_generated(id(1, 1), NodeId::new(1), SimTime::from_secs(20));
+        t.record_delivered(id(1, 1), SimTime::from_secs(21), 1);
         t.set_window(SimTime::from_secs(10), SimTime::from_secs(70));
         assert_eq!(t.generated(), 1, "warm-up packet purged");
         assert_eq!(t.delivered(), 1, "warm-up delivery purged");
@@ -306,14 +893,41 @@ mod tests {
         // in-window packets.
         t.set_window(SimTime::from_secs(10), SimTime::from_secs(30));
         assert_eq!(t.generated(), 1);
+        // A delivery for the purged packet is a stray now.
+        t.record_delivered(id(1, 0), SimTime::from_secs(25), 1);
+        assert_eq!(t.stray_deliveries(), 1);
+    }
+
+    #[test]
+    fn purge_drops_out_of_window_middle_and_keeps_margins_tight() {
+        let mut t = PacketTracker::new();
+        // Seqs 0..6 at 0, 10, 20, 30, 40, 50 s.
+        for i in 0..6u64 {
+            t.record_generated(id(4, i), NodeId::new(4), SimTime::from_secs(i * 10));
+        }
+        t.record_delivered(id(4, 2), SimTime::from_secs(21), 1);
+        t.record_delivered(id(4, 5), SimTime::from_secs(51), 1);
+        // Window [15 s, 45 s): keeps seqs 2 and 3 + 4, drops 0, 1, 5 —
+        // the delivered seq 5 drop resets the streaming delay stats.
+        t.set_window(SimTime::from_secs(15), SimTime::from_secs(45));
+        assert_eq!(t.generated(), 3);
+        assert_eq!(t.delivered(), 1);
+        assert_eq!(t.delay_stats().count(), 0, "delivered drop resets stats");
+        // The surviving delivered bit still guards duplicates.
+        t.record_delivered(id(4, 2), SimTime::from_secs(30), 1);
+        assert_eq!(t.duplicates(), 1);
+        // Trimmed margins: deliveries for the trimmed seqs are strays.
+        t.record_delivered(id(4, 0), SimTime::from_secs(30), 1);
+        assert_eq!(t.stray_deliveries(), 1);
+        assert_eq!(t.footprint().live, 3, "margins trimmed to seqs 2..=4");
     }
 
     #[test]
     fn duplicates_do_not_inflate_pdr() {
         let mut t = PacketTracker::new();
-        t.record_generated(id(1), NodeId::new(1), SimTime::ZERO);
-        t.record_delivered(id(1), SimTime::from_secs(1), 1);
-        t.record_delivered(id(1), SimTime::from_secs(2), 1);
+        t.record_generated(id(1, 0), NodeId::new(1), SimTime::ZERO);
+        t.record_delivered(id(1, 0), SimTime::from_secs(1), 1);
+        t.record_delivered(id(1, 0), SimTime::from_secs(2), 1);
         assert_eq!(t.delivered(), 1);
         assert_eq!(t.duplicates(), 1);
         assert!((t.pdr_percent() - 100.0).abs() < 1e-9);
@@ -322,39 +936,169 @@ mod tests {
     #[test]
     fn per_origin_breakdowns() {
         let mut t = PacketTracker::new();
-        t.record_generated(id(1), NodeId::new(1), SimTime::ZERO);
-        t.record_generated(id(2), NodeId::new(2), SimTime::ZERO);
-        t.record_generated(id(3), NodeId::new(2), SimTime::ZERO);
-        t.record_delivered(id(3), SimTime::from_secs(1), 1);
+        t.record_generated(id(1, 0), NodeId::new(1), SimTime::ZERO);
+        t.record_generated(id(2, 0), NodeId::new(2), SimTime::ZERO);
+        t.record_generated(id(2, 1), NodeId::new(2), SimTime::ZERO);
+        t.record_delivered(id(2, 1), SimTime::from_secs(1), 1);
         assert_eq!(t.generated_by_origin()[&NodeId::new(2)], 2);
         assert_eq!(t.delivered_by_origin()[&NodeId::new(2)], 1);
         assert!(!t.delivered_by_origin().contains_key(&NodeId::new(1)));
+        assert_eq!(t.origin_stats(NodeId::new(1)), (1, 0));
+        assert_eq!(t.origin_stats(NodeId::new(2)), (2, 1));
+        assert_eq!(t.origin_stats(NodeId::new(7)), (0, 0));
+    }
+
+    #[test]
+    fn out_of_order_seqs_grow_lane_front() {
+        // Generic (non-engine) use: seqs arrive out of order, so the
+        // lane must grow downward and keep the delivered bits aligned.
+        let mut t = PacketTracker::new();
+        t.record_generated(id(3, 7), NodeId::new(3), SimTime::from_secs(1));
+        t.record_delivered(id(3, 7), SimTime::from_secs(2), 1);
+        t.record_generated(id(3, 2), NodeId::new(3), SimTime::from_secs(3));
+        t.record_generated(id(3, 9), NodeId::new(3), SimTime::from_secs(4));
+        assert_eq!(t.generated(), 3);
+        assert_eq!(t.delivered(), 1);
+        // Seq 7's delivered bit survived the front growth.
+        t.record_delivered(id(3, 7), SimTime::from_secs(5), 1);
+        assert_eq!(t.duplicates(), 1);
+        t.record_delivered(id(3, 2), SimTime::from_secs(6), 1);
+        assert_eq!(t.delivered(), 2);
+        // Seq 5 was never generated: a hole, so its delivery is a stray.
+        t.record_delivered(id(3, 5), SimTime::from_secs(7), 1);
+        assert_eq!(t.stray_deliveries(), 1);
     }
 
     #[test]
     fn absorb_branch_unions_without_double_counting() {
+        let n1 = NodeId::new(1);
+        let n2 = NodeId::new(2);
+        let n3 = NodeId::new(3);
         let mut t = PacketTracker::new();
         t.set_window(SimTime::ZERO, SimTime::from_secs(60));
         // Shared prefix: one packet, one duplicate, one stray.
-        t.record_generated(id(1), NodeId::new(1), SimTime::from_secs(1));
-        t.record_delivered(id(1), SimTime::from_secs(2), 1);
-        t.record_delivered(id(1), SimTime::from_secs(3), 1); // duplicate
-        t.record_delivered(id(99), SimTime::from_secs(3), 1); // stray
+        t.record_generated(id(1, 0), n1, SimTime::from_secs(1));
+        t.record_delivered(id(1, 0), SimTime::from_secs(2), 1);
+        t.record_delivered(id(1, 0), SimTime::from_secs(3), 1); // duplicate
+        t.record_delivered(id(9, 0), SimTime::from_secs(3), 1); // stray
         let mark = t.mark();
-        // Two branches clone the prefix and diverge (disjoint ids).
+        // Two branches clone the prefix and diverge on disjoint members.
         let mut a = t.clone();
         let mut b = t.clone();
-        a.record_generated(id(2), NodeId::new(2), SimTime::from_secs(4));
-        a.record_delivered(id(2), SimTime::from_secs(5), 2);
-        a.record_delivered(id(2), SimTime::from_secs(6), 2); // duplicate
-        b.record_generated(id(3), NodeId::new(3), SimTime::from_secs(4));
-        b.record_delivered(id(77), SimTime::from_secs(5), 1); // stray
-        t.absorb_branch(a, &mark);
-        t.absorb_branch(b, &mark);
+        a.record_generated(id(2, 0), n2, SimTime::from_secs(4));
+        a.record_delivered(id(2, 0), SimTime::from_secs(5), 2);
+        a.record_delivered(id(2, 0), SimTime::from_secs(6), 2); // duplicate
+        b.record_generated(id(3, 0), n3, SimTime::from_secs(4));
+        b.record_delivered(id(7, 5), SimTime::from_secs(5), 1); // stray
+        t.absorb_branch(&mut a, &mark, &[n1, n2]);
+        t.absorb_branch(&mut b, &mark, &[n3]);
         assert_eq!(t.generated(), 3);
         assert_eq!(t.delivered(), 2);
         assert_eq!(t.duplicates(), 2, "prefix duplicate counted once");
         assert_eq!(t.stray_deliveries(), 2, "prefix stray counted once");
+        assert_eq!(t.delay_stats().count(), 2, "prefix delay counted once");
+    }
+
+    #[test]
+    fn absorb_branch_merges_interleaved_origin_lanes() {
+        // Origins interleave across islands (odd/even), each with a
+        // multi-packet lane and prefix history — the island-merge shape.
+        let origins: Vec<NodeId> = (1..=4).map(NodeId::new).collect();
+        let mut t = PacketTracker::new();
+        t.set_window(SimTime::ZERO, SimTime::from_secs(600));
+        // Shared prefix: every origin already has two packets, one
+        // delivered.
+        for &o in &origins {
+            for s in 0..2u64 {
+                t.record_generated(id(o.raw(), s), o, SimTime::from_secs(1 + s));
+            }
+            t.record_delivered(id(o.raw(), 0), SimTime::from_secs(4), 2);
+        }
+        let mark = t.mark();
+        let mut a = t.clone(); // island {1, 3}
+        let mut b = t.clone(); // island {2, 4}
+        for (branch, parity) in [(&mut a, 1u16), (&mut b, 0u16)] {
+            for &o in origins.iter().filter(|o| o.raw() % 2 == parity) {
+                for s in 2..5u64 {
+                    branch.record_generated(id(o.raw(), s), o, SimTime::from_secs(10 + s));
+                }
+                // Deliver the prefix leftover and one new packet.
+                branch.record_delivered(id(o.raw(), 1), SimTime::from_secs(20), 3);
+                branch.record_delivered(id(o.raw(), 3), SimTime::from_secs(21), 3);
+            }
+        }
+        // Reference: the same events recorded sequentially.
+        let mut reference = PacketTracker::new();
+        reference.set_window(SimTime::ZERO, SimTime::from_secs(600));
+        for &o in &origins {
+            for s in 0..2u64 {
+                reference.record_generated(id(o.raw(), s), o, SimTime::from_secs(1 + s));
+            }
+            reference.record_delivered(id(o.raw(), 0), SimTime::from_secs(4), 2);
+        }
+        for &o in &origins {
+            for s in 2..5u64 {
+                reference.record_generated(id(o.raw(), s), o, SimTime::from_secs(10 + s));
+            }
+            reference.record_delivered(id(o.raw(), 1), SimTime::from_secs(20), 3);
+            reference.record_delivered(id(o.raw(), 3), SimTime::from_secs(21), 3);
+        }
+        let odd: Vec<NodeId> = origins
+            .iter()
+            .copied()
+            .filter(|o| o.raw() % 2 == 1)
+            .collect();
+        let even: Vec<NodeId> = origins
+            .iter()
+            .copied()
+            .filter(|o| o.raw() % 2 == 0)
+            .collect();
+        t.absorb_branch(&mut a, &mark, &odd);
+        t.absorb_branch(&mut b, &mark, &even);
+        assert_eq!(t, reference, "merged tracker == sequential tracker");
+        assert_eq!(t.generated(), 20);
+        assert_eq!(t.delivered(), 12);
+        assert_eq!(t.generated_by_origin(), reference.generated_by_origin());
+        assert_eq!(t.delivered_by_origin(), reference.delivered_by_origin());
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let mut src = PacketTracker::new();
+        src.set_window(SimTime::ZERO, SimTime::from_secs(60));
+        for s in 0..20u64 {
+            src.record_generated(id(5, s), NodeId::new(5), SimTime::from_secs(s));
+            if s % 2 == 0 {
+                src.record_delivered(id(5, s), SimTime::from_secs(s + 1), 1);
+            }
+        }
+        let mut dst = src.clone();
+        // Diverge, then refresh: clone_from must restore equality.
+        dst.record_generated(id(6, 0), NodeId::new(6), SimTime::from_secs(30));
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn footprint_counts_lanes_and_bytes() {
+        let mut t = PacketTracker::new();
+        assert_eq!(t.footprint().tracked, 0);
+        for s in 0..2_000u64 {
+            t.record_generated(id(2, s), NodeId::new(2), SimTime::from_secs(s));
+        }
+        for s in 0..1_000u64 {
+            t.record_delivered(id(2, s), SimTime::from_secs(s + 1), 1);
+        }
+        t.set_window(SimTime::ZERO, SimTime::from_secs(4_000));
+        let fp = t.footprint();
+        assert_eq!(fp.lanes, 1);
+        assert_eq!(fp.tracked, 2_000);
+        assert_eq!(fp.live, 2_000);
+        // 8-byte times + 1 delivered bit per packet, plus fixed tracker +
+        // lane headers (the inline histogram is ~2 KB): once those
+        // amortize, well under the 12 bytes/packet the city gate demands.
+        assert!(fp.bytes >= 2_000 * 8 + 2_000 / 8);
+        assert!(fp.bytes_per_tracked() < 12.0, "{}", fp.bytes_per_tracked());
     }
 
     #[test]
@@ -363,6 +1107,27 @@ mod tests {
         assert_eq!(t.pdr_percent(), 100.0);
         assert_eq!(t.mean_delay_ms(), 0.0);
         assert_eq!(t.mean_hops(), 0.0);
+        assert_eq!(t.delay_stats().percentile_ms(99.0), 0.0);
+        assert_eq!(t.delay_stats().min_ms(), None);
+    }
+
+    #[test]
+    fn delay_bins_cover_the_range_monotonically() {
+        // Every microsecond value lands in a bin whose upper edge is at
+        // most 25% above it, and bin indices are monotone in the delay.
+        let mut last = 0usize;
+        for us in [0u64, 1, 7, 8, 63, 64, 1_000, 15_000, 3_000_000, 300_000_000] {
+            let b = delay_bin(us);
+            assert!(b >= last, "bin order at {us}");
+            last = b;
+            let upper = bin_upper_us(b);
+            assert!(upper > us, "upper edge at {us}");
+            assert!(
+                upper as f64 <= (us.max(1) as f64) * 1.25 + 1.0,
+                "edge slack at {us}"
+            );
+        }
+        assert!(delay_bin(u64::MAX) < DELAY_BINS);
     }
 
     #[test]
