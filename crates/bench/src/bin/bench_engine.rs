@@ -363,18 +363,20 @@ fn city_walk() -> StepMobility {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
-
-    let only = args
-        .iter()
-        .position(|a| a == "--only")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    // A flag value may not itself look like a flag: `--out --quick` is
+    // a forgotten value, not a file named --quick.
+    let value_of = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Some(v.clone()),
+            _ => {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            }
+        }
+    };
+    let out_path = value_of("--out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let only = value_of("--only");
     // For a timing harness the safe default is sequential: 0 (auto)
     // means 1 here, not one-per-core.
     let jobs = gtt_bench::jobs_from(&args).max(1);

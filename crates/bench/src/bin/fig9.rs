@@ -1,25 +1,18 @@
 //! Regenerates the paper's Fig. 9 (all six sub-figures).
 //!
-//! Usage: `fig9 [--quick] [--no-cache] [--cache-dir DIR] [--list]` —
-//! `--quick` averages 2 seeds instead of 5; cells are served from / the
-//! persistent sweep cache (default `target/sweep-cache`) unless
-//! `--no-cache` is given. `--list` prints one
-//! `<key> <hit|miss> <encoded experiment>` line per cell without
-//! simulating — the dry-run that feeds `sweep_worker` shard files.
+//! Usage: `fig9 [--quick] [--no-cache | --cache-only] [--cache-dir DIR]
+//! [--jobs N] [--list | --enqueue QUEUE_DIR]` — `--quick` averages 2
+//! seeds instead of 5; cells are served from / into the persistent
+//! sweep cache (default `target/sweep-cache`) unless `--no-cache` is
+//! given. `--list` prints one `<key> <hit|miss> <encoded experiment>`
+//! line per cell without simulating (the dry-run that feeds
+//! `sweep_worker` shard files); `--enqueue` adds uncached cells to a
+//! fault-tolerant work-stealing queue (`sweep_worker --queue`);
+//! `--cache-only` renders from whatever the cache holds, reporting
+//! absent cells per point as `n/a`. See `--help`.
 
-use gtt_bench::{fig9, fig9_points, render_figure_tables, render_shard_list, SweepConfig};
+use gtt_bench::{fig9_sweeps, figure_main};
 
 fn main() {
-    let config = SweepConfig::from_args();
-    if SweepConfig::list_requested() {
-        print!("{}", render_shard_list(&fig9_points(), &config));
-        return;
-    }
-    eprintln!("running fig9 sweep ({} seeds/point)…", config.seeds.len());
-    let results = fig9(&config);
-    print!("{}", render_figure_tables("9", &results));
-    eprintln!(
-        "sweep cache: {} hits, {} misses",
-        results.cache_hits, results.cache_misses
-    );
+    figure_main("fig9", fig9_sweeps());
 }

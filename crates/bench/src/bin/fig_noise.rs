@@ -1,35 +1,19 @@
 //! The interference-robustness figure: GT-TSCH vs Orchestra under
 //! periodic wideband noise bursts, sweeping burst depth and period.
 //!
-//! Usage: `fig_noise [--quick] [--no-cache] [--cache-dir DIR] [--list]`
-//! — `--quick` averages 2 seeds instead of 5; cells are served from /
-//! the persistent sweep cache (default `target/sweep-cache`) unless
-//! `--no-cache` is given. `--list` prints one
-//! `<key> <hit|miss> <encoded experiment>` line per cell of *both*
-//! sweeps (shared cells once) without simulating — the dry-run that
-//! feeds `sweep_worker` shard files.
+//! Usage: `fig_noise [--quick] [--no-cache | --cache-only] [--cache-dir
+//! DIR] [--jobs N] [--list | --enqueue QUEUE_DIR]` — `--quick` averages
+//! 2 seeds instead of 5; cells are served from / into the persistent
+//! sweep cache (default `target/sweep-cache`) unless `--no-cache` is
+//! given. `--list` prints one `<key> <hit|miss> <encoded experiment>`
+//! line per cell of *both* sweeps (shared cells once) without
+//! simulating; `--enqueue` adds uncached cells to a fault-tolerant
+//! work-stealing queue (`sweep_worker --queue`); `--cache-only` renders
+//! from whatever the cache holds, reporting absent cells per point as
+//! `n/a`. See `--help`.
 
-use gtt_bench::{
-    fig_noise_depth, fig_noise_depth_points, fig_noise_period, fig_noise_period_points,
-    render_figure_tables, render_shard_list, SweepConfig,
-};
+use gtt_bench::{fig_noise_sweeps, figure_main};
 
 fn main() {
-    let config = SweepConfig::from_args();
-    if SweepConfig::list_requested() {
-        let mut points = fig_noise_depth_points();
-        points.extend(fig_noise_period_points());
-        print!("{}", render_shard_list(&points, &config));
-        return;
-    }
-    eprintln!("running noise sweeps ({} seeds/point)…", config.seeds.len());
-    let depth = fig_noise_depth(&config);
-    print!("{}", render_figure_tables("noise-depth", &depth));
-    let period = fig_noise_period(&config);
-    print!("{}", render_figure_tables("noise-period", &period));
-    eprintln!(
-        "sweep cache: {} hits, {} misses",
-        depth.cache_hits + period.cache_hits,
-        depth.cache_misses + period.cache_misses
-    );
+    figure_main("fig_noise", fig_noise_sweeps());
 }

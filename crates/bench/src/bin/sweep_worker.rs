@@ -1,21 +1,34 @@
-//! Multi-process sweep sharder: fills the shared sweep cache from
-//! shard files of canonically-encoded experiments.
+//! Multi-process sweep worker: fills the shared sweep cache from shard
+//! files — or steals cells from a fault-tolerant on-disk queue.
 //!
-//! Usage: `sweep_worker [--cache-dir DIR] [--jobs N] SHARD_FILE...`
+//! Usage:
 //!
-//! A shard file holds one cell per line — blank lines and `#` comments
-//! are skipped, and the *last* whitespace-separated token of each line
-//! is the hex-armored canonical encoding of one [`Experiment`] (so the
-//! `<key> <hit|miss> <hex>` lines of a figure binary's `--list` output
-//! are valid shard lines as-is). For every cell the worker checks the
-//! cache (default `target/sweep-cache`), simulates on a miss, and
-//! writes the result back atomically. Cells are drained by `--jobs N`
-//! in-process threads (default: one per available core) — the cache
-//! writes are atomic temp+rename, so in-process and cross-process
-//! parallelism compose freely.
+//! ```text
+//! sweep_worker [--cache-dir DIR] [--jobs N] SHARD_FILE...
+//! sweep_worker [--cache-dir DIR] [--jobs N] --queue QUEUE_DIR
+//!              [--heartbeat-ms MS] [--lease-timeout-ms MS] [--retries N]
+//! ```
 //!
-//! Sharding a sweep across processes (or hosts sharing the directory)
-//! is therefore plain text surgery:
+//! **Shard mode** (static partitioning, PR 5/6 behavior, byte-for-byte
+//! unchanged): a shard file holds one cell per line — blank lines and
+//! `#` comments are skipped, and the *last* whitespace-separated token
+//! of each line is the hex-armored canonical encoding of one
+//! [`Experiment`] (so the `<key> <hit|miss> <hex>` lines of a figure
+//! binary's `--list` output are valid shard lines as-is, and so are the
+//! `failed/` entries a queue parks). For every cell the worker checks
+//! the cache (default `target/sweep-cache`), simulates on a miss, and
+//! writes the result back atomically.
+//!
+//! **Queue mode** (`--queue`): the worker claims cells from a shared
+//! queue directory populated by a figure binary's `--enqueue`,
+//! heartbeats its leases, steals cells whose owner died (stale
+//! heartbeat → requeue with retry budget), and parks cells that keep
+//! failing in `failed/`. Any number of workers — processes or hosts
+//! sharing the directory — drain the same queue; killing one loses no
+//! cells. See `crates/bench/src/queue.rs` and ARCHITECTURE.md ("Sweep
+//! fabric") for the lease lifecycle.
+//!
+//! Sharding a sweep across processes is plain text surgery:
 //!
 //! ```text
 //! fig8 --quick --list > cells.list
@@ -25,51 +38,170 @@
 //! fig8 --quick        # 100% cache hits, byte-identical tables
 //! ```
 //!
-//! Workers never coordinate: disjoint shards never write the same key,
-//! overlapping shards at worst duplicate work (last atomic rename
-//! wins, both compute the identical bytes), and a torn line fails
-//! decoding loudly rather than poisoning the cache.
+//! and the crash-tolerant equivalent needs no splitting at all:
+//!
+//! ```text
+//! fig8 --quick --enqueue Q
+//! sweep_worker --queue Q & sweep_worker --queue Q & wait
+//! fig8 --quick        # 100% cache hits, byte-identical tables
+//! ```
+//!
+//! Workers never coordinate beyond the queue's atomic renames:
+//! overlapping work at worst duplicates a deterministic computation
+//! (identical bytes, last atomic rename wins) and never poisons the
+//! cache. Exit status: 0 on a clean drain, 1 if any cell ended in
+//! `failed/` or leaked, 2 on a command-line error.
 //!
 //! [`Experiment`]: gtt_workload::Experiment
 
 use std::path::PathBuf;
+use std::process::exit;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
-use gtt_bench::{ensure_cached, jobs_from};
+use gtt_bench::{ensure_cached, run_queue_worker, QueueWorkerConfig};
 use gtt_workload::Experiment;
 
-fn main() {
+const USAGE: &str = "usage: sweep_worker [--cache-dir DIR] [--jobs N] SHARD_FILE...\n\
+       sweep_worker [--cache-dir DIR] [--jobs N] --queue QUEUE_DIR\n\
+                    [--heartbeat-ms MS] [--lease-timeout-ms MS] [--retries N]";
+
+const HELP: &str = "\nFills the shared sweep cache with simulated cells.\n\n\
+Options:\n  \
+--cache-dir DIR        sweep cache location (default target/sweep-cache)\n  \
+--jobs N               worker threads (default: one per core)\n  \
+--queue QUEUE_DIR      work-stealing mode: claim cells from this queue\n                         \
+directory (see `fig8 --enqueue`) instead of shard files\n  \
+--heartbeat-ms MS      queue mode: lease re-stamp interval (default 500)\n  \
+--lease-timeout-ms MS  queue mode: how long a frozen heartbeat must be\n                         \
+observed before the lease is stolen (default 10000)\n  \
+--retries N            queue mode: requeues per cell before it is parked\n                         \
+in failed/ (default 3)\n  \
+--help                 this text\n";
+
+fn bad_usage(message: &str) -> ! {
+    eprintln!("error: {message}\n{USAGE}");
+    exit(2);
+}
+
+struct Args {
+    cache_dir: PathBuf,
+    jobs: usize,
+    queue: Option<PathBuf>,
+    heartbeat: Duration,
+    lease_timeout: Duration,
+    retries: u32,
+    shard_files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Args {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = jobs_from(&args);
-    let mut cache_dir = PathBuf::from("target/sweep-cache");
-    let mut shard_files = Vec::new();
+    let mut parsed = Args {
+        cache_dir: PathBuf::from("target/sweep-cache"),
+        jobs: 0,
+        queue: None,
+        heartbeat: Duration::from_millis(500),
+        lease_timeout: Duration::from_millis(10_000),
+        retries: 3,
+        shard_files: Vec::new(),
+    };
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
-            "--cache-dir" => {
-                i += 1;
-                cache_dir = match args.get(i) {
-                    Some(path) if !path.starts_with("--") => PathBuf::from(path),
-                    _ => panic!("--cache-dir needs a path"),
-                };
+        // A flag value may not itself look like a flag: `--cache-dir
+        // --jobs` is a forgotten value, not a directory named --jobs.
+        let value_of = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            match args.get(*i) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => bad_usage(&format!("{flag} needs a value")),
             }
-            "--jobs" => i += 1, // value parsed by jobs_from
-            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
-            file => shard_files.push(PathBuf::from(file)),
+        };
+        let millis_of = |i: &mut usize, flag: &str| -> Duration {
+            match value_of(i, flag).parse::<u64>() {
+                Ok(ms) if ms > 0 => Duration::from_millis(ms),
+                _ => bad_usage(&format!("{flag} needs a positive millisecond count")),
+            }
+        };
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}\n{HELP}");
+                exit(0);
+            }
+            "--cache-dir" => parsed.cache_dir = PathBuf::from(value_of(&mut i, "--cache-dir")),
+            "--queue" => parsed.queue = Some(PathBuf::from(value_of(&mut i, "--queue"))),
+            "--jobs" => match value_of(&mut i, "--jobs").parse::<usize>() {
+                Ok(n) if n > 0 => parsed.jobs = n,
+                _ => bad_usage("--jobs needs a positive integer"),
+            },
+            "--heartbeat-ms" => parsed.heartbeat = millis_of(&mut i, "--heartbeat-ms"),
+            "--lease-timeout-ms" => parsed.lease_timeout = millis_of(&mut i, "--lease-timeout-ms"),
+            "--retries" => match value_of(&mut i, "--retries").parse::<u32>() {
+                Ok(n) => parsed.retries = n,
+                Err(_) => bad_usage("--retries needs a non-negative integer"),
+            },
+            flag if flag.starts_with("--") => bad_usage(&format!("unknown flag {flag}")),
+            file => parsed.shard_files.push(PathBuf::from(file)),
         }
         i += 1;
     }
-    assert!(
-        !shard_files.is_empty(),
-        "usage: sweep_worker [--cache-dir DIR] [--jobs N] SHARD_FILE..."
-    );
+    match (&parsed.queue, parsed.shard_files.is_empty()) {
+        (Some(_), false) => bad_usage("--queue and shard files are mutually exclusive"),
+        (None, true) => bad_usage("need shard files or --queue QUEUE_DIR"),
+        _ => parsed,
+    }
+}
 
-    // Decode every shard line up front so a torn line aborts before any
-    // simulation time is spent.
+fn main() {
+    let args = parse_args();
+    if let Some(queue) = &args.queue {
+        run_queue_mode(&args, queue.clone());
+    } else {
+        run_shard_mode(&args);
+    }
+}
+
+/// Queue mode: drain the work-stealing queue, then report and gate the
+/// exit status on the queue-wide failure/leak counts.
+fn run_queue_mode(args: &Args, queue: PathBuf) -> ! {
+    let mut config = QueueWorkerConfig::new(queue, &args.cache_dir);
+    config.jobs = args.jobs;
+    config.heartbeat = args.heartbeat;
+    config.lease_timeout = args.lease_timeout;
+    config.retry_budget = args.retries;
+    let worker_id = config.worker_id.clone();
+    let stats = run_queue_worker(&config).unwrap_or_else(|e| {
+        eprintln!("sweep_worker[{worker_id}]: queue IO error: {e}");
+        exit(1);
+    });
+    println!(
+        "sweep_worker[{worker_id}]: {} done ({} computed, {} cache hits), \
+         {} requeued, {} failed, {} corrupt, {} lost",
+        stats.completed,
+        stats.computed,
+        stats.cache_hits,
+        stats.requeued,
+        stats.failed_total,
+        stats.corrupt,
+        stats.lost
+    );
+    if stats.store_errors > 0 {
+        eprintln!(
+            "sweep_worker[{worker_id}]: {} cache store errors (cells were requeued)",
+            stats.store_errors
+        );
+    }
+    exit(i32::from(stats.failed_total + stats.lost > 0));
+}
+
+/// Shard mode: decode every line up front (a torn line aborts before
+/// any simulation time is spent), then drain the cells over threads.
+fn run_shard_mode(args: &Args) {
     let mut cells: Vec<Experiment> = Vec::new();
-    for file in &shard_files {
-        let text = std::fs::read_to_string(file)
-            .unwrap_or_else(|e| panic!("cannot read shard file {}: {e}", file.display()));
+    for file in &args.shard_files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("error: cannot read shard file {}: {e}", file.display());
+            exit(2);
+        });
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -86,12 +218,12 @@ fn main() {
         }
     }
 
-    let threads = if jobs == 0 {
+    let threads = if args.jobs == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
     } else {
-        jobs
+        args.jobs
     }
     .min(cells.len().max(1));
 
@@ -106,7 +238,7 @@ fn main() {
                     break;
                 }
                 let experiment = &cells[j];
-                if ensure_cached(&cache_dir, experiment) {
+                if ensure_cached(&args.cache_dir, experiment) {
                     hits.fetch_add(1, Ordering::Relaxed);
                 } else {
                     computed.fetch_add(1, Ordering::Relaxed);
@@ -126,7 +258,7 @@ fn main() {
     println!(
         "sweep_worker: {} cells into {} ({} already cached, {} computed)",
         hits + computed,
-        cache_dir.display(),
+        args.cache_dir.display(),
         hits,
         computed
     );

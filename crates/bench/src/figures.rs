@@ -12,6 +12,7 @@ use gtt_orchestra::OrchestraConfig;
 use gtt_sim::SimDuration;
 use gtt_workload::{Experiment, NoiseBurst, Overlay, RunSpec, ScenarioSpec, SchedulerKind};
 
+use crate::cli::FigureSweep;
 use crate::sweep::{run_sweep, SweepConfig, SweepPoint, SweepResults};
 
 /// Warm-up before measurement (network formation + schedule
@@ -59,6 +60,15 @@ pub fn fig8(config: &SweepConfig) -> SweepResults {
     run_sweep("ppm/node", fig8_points(), config)
 }
 
+/// The `fig8` binary's sweeps (for [`crate::figure_main`]).
+pub fn fig8_sweeps() -> Vec<FigureSweep> {
+    vec![FigureSweep {
+        table: "8",
+        x_axis: "ppm/node",
+        points: fig8_points(),
+    }]
+}
+
 /// **Fig. 9** points — performance vs. DODAG size (6–9 nodes per DODAG,
 /// two DODAGs) at 120 ppm per node.
 pub fn fig9_points() -> Vec<SweepPoint> {
@@ -78,6 +88,15 @@ pub fn fig9_points() -> Vec<SweepPoint> {
 /// Runs the **Fig. 9** sweep.
 pub fn fig9(config: &SweepConfig) -> SweepResults {
     run_sweep("nodes/DODAG", fig9_points(), config)
+}
+
+/// The `fig9` binary's sweeps (for [`crate::figure_main`]).
+pub fn fig9_sweeps() -> Vec<FigureSweep> {
+    vec![FigureSweep {
+        table: "9",
+        x_axis: "nodes/DODAG",
+        points: fig9_points(),
+    }]
 }
 
 /// **Fig. 10** points — performance vs. unicast slotframe length:
@@ -110,6 +129,15 @@ pub fn fig10_points() -> Vec<SweepPoint> {
 /// Runs the **Fig. 10** sweep.
 pub fn fig10(config: &SweepConfig) -> SweepResults {
     run_sweep("unicast slotframe", fig10_points(), config)
+}
+
+/// The `fig10` binary's sweeps (for [`crate::figure_main`]).
+pub fn fig10_sweeps() -> Vec<FigureSweep> {
+    vec![FigureSweep {
+        table: "10",
+        x_axis: "unicast slotframe",
+        points: fig10_points(),
+    }]
 }
 
 /// **Noise figure** points — interference-burst depth sweep: GT-TSCH vs
@@ -177,6 +205,22 @@ pub fn fig_noise_period_points() -> Vec<SweepPoint> {
 /// Runs the noise **period** sweep.
 pub fn fig_noise_period(config: &SweepConfig) -> SweepResults {
     run_sweep("burst period", fig_noise_period_points(), config)
+}
+
+/// The `fig_noise` binary's two sweeps (for [`crate::figure_main`]).
+pub fn fig_noise_sweeps() -> Vec<FigureSweep> {
+    vec![
+        FigureSweep {
+            table: "noise-depth",
+            x_axis: "burst PRR factor",
+            points: fig_noise_depth_points(),
+        },
+        FigureSweep {
+            table: "noise-period",
+            x_axis: "burst period",
+            points: fig_noise_period_points(),
+        },
+    ]
 }
 
 /// **Ablation (§VII-D)** points — the α/β/γ preference weights of the
@@ -309,7 +353,7 @@ mod tests {
             &SweepConfig {
                 seeds: vec![1],
                 threads: 1,
-                cache_dir: None,
+                ..SweepConfig::default()
             },
         );
         let p = &results.points[0];

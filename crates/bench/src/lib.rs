@@ -11,29 +11,38 @@
 //! | `ablation_weights` | §VII-D discussion | α/β/γ settings of the payoff |
 //! | `ablation_channel` | §III strategies | Algorithm 1 vs hash-based channels |
 //! | `diagnose` | — | one verbose run with per-node breakdown |
-//! | `sweep_worker` | — | fills the sweep cache from shard files of encoded experiments |
+//! | `sweep_worker` | — | fills the sweep cache from shard files or a work-stealing queue |
 //!
 //! Each figure binary prints the paper's six series (PDR, end-to-end
 //! delay, packet loss, radio duty cycle, queue loss, received
 //! packets/minute) as one table per sub-figure, averaged over seeds,
 //! ready to paste into `EXPERIMENTS.md` — or, with `--list`, dumps its
 //! cells as canonical-key / cache-status / encoded-experiment lines for
-//! cross-process sharding via `sweep_worker`.
+//! cross-process sharding via `sweep_worker`, or, with `--enqueue`,
+//! feeds them to the fault-tolerant queue fabric of [`queue`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod figures;
+pub mod queue;
 pub mod sweep;
 pub mod table;
 
+pub use cli::{figure_main, jobs_from, FigureSweep};
 pub use figures::{
     ablation_channel, ablation_channel_points, ablation_weights, ablation_weights_points, fig10,
-    fig10_points, fig8, fig8_points, fig9, fig9_points, fig_noise_depth, fig_noise_depth_points,
-    fig_noise_period, fig_noise_period_points,
+    fig10_points, fig10_sweeps, fig8, fig8_points, fig8_sweeps, fig9, fig9_points, fig9_sweeps,
+    fig_noise_depth, fig_noise_depth_points, fig_noise_period, fig_noise_period_points,
+    fig_noise_sweeps,
+};
+pub use queue::{
+    enqueue_points, run_queue_worker, EnqueueSummary, QueueCell, QueueDir, QueueWorkerConfig,
+    QueueWorkerStats, Requeue, StaleTracker,
 };
 pub use sweep::{
-    cell_key, ensure_cached, jobs_from, probe_cached, render_shard_list, PointResult, SweepConfig,
-    SweepPoint, SweepResults,
+    cell_key, ensure_cached, probe_cached, render_shard_list, PointResult, SweepConfig, SweepPoint,
+    SweepResults,
 };
 pub use table::render_figure_tables;

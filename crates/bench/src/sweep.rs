@@ -15,16 +15,32 @@
 //! hex-on-text because the vendored `serde` stand-in is marker-only
 //! (see `crates/compat`).
 //!
+//! Cell files end in a 128-bit FNV content checksum, so the loader can
+//! tell three states apart: a *hit* (schema + checksum verify), a
+//! *miss* (no file, or a file written by a different cache schema
+//! version), and a *corrupt* cell (bytes present but torn, truncated or
+//! bit-flipped). Corrupt cells are never served and never silently
+//! treated as a miss: they are quarantined to a `corrupt/` subdirectory
+//! and counted in [`SweepResults::corrupt_cells`]. Likewise cache
+//! *writes* that fail are counted ([`SweepResults::store_errors`]) and
+//! the first error is kept for the harness to print, instead of being
+//! silently dropped.
+//!
 //! The same keys and encodings power cross-process sharding: figure
 //! binaries dump their cells as one hex-encoded experiment per line
 //! (`--list`, rendered by [`render_shard_list`]), any number of
 //! `sweep_worker` processes fill the shared cache directory from
-//! disjoint slices of those lines ([`ensure_cached`]), and the final
-//! figure run is then 100% cache hits.
+//! disjoint slices of those lines ([`ensure_cached`]) — or steal work
+//! from a fault-tolerant on-disk queue (see [`crate::queue`]) — and the
+//! final figure run is then 100% cache hits. A figure can also render
+//! from a *partially* warm cache ([`SweepConfig::cache_only`]): missing
+//! cells are counted per point and rendered as explicit `n/a` table
+//! cells instead of being simulated (or panicking).
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crossbeam::thread;
 use gtt_metrics::{FigureRow, Summary};
@@ -39,9 +55,17 @@ use gtt_workload::Experiment;
 /// inputs, different simulator.) `--no-cache` (or deleting
 /// `target/sweep-cache`) forces fresh runs, and CI's figure smoke
 /// always passes `--no-cache` for this reason.
-// v3: mean delay is now an integer-nanosecond streaming sum (ulp-level
-// delay_ms drift vs the old per-packet f64 summation).
-const CACHE_SCHEMA: &str = "gtt-sweep-cache v3";
+// v4: cell files carry a trailing fnv128 content checksum; torn or
+// bit-flipped cells are quarantined instead of parsed.
+const CACHE_SCHEMA: &str = "gtt-sweep-cache v4";
+
+/// Shared prefix of every [`CACHE_SCHEMA`] generation. A first line
+/// with this prefix but a different version is an *expected* stale cell
+/// (a plain miss); any other first line means the file is damaged.
+const CACHE_SCHEMA_FAMILY: &str = "gtt-sweep-cache ";
+
+/// Subdirectory of the cache dir where damaged cells are parked.
+const QUARANTINE_SUBDIR: &str = "corrupt";
 
 /// One (x-value, experiment) point of a sweep. The per-seed cells are
 /// the point's experiment re-seeded from [`SweepConfig::seeds`].
@@ -65,6 +89,13 @@ pub struct SweepConfig {
     /// disables caching). The figure binaries default to
     /// `target/sweep-cache`.
     pub cache_dir: Option<PathBuf>,
+    /// Render-only mode: cells absent from the cache are *not*
+    /// simulated — they are counted per point
+    /// ([`PointResult::missing`]) and rendered as `n/a`. This is how a
+    /// figure is assembled from a partially-warm cache while queue
+    /// workers are still filling it (or after some cells were parked in
+    /// `failed/`).
+    pub cache_only: bool,
 }
 
 impl Default for SweepConfig {
@@ -73,6 +104,7 @@ impl Default for SweepConfig {
             seeds: vec![1, 2, 3, 4, 5],
             threads: 0,
             cache_dir: None,
+            cache_only: false,
         }
     }
 }
@@ -82,8 +114,7 @@ impl SweepConfig {
     pub fn quick() -> Self {
         SweepConfig {
             seeds: vec![1, 2],
-            threads: 0,
-            cache_dir: None,
+            ..SweepConfig::default()
         }
     }
 
@@ -91,69 +122,6 @@ impl SweepConfig {
     pub fn cached(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
         self
-    }
-
-    /// The figure binaries' shared configuration: `--quick` selects the
-    /// 2-seed smoke set, `--jobs N` pins the worker-thread count
-    /// (default: one per available core), and the persistent cache lives
-    /// under `target/sweep-cache` (`--cache-dir PATH` relocates it,
-    /// `--no-cache` disables it).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `--cache-dir` is given without a path (a silently
-    /// defaulted directory would make a sharding flow re-simulate
-    /// everything and report confusing misses), or when `--jobs` is
-    /// given without a positive integer.
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let quick = args.iter().any(|a| a == "--quick");
-        let no_cache = args.iter().any(|a| a == "--no-cache");
-        let cache_dir = match args.iter().position(|a| a == "--cache-dir") {
-            Some(i) => match args.get(i + 1) {
-                Some(path) if !path.starts_with("--") => path.clone(),
-                _ => panic!("--cache-dir needs a path"),
-            },
-            None => "target/sweep-cache".into(),
-        };
-        let mut config = if quick {
-            SweepConfig::quick()
-        } else {
-            SweepConfig::default()
-        };
-        config.threads = jobs_from(&args);
-        if no_cache {
-            config
-        } else {
-            config.cached(cache_dir)
-        }
-    }
-
-    /// True when `--list` was given: print each cell's canonical key,
-    /// cache status and encoded experiment instead of simulating (the
-    /// dry-run that feeds `sweep_worker` shard files).
-    pub fn list_requested() -> bool {
-        std::env::args().any(|a| a == "--list")
-    }
-}
-
-/// Parses `--jobs N` from an argv slice: `0` (auto — one worker per
-/// available core) when the flag is absent. Shared by every binary that
-/// fans simulation out over threads (`fig*`, `bench_engine`,
-/// `sweep_worker`).
-///
-/// # Panics
-///
-/// Panics when `--jobs` is present without a positive integer — a
-/// silently defaulted job count would hide a typo in a benchmark
-/// command line.
-pub fn jobs_from(args: &[String]) -> usize {
-    match args.iter().position(|a| a == "--jobs") {
-        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n > 0 => n,
-            _ => panic!("--jobs needs a positive integer"),
-        },
-        None => 0,
     }
 }
 
@@ -164,19 +132,30 @@ pub struct PointResult {
     pub x_label: String,
     /// Scheduler name.
     pub scheduler: &'static str,
-    /// Seed-averaged six-series row.
+    /// Seed-averaged six-series row. Meaningless (all zero) when
+    /// [`rows`](Self::rows) is empty — the table renderer prints `n/a`
+    /// for such points.
     pub mean: FigureRow,
-    /// Per-seed rows (for dispersion).
+    /// Per-seed rows (for dispersion). May hold fewer rows than
+    /// configured seeds — or none — in cache-only mode.
     pub rows: Vec<FigureRow>,
     /// Mean join ratio across seeds (sanity signal).
     pub join_ratio: f64,
     /// Mean packets generated.
     pub generated: f64,
+    /// Cells of this point that could not be served in cache-only mode
+    /// (plain misses and quarantined corrupt cells). Always 0 when
+    /// simulation is allowed.
+    pub missing: usize,
 }
 
 impl PointResult {
-    /// 95% confidence half-width of the PDR across seeds.
+    /// 95% confidence half-width of the PDR across seeds (`NaN` when
+    /// the point has no rows at all).
     pub fn pdr_ci95(&self) -> f64 {
+        if self.rows.is_empty() {
+            return f64::NAN;
+        }
         self.rows
             .iter()
             .map(|r| r.pdr_percent)
@@ -195,8 +174,22 @@ pub struct SweepResults {
     /// Cells served from the persistent cache.
     pub cache_hits: usize,
     /// Cells that had to be simulated (and were written back when
-    /// caching is enabled).
+    /// caching is enabled). Does *not* include corrupt cells — those
+    /// are counted separately so damage is never reported as a plain
+    /// miss.
     pub cache_misses: usize,
+    /// Damaged cache cells (torn/truncated/bit-flipped) that were
+    /// quarantined to `corrupt/` instead of being served or silently
+    /// recounted as misses.
+    pub corrupt_cells: usize,
+    /// Cache write-backs that failed (the cells themselves were still
+    /// used for the figure; only persistence was lost).
+    pub store_errors: usize,
+    /// The first cache write-back error, for a one-line warning.
+    pub first_store_error: Option<String>,
+    /// Total cells skipped in cache-only mode (sum of per-point
+    /// [`PointResult::missing`]).
+    pub missing_cells: usize,
 }
 
 impl SweepResults {
@@ -232,10 +225,10 @@ impl SweepResults {
 
 /// One cached cell: what [`PointResult`] needs per seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct CellResult {
-    row: FigureRow,
-    join_ratio: f64,
-    generated: u64,
+pub(crate) struct CellResult {
+    pub(crate) row: FigureRow,
+    pub(crate) join_ratio: f64,
+    pub(crate) generated: u64,
 }
 
 /// FNV-1a over `bytes`, from an arbitrary offset basis (two different
@@ -249,7 +242,8 @@ fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
     h
 }
 
-/// The cache key of an encoded experiment.
+/// 128-bit FNV-1a digest as 32 hex chars (cache keys *and* the cell
+/// files' trailing content checksum).
 fn key_of_bytes(encoded: &[u8]) -> String {
     format!(
         "{:016x}{:016x}",
@@ -267,42 +261,109 @@ pub fn cell_key(experiment: &Experiment) -> String {
     key_of_bytes(&experiment.encode())
 }
 
-/// Loads a cached cell, or `None` on any mismatch (treated as a miss).
-fn cache_load(dir: &Path, key: &str) -> Option<CellResult> {
-    let text = std::fs::read_to_string(dir.join(key)).ok()?;
-    let mut lines = text.lines();
-    if lines.next()? != CACHE_SCHEMA {
-        return None;
-    }
-    let _human = lines.next()?; // descriptive line, not parsed
-    let mut values = lines.next()?.split_whitespace();
-    let mut next_f64 = || -> Option<f64> {
-        let bits = u64::from_str_radix(values.next()?, 16).ok()?;
-        Some(f64::from_bits(bits))
-    };
-    let row = FigureRow {
-        pdr_percent: next_f64()?,
-        delay_ms: next_f64()?,
-        loss_per_min: next_f64()?,
-        duty_cycle_percent: next_f64()?,
-        queue_loss: next_f64()?,
-        received_per_min: next_f64()?,
-    };
-    let join_ratio = next_f64()?;
-    let generated = u64::from_str_radix(values.next()?, 16).ok()?;
-    Some(CellResult {
-        row,
-        join_ratio,
-        generated,
-    })
+/// What [`cache_fetch`] found for one key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CacheFetch {
+    /// Schema and checksum verified; the value is trustworthy.
+    Hit(CellResult),
+    /// No cell (no file, an unreadable file, or a cell written by a
+    /// different — older or newer — cache schema version).
+    Miss,
+    /// Bytes exist but are damaged: truncated, torn, bit-flipped, or
+    /// not a cache cell at all. Must be quarantined, never recomputed
+    /// as if it were a plain miss.
+    Corrupt,
 }
 
-/// Writes a finished cell; errors are ignored (the cache is an
-/// optimization, never a correctness dependency). The write goes
-/// through a per-process temp file + rename so concurrent
-/// `sweep_worker` processes filling the same directory can never
-/// expose a half-written cell.
-fn cache_store(dir: &Path, key: &str, experiment: &Experiment, c: &CellResult) {
+/// Classifies the cached cell under `dir/key` without side effects.
+pub(crate) fn cache_fetch(dir: &Path, key: &str) -> CacheFetch {
+    // Read errors of any kind are a miss, not corruption: "corrupt"
+    // means bytes were present and wrong. An unreadable cell heals
+    // itself when the recomputed value is renamed over it.
+    let Ok(text) = std::fs::read_to_string(dir.join(key)) else {
+        return CacheFetch::Miss;
+    };
+    parse_cell(&text)
+}
+
+/// Parses one cell file body (schema line, human line, values line,
+/// checksum line).
+fn parse_cell(text: &str) -> CacheFetch {
+    let lines: Vec<&str> = text.lines().collect();
+    let Some(&schema) = lines.first() else {
+        return CacheFetch::Corrupt; // empty file
+    };
+    if schema != CACHE_SCHEMA {
+        return if schema.starts_with(CACHE_SCHEMA_FAMILY) {
+            CacheFetch::Miss // a different cache generation — expected
+        } else {
+            CacheFetch::Corrupt
+        };
+    }
+    if lines.len() != 4 {
+        return CacheFetch::Corrupt; // truncated or trailing garbage
+    }
+    let body = format!("{}\n{}\n{}\n", lines[0], lines[1], lines[2]);
+    let Some(digest) = lines[3].strip_prefix("fnv128 ") else {
+        return CacheFetch::Corrupt;
+    };
+    if digest != key_of_bytes(body.as_bytes()) {
+        return CacheFetch::Corrupt; // bit flip somewhere in the body
+    }
+    fn next_f64(values: &mut std::str::SplitWhitespace<'_>) -> Option<f64> {
+        let bits = u64::from_str_radix(values.next()?, 16).ok()?;
+        Some(f64::from_bits(bits))
+    }
+    let parsed = (|| {
+        let mut values = lines[2].split_whitespace();
+        let row = FigureRow {
+            pdr_percent: next_f64(&mut values)?,
+            delay_ms: next_f64(&mut values)?,
+            loss_per_min: next_f64(&mut values)?,
+            duty_cycle_percent: next_f64(&mut values)?,
+            queue_loss: next_f64(&mut values)?,
+            received_per_min: next_f64(&mut values)?,
+        };
+        let join_ratio = next_f64(&mut values)?;
+        let generated = u64::from_str_radix(values.next()?, 16).ok()?;
+        Some(CellResult {
+            row,
+            join_ratio,
+            generated,
+        })
+    })();
+    match parsed {
+        Some(cell) => CacheFetch::Hit(cell),
+        // Checksum verified but the values don't parse: still damage
+        // (a checksum collision or a writer bug), never a silent miss.
+        None => CacheFetch::Corrupt,
+    }
+}
+
+/// Moves a damaged cell out of the way, to `dir/corrupt/key`, so it is
+/// preserved for inspection and can never be fetched again. Returns the
+/// quarantine path.
+pub(crate) fn quarantine(dir: &Path, key: &str) -> std::io::Result<PathBuf> {
+    let qdir = dir.join(QUARANTINE_SUBDIR);
+    std::fs::create_dir_all(&qdir)?;
+    let dst = qdir.join(key);
+    std::fs::rename(dir.join(key), &dst)?;
+    Ok(dst)
+}
+
+/// Writes a finished cell through a per-process temp file + rename so
+/// concurrent workers filling the same directory can never expose a
+/// half-written cell. The body ends in a 128-bit FNV content checksum
+/// that [`cache_fetch`] verifies. IO errors are returned (and counted
+/// by callers into [`SweepResults::store_errors`]) — the cache is an
+/// optimization for figure runs, but queue workers treat a failed store
+/// as a failed cell, because the cache is their only output channel.
+pub(crate) fn cache_store(
+    dir: &Path,
+    key: &str,
+    experiment: &Experiment,
+    c: &CellResult,
+) -> std::io::Result<()> {
     let r = &c.row;
     let body = format!(
         "{CACHE_SCHEMA}\n{} {} seed {}\n{:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:x}\n",
@@ -318,17 +379,19 @@ fn cache_store(dir: &Path, key: &str, experiment: &Experiment, c: &CellResult) {
         c.join_ratio.to_bits(),
         c.generated,
     );
+    let text = format!("{body}fnv128 {}\n", key_of_bytes(body.as_bytes()));
     let tmp = dir.join(format!("{key}.tmp-{}", std::process::id()));
     let write = std::fs::File::create(&tmp)
-        .and_then(|mut f| f.write_all(body.as_bytes()))
+        .and_then(|mut f| f.write_all(text.as_bytes()))
         .and_then(|()| std::fs::rename(&tmp, dir.join(key)));
     if write.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
+    write
 }
 
 /// Simulates one cell.
-fn run_cell(experiment: &Experiment) -> CellResult {
+pub(crate) fn run_cell(experiment: &Experiment) -> CellResult {
     let report = experiment.run();
     CellResult {
         row: report.row,
@@ -337,15 +400,17 @@ fn run_cell(experiment: &Experiment) -> CellResult {
     }
 }
 
-/// True if `experiment`'s cell is already present (and readable) in the
-/// cache under `dir`. Never simulates.
+/// True if `experiment`'s cell is already present (and verified) in the
+/// cache under `dir`. Never simulates, never mutates the cache.
 pub fn probe_cached(dir: &Path, experiment: &Experiment) -> bool {
-    cache_load(dir, &cell_key(experiment)).is_some()
+    matches!(cache_fetch(dir, &cell_key(experiment)), CacheFetch::Hit(_))
 }
 
 /// Guarantees `experiment`'s cell exists in the cache under `dir`,
 /// simulating and storing it on a miss. Returns `true` when the cell
-/// was already cached — the `sweep_worker` primitive.
+/// was already cached — the `sweep_worker` shard-mode primitive. A
+/// corrupt cell is quarantined (with a warning) and recomputed; a
+/// failed store is warned about but does not abort the shard.
 ///
 /// # Panics
 ///
@@ -353,11 +418,18 @@ pub fn probe_cached(dir: &Path, experiment: &Experiment) -> bool {
 pub fn ensure_cached(dir: &Path, experiment: &Experiment) -> bool {
     std::fs::create_dir_all(dir).expect("cache dir must be creatable");
     let key = cell_key(experiment);
-    if cache_load(dir, &key).is_some() {
-        return true;
+    match cache_fetch(dir, &key) {
+        CacheFetch::Hit(_) => return true,
+        CacheFetch::Corrupt => {
+            let _ = quarantine(dir, &key);
+            eprintln!("sweep cache: quarantined corrupt cell {key}");
+        }
+        CacheFetch::Miss => {}
     }
     let cell = run_cell(experiment);
-    cache_store(dir, &key, experiment, &cell);
+    if let Err(e) = cache_store(dir, &key, experiment, &cell) {
+        eprintln!("sweep cache: failed to store cell {key}: {e}");
+    }
     false
 }
 
@@ -380,7 +452,7 @@ pub fn render_shard_list(points: &[SweepPoint], config: &SweepConfig) -> String 
             let hit = config
                 .cache_dir
                 .as_deref()
-                .is_some_and(|dir| cache_load(dir, &key).is_some());
+                .is_some_and(|dir| matches!(cache_fetch(dir, &key), CacheFetch::Hit(_)));
             let status = if hit { "hit" } else { "miss" };
             out.push_str(&format!("{key} {status} {}\n", exp.encode_hex()));
         }
@@ -391,7 +463,11 @@ pub fn render_shard_list(points: &[SweepPoint], config: &SweepConfig) -> String 
 /// Runs every `(point, seed)` cell, in parallel, and averages per
 /// point. With [`SweepConfig::cache_dir`] set, cells whose experiment
 /// is unchanged are served from the persistent cache instead of
-/// simulated.
+/// simulated; corrupt cells are quarantined and recomputed (counted
+/// separately from misses), and failed write-backs are counted. With
+/// [`SweepConfig::cache_only`] additionally set, absent cells are
+/// *skipped* and counted per point instead of simulated — rendering a
+/// figure from a partially-warm cache never panics.
 ///
 /// # Panics
 ///
@@ -403,7 +479,8 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
 
     let cache_dir = config.cache_dir.as_deref();
     if let Some(dir) = cache_dir {
-        // Best effort: an unwritable cache degrades to plain reruns.
+        // Best effort: an unwritable cache degrades to plain reruns
+        // (store errors are counted below).
         let _ = std::fs::create_dir_all(dir);
     }
 
@@ -425,9 +502,11 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
     let next = AtomicUsize::new(0);
     let hits = AtomicUsize::new(0);
     let misses = AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<SeedRuns>> = (0..points.len())
-        .map(|_| std::sync::Mutex::new(Vec::new()))
-        .collect();
+    let corrupt = AtomicUsize::new(0);
+    let store_errors = AtomicUsize::new(0);
+    let first_store_error: Mutex<Option<String>> = Mutex::new(None);
+    let missing: Vec<AtomicUsize> = (0..points.len()).map(|_| AtomicUsize::new(0)).collect();
+    let results: Vec<Mutex<SeedRuns>> = (0..points.len()).map(|_| Mutex::new(Vec::new())).collect();
 
     thread::scope(|scope| {
         for _ in 0..threads {
@@ -439,20 +518,41 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
                 let (i, seed) = jobs[j];
                 let experiment = points[i].experiment.with_seed(seed);
                 let key = cache_dir.map(|_| cell_key(&experiment));
-                let cached = match (cache_dir, &key) {
-                    (Some(dir), Some(k)) => cache_load(dir, k),
-                    _ => None,
+                let (fetched, was_corrupt) = match (cache_dir, &key) {
+                    (Some(dir), Some(k)) => match cache_fetch(dir, k) {
+                        CacheFetch::Hit(cell) => (Some(cell), false),
+                        CacheFetch::Miss => (None, false),
+                        CacheFetch::Corrupt => {
+                            corrupt.fetch_add(1, Ordering::Relaxed);
+                            let _ = quarantine(dir, k);
+                            (None, true)
+                        }
+                    },
+                    _ => (None, false),
                 };
-                let cell = match cached {
+                let cell = match fetched {
                     Some(cell) => {
                         hits.fetch_add(1, Ordering::Relaxed);
                         cell
                     }
+                    None if config.cache_only => {
+                        // Render-only: report the gap instead of paying
+                        // for (or panicking over) the simulation.
+                        missing[i].fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                     None => {
-                        misses.fetch_add(1, Ordering::Relaxed);
+                        if !was_corrupt {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                        }
                         let cell = run_cell(&experiment);
                         if let (Some(dir), Some(k)) = (cache_dir, &key) {
-                            cache_store(dir, k, &experiment, &cell);
+                            if let Err(e) = cache_store(dir, k, &experiment, &cell) {
+                                store_errors.fetch_add(1, Ordering::Relaxed);
+                                let mut slot =
+                                    first_store_error.lock().expect("no poisoned error slot");
+                                slot.get_or_insert_with(|| format!("cell {k}: {e}"));
+                            }
                         }
                         cell
                     }
@@ -466,30 +566,41 @@ pub fn run_sweep(x_axis: &str, points: Vec<SweepPoint>, config: &SweepConfig) ->
     })
     .expect("sweep worker panicked");
 
-    let point_results = points
+    let point_results: Vec<PointResult> = points
         .iter()
         .zip(results)
-        .map(|(point, cell)| {
+        .zip(&missing)
+        .map(|((point, cell), missed)| {
             let mut runs = cell.into_inner().expect("no poisoned result lock");
             runs.sort_by_key(|(seed, _)| *seed); // deterministic order
             let rows: Vec<FigureRow> = runs.iter().map(|(_, c)| c.row).collect();
+            let mean = if rows.is_empty() {
+                FigureRow::default() // rendered as n/a, never shown
+            } else {
+                FigureRow::mean(rows.iter())
+            };
+            let n = runs.len().max(1) as f64;
             PointResult {
                 x_label: point.x_label.clone(),
                 scheduler: point.experiment.scheduler.name(),
-                mean: FigureRow::mean(rows.iter()),
-                join_ratio: runs.iter().map(|(_, c)| c.join_ratio).sum::<f64>() / runs.len() as f64,
-                generated: runs.iter().map(|(_, c)| c.generated as f64).sum::<f64>()
-                    / runs.len() as f64,
+                mean,
+                join_ratio: runs.iter().map(|(_, c)| c.join_ratio).sum::<f64>() / n,
+                generated: runs.iter().map(|(_, c)| c.generated as f64).sum::<f64>() / n,
                 rows,
+                missing: missed.load(Ordering::Relaxed),
             }
         })
         .collect();
 
     SweepResults {
         x_axis: x_axis.to_string(),
+        missing_cells: point_results.iter().map(|p| p.missing).sum(),
         points: point_results,
         cache_hits: hits.into_inner(),
         cache_misses: misses.into_inner(),
+        corrupt_cells: corrupt.into_inner(),
+        store_errors: store_errors.into_inner(),
+        first_store_error: first_store_error.into_inner().expect("no poisoned slot"),
     }
 }
 
@@ -528,7 +639,7 @@ mod tests {
         let cfg = SweepConfig {
             seeds: vec![1, 2],
             threads: 2,
-            cache_dir: None,
+            ..SweepConfig::default()
         };
         let results = run_sweep("traffic", tiny_points(), &cfg);
         assert_eq!(results.points.len(), 2);
@@ -538,9 +649,13 @@ mod tests {
             assert_eq!(p.rows.len(), 2, "one row per seed");
             assert!(p.generated > 0.0);
             assert!(p.join_ratio > 0.0);
+            assert_eq!(p.missing, 0);
         }
         assert!(results.get("minimal", "10").is_some());
         assert!(results.get("minimal", "99").is_none());
+        assert_eq!(results.corrupt_cells, 0);
+        assert_eq!(results.store_errors, 0);
+        assert_eq!(results.missing_cells, 0);
     }
 
     #[test]
@@ -548,12 +663,12 @@ mod tests {
         let one = SweepConfig {
             seeds: vec![7],
             threads: 1,
-            cache_dir: None,
+            ..SweepConfig::default()
         };
         let many = SweepConfig {
             seeds: vec![7],
             threads: 4,
-            cache_dir: None,
+            ..SweepConfig::default()
         };
         let a = run_sweep("x", tiny_points(), &one);
         let b = run_sweep("x", tiny_points(), &many);
@@ -580,7 +695,7 @@ mod tests {
         let cfg = SweepConfig {
             seeds: vec![1, 2],
             threads: 2,
-            cache_dir: None,
+            ..SweepConfig::default()
         }
         .cached(scratch_cache("identical"));
         let first = run_sweep("traffic", tiny_points(), &cfg);
@@ -602,7 +717,7 @@ mod tests {
         let cfg = SweepConfig {
             seeds: vec![1],
             threads: 1,
-            cache_dir: None,
+            ..SweepConfig::default()
         }
         .cached(scratch_cache("invalidate"));
         let _ = run_sweep("traffic", tiny_points(), &cfg);
@@ -626,6 +741,9 @@ mod tests {
     /// canonical encoding has no ambient inputs, so this literal can
     /// only change when the encoding (or its schema version) does —
     /// which is exactly when every cached cell *should* be invalidated.
+    /// (The *cache file* schema — `CACHE_SCHEMA` — is deliberately not
+    /// part of the key: bumping it makes old cells miss via the header
+    /// check without re-keying anything.)
     #[test]
     fn cell_keys_are_stable_across_runs() {
         let exp = tiny_experiment(10.0).with_seed(1);
@@ -649,18 +767,21 @@ mod tests {
             cell_key(&exp),
             "a version bump must re-key every cell"
         );
-        assert!(
-            cache_load(&dir, &bumped_key).is_none(),
+        assert_eq!(
+            cache_fetch(&dir, &bumped_key),
+            CacheFetch::Miss,
             "the bumped key must miss the old cell"
         );
         // The file-format schema line is the second guard: a cell
-        // written by a different CACHE_SCHEMA is a miss, not a parse.
+        // written by a different CACHE_SCHEMA is a *miss* (not corrupt,
+        // not a parse): stale generations are expected, not damage.
         let key = cell_key(&exp);
         let stale = std::fs::read_to_string(dir.join(&key))
             .unwrap()
             .replace(CACHE_SCHEMA, "gtt-sweep-cache v0");
         std::fs::write(dir.join(&key), stale).unwrap();
         assert!(!probe_cached(&dir, &exp), "foreign schema line must miss");
+        assert_eq!(cache_fetch(&dir, &key), CacheFetch::Miss);
     }
 
     /// The concrete v1 → v2 transition (City topologies): cells written
@@ -676,10 +797,132 @@ mod tests {
         // Simulate a leftover v1 cell under its own key: the current
         // build never derives that key, so it stays cold.
         assert!(!ensure_cached(&dir, &exp), "cold cache computes");
-        assert!(
-            cache_load(&dir, &v1_key).is_none(),
+        assert_eq!(
+            cache_fetch(&dir, &v1_key),
+            CacheFetch::Miss,
             "nothing is ever served from the v1 key space"
         );
+    }
+
+    /// A truncated cell must be *corrupt* — quarantined and counted —
+    /// never served, and never silently treated as a plain miss.
+    #[test]
+    fn truncated_cell_is_quarantined_not_a_silent_miss() {
+        let dir = scratch_cache("truncated");
+        let cfg = SweepConfig {
+            seeds: vec![1],
+            threads: 1,
+            ..SweepConfig::default()
+        }
+        .cached(dir.clone());
+        let first = run_sweep("traffic", tiny_points(), &cfg);
+        // Truncate one cell mid-file (schema line intact, body cut).
+        let key = cell_key(&tiny_points()[0].experiment.with_seed(1));
+        let text = std::fs::read_to_string(dir.join(&key)).unwrap();
+        std::fs::write(dir.join(&key), &text[..CACHE_SCHEMA.len() + 6]).unwrap();
+        assert_eq!(cache_fetch(&dir, &key), CacheFetch::Corrupt);
+        assert!(!probe_cached(
+            &dir,
+            &tiny_points()[0].experiment.with_seed(1)
+        ));
+
+        let second = run_sweep("traffic", tiny_points(), &cfg);
+        assert_eq!(second.corrupt_cells, 1, "damage is counted");
+        assert_eq!(second.cache_misses, 0, "damage is not a plain miss");
+        assert_eq!(second.cache_hits, 1, "the intact cell still serves");
+        assert!(
+            dir.join(QUARANTINE_SUBDIR).join(&key).exists(),
+            "damaged bytes are preserved for inspection"
+        );
+        // The recomputed cell is identical and the cache is whole again.
+        for (a, b) in first.points.iter().zip(&second.points) {
+            assert_eq!(a.rows, b.rows, "recomputed cell is byte-identical");
+        }
+        let third = run_sweep("traffic", tiny_points(), &cfg);
+        assert_eq!(third.cache_hits, 2);
+        assert_eq!(third.corrupt_cells, 0);
+    }
+
+    /// A bit flip in the values line fails the content checksum.
+    #[test]
+    fn bit_flipped_cell_fails_the_checksum() {
+        let dir = scratch_cache("bitflip");
+        let exp = tiny_experiment(10.0).with_seed(1);
+        assert!(!ensure_cached(&dir, &exp));
+        let key = cell_key(&exp);
+        let mut bytes = std::fs::read(dir.join(&key)).unwrap();
+        // Flip one bit in the values line (third line).
+        let third_line_start = {
+            let text = String::from_utf8(bytes.clone()).unwrap();
+            let mut idx = 0;
+            for (i, line) in text.split_inclusive('\n').enumerate() {
+                if i == 2 {
+                    break;
+                }
+                idx += line.len();
+            }
+            idx
+        };
+        bytes[third_line_start] ^= 0x01;
+        std::fs::write(dir.join(&key), &bytes).unwrap();
+        assert_eq!(cache_fetch(&dir, &key), CacheFetch::Corrupt);
+        // ensure_cached quarantines + recomputes instead of serving it.
+        assert!(!ensure_cached(&dir, &exp), "corrupt cell is recomputed");
+        assert!(dir.join(QUARANTINE_SUBDIR).join(&key).exists());
+        assert!(ensure_cached(&dir, &exp), "cache is whole again");
+    }
+
+    /// Cache-only rendering from a partially-warm cache: present cells
+    /// are served, absent cells are counted per point — no simulation,
+    /// no panic.
+    #[test]
+    fn cache_only_reports_missing_cells_instead_of_simulating() {
+        let dir = scratch_cache("cache-only");
+        let warm = SweepConfig {
+            seeds: vec![1, 2],
+            threads: 1,
+            ..SweepConfig::default()
+        }
+        .cached(dir.clone());
+        // Warm exactly one of the two points.
+        let _ = run_sweep("traffic", vec![tiny_points().remove(0)], &warm);
+
+        let render = SweepConfig {
+            cache_only: true,
+            ..warm.clone()
+        };
+        let results = run_sweep("traffic", tiny_points(), &render);
+        assert_eq!(results.cache_hits, 2, "warm point served");
+        assert_eq!(results.cache_misses, 0, "nothing simulated");
+        assert_eq!(results.missing_cells, 2, "cold point reported");
+        assert_eq!(results.points[0].missing, 0);
+        assert_eq!(results.points[0].rows.len(), 2);
+        assert_eq!(results.points[1].missing, 2);
+        assert!(results.points[1].rows.is_empty(), "no fabricated rows");
+        assert!(results.points[1].pdr_ci95().is_nan());
+    }
+
+    /// Failed cache write-backs are counted and the first error is
+    /// surfaced — never silently swallowed. The sweep itself still
+    /// completes from the fresh simulations.
+    #[test]
+    fn store_errors_are_counted_and_surfaced() {
+        let blocker = std::env::temp_dir().join("gtt-sweep-store-error-blocker");
+        let _ = std::fs::remove_dir_all(&blocker);
+        let _ = std::fs::remove_file(&blocker);
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        // The cache dir's parent is a plain file: every create fails.
+        let cfg = SweepConfig {
+            seeds: vec![1],
+            threads: 1,
+            ..SweepConfig::default()
+        }
+        .cached(blocker.join("cache"));
+        let results = run_sweep("traffic", tiny_points(), &cfg);
+        assert_eq!(results.store_errors, 2, "both write-backs failed");
+        assert!(results.first_store_error.is_some());
+        assert_eq!(results.points.len(), 2, "figure still rendered");
+        assert!(results.points.iter().all(|p| p.rows.len() == 1));
     }
 
     #[test]
@@ -688,7 +931,7 @@ mod tests {
         let cfg = SweepConfig {
             seeds: vec![1, 2],
             threads: 1,
-            cache_dir: None,
+            ..SweepConfig::default()
         }
         .cached(dir.clone());
         let listing = render_shard_list(&tiny_points(), &cfg);

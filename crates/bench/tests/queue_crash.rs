@@ -1,0 +1,169 @@
+//! Crash-recovery integration test of the work-stealing sweep fabric.
+//!
+//! Two real `sweep_worker --queue` processes drain a queue built from
+//! fig8's cells; one is SIGKILLed while it holds a lease mid-compute.
+//! The survivor must detect the frozen heartbeat, requeue the stale
+//! lease, and finish the figure with **zero lost cells** — and the
+//! table rendered from the queue-filled cache must be byte-identical to
+//! an in-process `--no-cache` baseline.
+
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gtt_bench::{cell_key, sweep::run_sweep};
+use gtt_bench::{
+    enqueue_points, fig8_points, render_figure_tables, QueueDir, SweepConfig, SweepPoint,
+};
+
+/// Two of fig8's cells (both schedulers at 30 ppm), with the
+/// measurement window stretched so each cell takes on the order of a
+/// second in a debug build — wide enough to reliably SIGKILL the victim
+/// *while it is computing*, short enough to keep the test quick.
+fn crash_points() -> Vec<SweepPoint> {
+    fig8_points()
+        .into_iter()
+        .take(2)
+        .map(|mut p| {
+            p.experiment.run.warmup_secs = 30;
+            p.experiment.run.measure_secs = 1500;
+            p
+        })
+        .collect()
+}
+
+fn worker_command(queue: &Path, cache: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sweep_worker"));
+    cmd.args(["--queue"])
+        .arg(queue)
+        .arg("--cache-dir")
+        .arg(cache)
+        .args([
+            "--jobs",
+            "1",
+            "--heartbeat-ms",
+            "100",
+            "--lease-timeout-ms",
+            "1000",
+        ]);
+    cmd
+}
+
+/// Polls until some lease file names the given worker process, then
+/// returns that lease's key. Panics after `limit`.
+fn wait_for_lease_of(queue: &QueueDir, pid: u32, limit: Duration) -> String {
+    let needle = format!("w{pid}-");
+    let deadline = Instant::now() + limit;
+    while Instant::now() < deadline {
+        for key in queue.lease_keys().expect("lease listing") {
+            let Some(lease) = queue.read_lease(&key) else {
+                continue;
+            };
+            if lease.worker.starts_with(&needle) {
+                return key;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("worker {pid} never claimed a lease within {limit:?}");
+}
+
+fn kill_and_reap(mut child: Child) {
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+}
+
+#[test]
+fn sigkilled_worker_loses_no_cells_and_tables_stay_byte_identical() {
+    let root = std::env::temp_dir().join(format!("gtt-queue-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let queue_dir = root.join("queue");
+    let cache_dir = root.join("cache");
+
+    let points = crash_points();
+    let seeds = vec![1u64];
+
+    // Ground truth: a plain in-process, cache-free sweep.
+    let no_cache = SweepConfig {
+        seeds: seeds.clone(),
+        threads: 1,
+        ..SweepConfig::default()
+    };
+    let baseline = render_figure_tables("8", &run_sweep("ppm/node", points.clone(), &no_cache));
+
+    // Enqueue the cells (cold cache: everything goes to pending).
+    let queue = QueueDir::open(&queue_dir).expect("queue opens");
+    let cached = SweepConfig {
+        seeds: seeds.clone(),
+        threads: 1,
+        ..SweepConfig::default()
+    }
+    .cached(&cache_dir);
+    let summary = enqueue_points(&queue, &points, &cached).expect("enqueue");
+    assert_eq!(summary.enqueued, 2, "both cells queued");
+    assert_eq!(summary.already_cached, 0);
+
+    // Victim: claims a cell, gets SIGKILLed while computing it.
+    let victim = worker_command(&queue_dir, &cache_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+    let victim_pid = victim.id();
+    let stolen_key = wait_for_lease_of(&queue, victim_pid, Duration::from_secs(60));
+    kill_and_reap(victim);
+    assert!(
+        queue.read_lease(&stolen_key).is_some(),
+        "the dead worker's lease must survive it (that is the point)"
+    );
+
+    // Survivor: must requeue the orphan lease and finish everything.
+    let survivor = worker_command(&queue_dir, &cache_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn survivor")
+        .wait_with_output()
+        .expect("survivor runs");
+    let stdout = String::from_utf8_lossy(&survivor.stdout);
+    assert!(
+        survivor.status.success(),
+        "survivor must exit 0, said: {stdout}"
+    );
+    assert!(stdout.contains("0 failed"), "no parked cells: {stdout}");
+    assert!(stdout.contains("0 lost"), "no leaked cells: {stdout}");
+    let requeued: usize = stdout
+        .split(", ")
+        .find_map(|part| part.strip_suffix(" requeued"))
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no requeued count in: {stdout}"));
+    assert!(requeued >= 1, "the stale lease was requeued: {stdout}");
+
+    // Queue-level invariants: every cell terminal-done, nothing lost.
+    assert_eq!(queue.pending_keys().expect("pending").len(), 0);
+    assert_eq!(queue.lease_keys().expect("leases").len(), 0);
+    assert_eq!(queue.failed_keys().expect("failed").len(), 0);
+    let done = queue.done_keys().expect("done");
+    assert_eq!(done.len(), 2, "both cells completed");
+    for point in &points {
+        assert!(done.contains(&cell_key(&point.experiment.with_seed(1))));
+    }
+
+    // The figure rendered from the queue-filled cache is byte-identical
+    // to the no-cache baseline — crash, steal and retry changed
+    // scheduling only, never results.
+    let render = SweepConfig {
+        seeds,
+        threads: 1,
+        cache_only: true,
+        ..SweepConfig::default()
+    }
+    .cached(&cache_dir);
+    let results = run_sweep("ppm/node", points, &render);
+    assert_eq!(results.cache_hits, 2, "fully served from the cache");
+    assert_eq!(results.missing_cells, 0);
+    assert_eq!(results.corrupt_cells, 0);
+    assert_eq!(baseline, render_figure_tables("8", &results));
+
+    let _ = std::fs::remove_dir_all(&root);
+}

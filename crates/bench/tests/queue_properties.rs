@@ -1,0 +1,284 @@
+//! Property test of the sweep-queue lease state machine.
+//!
+//! Drives random interleavings of claim / heartbeat / crash / expire /
+//! complete over one on-disk queue directory with several modeled
+//! workers (any of which can crash, freezing its leases), then drains
+//! whatever is left. The invariants, checked after *every* op and at
+//! the end:
+//!
+//! - every cell is always in exactly one state (pending, leased, done
+//!   or failed) — no cell is ever lost and none is duplicated;
+//! - a completed cell's "result" bytes are identical no matter how many
+//!   times crash/requeue interleavings made workers complete it;
+//! - after the final drain, every cell is terminal (done or failed) and
+//!   the two sets are disjoint.
+//!
+//! The model exercises exactly the [`QueueDir`] primitives the real
+//! workers use (`claim`, `stamp_lease`, `requeue_stale`, `complete`);
+//! crashes are modeled as a worker silently forgetting its leases, and
+//! "expire" as an observer having watched a dead worker's frozen
+//! heartbeat past the timeout.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gtt_bench::{QueueDir, Requeue};
+use proptest::prelude::*;
+
+const CELLS: usize = 6;
+const WORKERS: usize = 3;
+const RETRY_BUDGET: u32 = 2;
+
+/// One random op against the queue.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Worker w tries to claim cell c.
+    Claim(usize, usize),
+    /// Worker w re-stamps every lease it holds.
+    Heartbeat(usize),
+    /// Worker w finishes one held cell: writes the result, completes.
+    Complete(usize),
+    /// Worker w dies: its leases stay on disk with frozen heartbeats.
+    Crash(usize),
+    /// An observer has watched every unowned lease stay frozen past the
+    /// timeout and requeues (or parks) them all.
+    Expire,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..CELLS, 0..WORKERS).prop_map(|(c, w)| Op::Claim(c, w)),
+        (0..WORKERS).prop_map(Op::Heartbeat),
+        (0..WORKERS).prop_map(Op::Complete),
+        (0..WORKERS).prop_map(Op::Crash),
+        Just(Op::Expire),
+    ]
+}
+
+/// Synthetic 32-hex cell key for cell index `i`.
+fn key(i: usize) -> String {
+    format!("{i:032x}")
+}
+
+/// The deterministic "result" of computing cell `key` — stands in for
+/// the simulator's byte-identical cached cell.
+fn result_bytes(key: &str) -> String {
+    format!("result of {key}\n")
+}
+
+fn scratch() -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gtt-queue-prop-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The model driver: live workers' held leases + the fake result store.
+struct Model {
+    q: QueueDir,
+    results_dir: PathBuf,
+    /// Live workers' held lease keys (a crash clears the worker's set
+    /// without touching the queue files — exactly what SIGKILL does).
+    held: Vec<BTreeSet<String>>,
+    /// Completions per key, to show double completions really happen
+    /// in these interleavings (and stay byte-identical when they do).
+    completions: BTreeMap<String, usize>,
+}
+
+impl Model {
+    fn new(root: &Path) -> Model {
+        let q = QueueDir::open(root.join("queue")).expect("queue opens");
+        let results_dir = root.join("results");
+        std::fs::create_dir_all(&results_dir).expect("results dir");
+        for i in 0..CELLS {
+            assert!(q.enqueue_hex(&key(i), "0badc0de").expect("enqueue"));
+        }
+        Model {
+            q,
+            results_dir,
+            held: vec![BTreeSet::new(); WORKERS],
+            completions: BTreeMap::new(),
+        }
+    }
+
+    fn worker_name(w: usize) -> String {
+        format!("w{w}")
+    }
+
+    /// Writes the cell's result, asserting byte-identity with any
+    /// earlier completion of the same cell.
+    fn deliver_result(&mut self, key: &str) -> Result<(), TestCaseError> {
+        let path = self.results_dir.join(key);
+        let bytes = result_bytes(key);
+        if let Ok(previous) = std::fs::read_to_string(&path) {
+            prop_assert_eq!(
+                &previous,
+                &bytes,
+                "double completion must produce identical bytes"
+            );
+        }
+        std::fs::write(&path, &bytes).expect("result write");
+        *self.completions.entry(key.to_string()).or_insert(0) += 1;
+        Ok(())
+    }
+
+    fn apply(&mut self, op: Op) -> Result<(), TestCaseError> {
+        match op {
+            Op::Claim(c, w) => {
+                let k = key(c);
+                if let Some(cell) = self.q.claim(&k, &Self::worker_name(w)).expect("claim") {
+                    prop_assert_eq!(cell.worker, Self::worker_name(w));
+                    // No two live workers may ever hold the same lease.
+                    for (other, held) in self.held.iter().enumerate() {
+                        prop_assert!(
+                            !held.contains(&k),
+                            "cell {} already held by live worker {}",
+                            k,
+                            other
+                        );
+                    }
+                    self.held[w].insert(k);
+                }
+            }
+            Op::Heartbeat(w) => {
+                for k in self.held[w].clone() {
+                    self.q.stamp_lease(&k).expect("stamp");
+                }
+            }
+            Op::Complete(w) => {
+                if let Some(k) = self.held[w].iter().next().cloned() {
+                    self.held[w].remove(&k);
+                    self.deliver_result(&k)?;
+                    self.q
+                        .complete(&k, &Self::worker_name(w))
+                        .expect("complete");
+                }
+            }
+            Op::Crash(w) => {
+                // SIGKILL: the worker forgets everything; its lease
+                // files stay behind with heartbeats frozen.
+                self.held[w].clear();
+            }
+            Op::Expire => {
+                for k in self.q.lease_keys().expect("lease list") {
+                    if self.held.iter().any(|held| held.contains(&k)) {
+                        continue; // a live worker owns it
+                    }
+                    let Some(lease) = self.q.read_lease(&k) else {
+                        continue;
+                    };
+                    // The observer watched (worker, beat) stay frozen
+                    // past the timeout.
+                    let verdict = self
+                        .q
+                        .requeue_stale(&k, (&lease.worker, lease.beat), RETRY_BUDGET)
+                        .expect("requeue");
+                    prop_assert_ne!(
+                        verdict,
+                        Requeue::Refreshed,
+                        "an unowned lease with a truly frozen beat must be taken"
+                    );
+                }
+            }
+        }
+        self.check_exactly_one_state()
+    }
+
+    /// Every cell lives in exactly one of the four states.
+    fn check_exactly_one_state(&self) -> Result<(), TestCaseError> {
+        let states = [
+            self.q.pending_keys().expect("pending"),
+            self.q.lease_keys().expect("leases"),
+            self.q.done_keys().expect("done"),
+            self.q.failed_keys().expect("failed"),
+        ];
+        for i in 0..CELLS {
+            let k = key(i);
+            let places = states.iter().filter(|s| s.contains(&k)).count();
+            prop_assert_eq!(places, 1, "cell {} is in {} states", k, places);
+        }
+        Ok(())
+    }
+
+    /// Drains everything left: a fresh worker claims and completes
+    /// pending cells and expires crashed workers' leases until the
+    /// queue is quiet (the real workers' loop, single-threaded).
+    fn drain(&mut self) -> Result<(), TestCaseError> {
+        // The drainer is a fresh worker slot: give it index 0 after a
+        // crash wipe so `held` bookkeeping stays consistent.
+        for held in &mut self.held {
+            held.clear();
+        }
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            prop_assert!(rounds < 1000, "drain does not converge");
+            let mut progressed = false;
+            for k in self.q.pending_keys().expect("pending") {
+                if self.q.claim(&k, "drainer").expect("claim").is_some() {
+                    self.deliver_result(&k)?;
+                    self.q.complete(&k, "drainer").expect("complete");
+                    progressed = true;
+                }
+            }
+            for k in self.q.lease_keys().expect("leases") {
+                let Some(lease) = self.q.read_lease(&k) else {
+                    continue;
+                };
+                self.q
+                    .requeue_stale(&k, (&lease.worker, lease.beat), RETRY_BUDGET)
+                    .expect("requeue");
+                progressed = true;
+            }
+            if !progressed
+                && self.q.pending_keys().expect("pending").is_empty()
+                && self.q.lease_keys().expect("leases").is_empty()
+            {
+                return Ok(());
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random interleavings of claim/heartbeat/crash/expire/complete
+    /// never lose a cell, never double-own a lease, and never complete
+    /// a cell with divergent bytes; after the drain every cell is
+    /// terminal.
+    #[test]
+    fn lease_state_machine_never_loses_or_forks_a_cell(
+        ops in prop::collection::vec(arb_op(), 5..60),
+    ) {
+        let root = scratch();
+        let mut model = Model::new(&root);
+        for op in ops {
+            model.apply(op)?;
+        }
+        model.drain()?;
+        model.check_exactly_one_state()?;
+
+        let done: BTreeSet<String> = model.q.done_keys().expect("done").into_iter().collect();
+        let failed: BTreeSet<String> = model.q.failed_keys().expect("failed").into_iter().collect();
+        prop_assert!(done.is_disjoint(&failed), "done and failed overlap");
+        for i in 0..CELLS {
+            let k = key(i);
+            prop_assert!(
+                done.contains(&k) || failed.contains(&k),
+                "cell {} was lost (neither done nor failed)",
+                k
+            );
+            // A done cell must have delivered its (byte-stable) result.
+            if done.contains(&k) {
+                let bytes = std::fs::read_to_string(model.results_dir.join(&k))
+                    .expect("done cell has a result");
+                prop_assert_eq!(bytes, result_bytes(&k));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
