@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! fig8 [--quick] [--no-cache | --cache-only] [--cache-dir DIR]
-//!      [--jobs N] [--list | --enqueue QUEUE_DIR] [--help]
+//!      [--jobs N] [--pcap PATH] [--list | --enqueue QUEUE_DIR] [--help]
 //! ```
 //!
 //! Unknown flags, missing values and conflicting modes print the usage
@@ -67,12 +67,16 @@ enum Mode {
 struct FigureArgs {
     config: SweepConfig,
     mode: Mode,
+    /// `--pcap PATH`: after the tables, re-run the figure's first cell
+    /// (first sweep, first point, first configured seed) with a frame
+    /// tap and write the capture here.
+    pcap: Option<PathBuf>,
 }
 
 fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--quick] [--no-cache | --cache-only] [--cache-dir DIR] \
-         [--jobs N] [--list | --enqueue QUEUE_DIR] [--help]"
+         [--jobs N] [--pcap PATH] [--list | --enqueue QUEUE_DIR] [--help]"
     )
 }
 
@@ -88,6 +92,9 @@ fn help(bin: &str) -> String {
          (exit status 1 if any cell was missing)\n  \
          --cache-dir DIR      sweep cache location (default target/sweep-cache)\n  \
          --jobs N             worker threads (default: one per core)\n  \
+         --pcap PATH          also write an IEEE 802.15.4 pcap trace of the\n                       \
+         figure's first cell (first point, first seed) to PATH;\n                       \
+         deterministic — same binary and flags, same bytes\n  \
          --list               print one '<key> <hit|miss> <hex experiment>' line\n                       \
          per cell, without simulating (sweep_worker shard input)\n  \
          --enqueue QUEUE_DIR  add every cell not already cached to a\n                       \
@@ -113,6 +120,7 @@ fn parse_figure_args(bin: &str) -> FigureArgs {
     let mut enqueue: Option<PathBuf> = None;
     let mut cache_dir = String::from("target/sweep-cache");
     let mut jobs = 0usize;
+    let mut pcap: Option<PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -136,6 +144,7 @@ fn parse_figure_args(bin: &str) -> FigureArgs {
             }
             "--cache-dir" => cache_dir = value_of(&mut i, "--cache-dir"),
             "--enqueue" => enqueue = Some(PathBuf::from(value_of(&mut i, "--enqueue"))),
+            "--pcap" => pcap = Some(PathBuf::from(value_of(&mut i, "--pcap"))),
             "--jobs" => match value_of(&mut i, "--jobs").parse::<usize>() {
                 Ok(n) if n > 0 => jobs = n,
                 _ => bad_usage(bin, "--jobs needs a positive integer"),
@@ -155,6 +164,14 @@ fn parse_figure_args(bin: &str) -> FigureArgs {
     if no_cache && enqueue.is_some() {
         bad_usage(bin, "--enqueue needs the cache (drop --no-cache)");
     }
+    if pcap.is_some() && (list || enqueue.is_some()) {
+        bad_usage(bin, "--pcap only applies when the figure actually runs");
+    }
+    if pcap.is_some() && cache_only {
+        // --cache-only promises "no simulation"; a trace is always a
+        // fresh simulation (the cache stores reports, not frames).
+        bad_usage(bin, "--pcap re-simulates a cell; drop --cache-only");
+    }
 
     let mut config = if quick {
         SweepConfig::quick()
@@ -171,7 +188,7 @@ fn parse_figure_args(bin: &str) -> FigureArgs {
         None if list => Mode::List,
         None => Mode::Run,
     };
-    FigureArgs { config, mode }
+    FigureArgs { config, mode, pcap }
 }
 
 /// The whole `main` of a figure binary: parses the uniform flag set,
@@ -182,7 +199,19 @@ fn parse_figure_args(bin: &str) -> FigureArgs {
 /// point on stderr, rendered as `n/a`, and make the process exit 1 —
 /// a partially-warm cache yields a partial figure, never a panic.
 pub fn figure_main(bin: &str, sweeps: Vec<FigureSweep>) {
-    let FigureArgs { config, mode } = parse_figure_args(bin);
+    let FigureArgs { config, mode, pcap } = parse_figure_args(bin);
+
+    // `--pcap` traces the figure's first cell: first sweep, first
+    // point, first configured seed. Captured up front because run mode
+    // consumes the sweeps.
+    let trace_cell = pcap.map(|path| {
+        let point = sweeps
+            .first()
+            .and_then(|s| s.points.first())
+            .unwrap_or_else(|| bad_usage(bin, "--pcap needs a figure with at least one cell"));
+        let seed = *config.seeds.first().expect("sweep config has seeds");
+        (point.experiment.with_seed(seed), path)
+    });
 
     match mode {
         Mode::List => {
@@ -244,6 +273,20 @@ pub fn figure_main(bin: &str, sweeps: Vec<FigureSweep>) {
                 "sweep cache: {hits} hits, {misses} misses, {corrupt} corrupt, \
                  {store_errors} store errors, {missing} missing"
             );
+            if let Some((experiment, path)) = trace_cell {
+                // A dedicated traced re-run of the first cell: the
+                // sweep above serves reports (possibly from cache);
+                // the trace is always simulated fresh so its bytes are
+                // a pure function of the experiment, never of cache
+                // state. Reports are byte-identical with the tap on.
+                eprintln!("{bin}: tracing first cell to {}…", path.display());
+                let exp = experiment.with_trace(&path);
+                let _report = exp.run();
+                eprintln!(
+                    "{bin}: wrote {} bytes of pcap",
+                    std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+                );
+            }
             if store_errors > 0 {
                 eprintln!(
                     "warning: {store_errors} cache write-backs failed (first: {})",

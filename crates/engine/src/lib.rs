@@ -46,6 +46,7 @@ mod parallel;
 pub mod payload;
 pub mod report;
 pub mod scheduler;
+mod wire;
 
 pub use config::EngineConfig;
 pub use minimal::MinimalSchedule;

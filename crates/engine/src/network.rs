@@ -178,6 +178,10 @@ pub struct Network {
     pub(crate) timer_wake: Vec<u64>,
     /// Per-slot vectors, reused across slots.
     pub(crate) scratch: SlotScratch,
+    /// Installed frame tap plus its reusable encode buffer (`None` =
+    /// tracing off; the slot path then pays exactly one is-some check
+    /// and allocates nothing — pinned by `tests/zero_alloc.rs`).
+    pub(crate) tap: Option<TapState>,
     /// Use the exhaustive per-slot oracle loop instead of the wake queue.
     pub(crate) naive: bool,
     /// Resolve radio-disjoint partition islands on scoped threads inside
@@ -192,6 +196,14 @@ pub struct Network {
     /// reports.
     #[cfg(feature = "parallel")]
     pub(crate) island_pool: crate::parallel::IslandPool,
+}
+
+/// An installed [`FrameTap`](gtt_net::FrameTap) and the wire-encoding
+/// buffer it reuses across records (grown once to the largest frame,
+/// then allocation-free in steady state).
+pub(crate) struct TapState {
+    sink: Box<dyn gtt_net::FrameTap>,
+    buf: Vec<u8>,
 }
 
 /// Builder for [`Network`] (C-BUILDER).
@@ -346,12 +358,65 @@ impl Network {
             }
             return;
         }
+        // A tap wants one global, slot-ordered record stream; island
+        // threads would interleave it. Reports are byte-identical on
+        // either core (see DETERMINISM.md), so tracing simply takes the
+        // sequential path while installed.
         #[cfg(feature = "parallel")]
-        if self.parallel {
+        if self.parallel && self.tap.is_none() {
             self.run_until_parallel(end);
             return;
         }
         self.run_until_event(end);
+    }
+
+    /// Installs (or, with `None`, removes) the frame tap: an observer
+    /// driven once per resolved transmission with the frame's encoded
+    /// IEEE 802.15.4 bytes and slot metadata (see
+    /// [`gtt_net::FrameTap`]).
+    ///
+    /// Taps are provably inert: the report is byte-identical with the
+    /// tap installed, absent, or swapped, and with no tap installed the
+    /// slot path performs no extra work beyond one pointer check. While
+    /// a tap is installed, [`Network::run_until`] uses the sequential
+    /// event core even if island-parallel stepping is enabled, so the
+    /// record stream is globally slot-ordered; the removed tap's
+    /// records are a pure function of the experiment either way.
+    pub fn set_frame_tap(&mut self, tap: Option<Box<dyn gtt_net::FrameTap>>) {
+        self.tap = tap.map(|sink| TapState {
+            sink,
+            buf: Vec::new(),
+        });
+    }
+
+    /// Whether a frame tap is currently installed.
+    pub fn frame_tap_installed(&self) -> bool {
+        self.tap.is_some()
+    }
+
+    /// Feeds every transmission of the just-resolved slot to the tap,
+    /// in transmitter-id order (the transmission vec is built in node
+    /// order). Off the hot path: callers check `tap.is_some()` first.
+    #[cold]
+    fn drive_tap(&mut self, transmissions: &[Transmission<Payload>], acked: &[Option<bool>]) {
+        let asn = self.asn;
+        let time = self.now();
+        let Some(tap) = self.tap.as_mut() else {
+            return;
+        };
+        for (t, tx) in transmissions.iter().enumerate() {
+            crate::wire::encode_frame(&tx.frame, asn, &mut tap.buf);
+            tap.sink.on_transmission(&gtt_net::TapRecord {
+                asn: asn.raw(),
+                time,
+                channel: tx.channel,
+                src: tx.frame.src,
+                dst: tx.frame.dst,
+                packet: tx.frame.id,
+                acked: acked[t],
+                bytes: &tap.buf,
+            });
+        }
     }
 
     /// The event-driven sequential core of [`Network::run_until`]; also
@@ -632,6 +697,15 @@ impl Network {
         // reused outcome buffers.
         self.medium
             .resolve_slot_into(&s.transmissions, &s.listeners, &mut s.outcomes);
+
+        // Phase 4b: export the slot to the frame tap, if one is
+        // installed — after resolution (the record carries the ACK
+        // outcome), before feedback consumes the outcome buffers. Both
+        // cores share this path, so a trace is identical under the
+        // event core and the naive-step oracle.
+        if self.tap.is_some() {
+            self.drive_tap(&s.transmissions, &s.outcomes.acked);
+        }
 
         // Phase 5: feed results back; deliver decoded frames upward.
         // `s.resched` collects the nodes whose wake-up chain must be
@@ -1192,6 +1266,7 @@ impl NetworkBuilder {
             wake_slot: vec![u64::MAX; n],
             timer_wake: vec![u64::MAX; n],
             scratch: SlotScratch::default(),
+            tap: None,
             naive: self.naive,
             #[cfg(feature = "parallel")]
             parallel: self.parallel,

@@ -211,6 +211,7 @@ impl Network {
             wake_slot: vec![u64::MAX; n],
             timer_wake: vec![u64::MAX; n],
             scratch: SlotScratch::default(),
+            tap: None,
             naive: false,
             parallel: false,
             island_pool: IslandPool::default(),

@@ -1,0 +1,163 @@
+//! The 2-byte frame control field (IEEE 802.15.4 §7.2.2.1).
+//!
+//! Bit layout (transmitted little-endian):
+//!
+//! ```text
+//! 0-2   frame type            (beacon / data / ack / MAC command)
+//! 3     security enabled      (always 0 here — the simulator is open)
+//! 4     frame pending         (always 0 — no indirect transmission)
+//! 5     AR (ack request)
+//! 6     PAN ID compression    (1 on addressed frames: one PAN field)
+//! 7     reserved
+//! 8     sequence number suppression   (frame version 0b10 only)
+//! 9     IE present
+//! 10-11 destination addressing mode   (0 none / 2 short)
+//! 12-13 frame version         (0b10 = 802.15.4e-2012 for beacon/data,
+//!                              0b00 for the immediate ACK)
+//! 14-15 source addressing mode
+//! ```
+
+use crate::FrameError;
+
+/// MAC frame type (FCF bits 0–2). Only the variants the simulator puts
+/// on the air are modelled; MAC command frames decode but carry no
+/// typed payload here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Enhanced beacon (TSCH EB).
+    Beacon,
+    /// Data frame (application data and the DIO/DAO/6P control plane).
+    Data,
+    /// Immediate acknowledgement.
+    Ack,
+}
+
+impl FrameType {
+    fn bits(self) -> u16 {
+        match self {
+            FrameType::Beacon => 0b000,
+            FrameType::Data => 0b001,
+            FrameType::Ack => 0b010,
+        }
+    }
+}
+
+/// Addressing mode of one address field (2 FCF bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrMode {
+    /// No address present.
+    None,
+    /// 16-bit short address.
+    Short,
+}
+
+impl AddrMode {
+    fn bits(self) -> u16 {
+        match self {
+            AddrMode::None => 0b00,
+            AddrMode::Short => 0b10,
+        }
+    }
+
+    fn from_bits(bits: u16, raw: u16) -> Result<Self, FrameError> {
+        match bits {
+            0b00 => Ok(AddrMode::None),
+            0b10 => Ok(AddrMode::Short),
+            // 0b01 is reserved; 0b11 (extended) is never emitted here.
+            _ => Err(FrameError::UnsupportedFcf(raw)),
+        }
+    }
+}
+
+/// Decoded frame control field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fcf {
+    /// Frame type (bits 0–2).
+    pub frame_type: FrameType,
+    /// AR bit: an acknowledgement is requested.
+    pub ack_request: bool,
+    /// PAN ID compression: only the destination PAN ID is carried.
+    pub pan_id_compression: bool,
+    /// The sequence number field is omitted (version 0b10 frames).
+    pub seq_suppressed: bool,
+    /// Header IEs follow the addressing fields.
+    pub ie_present: bool,
+    /// Destination addressing mode (bits 10–11).
+    pub dst_mode: AddrMode,
+    /// Frame version (bits 12–13).
+    pub version: u8,
+    /// Source addressing mode (bits 14–15).
+    pub src_mode: AddrMode,
+}
+
+impl Fcf {
+    /// Packs into the 2-byte wire value.
+    pub fn bits(&self) -> u16 {
+        self.frame_type.bits()
+            | (u16::from(self.ack_request) << 5)
+            | (u16::from(self.pan_id_compression) << 6)
+            | (u16::from(self.seq_suppressed) << 8)
+            | (u16::from(self.ie_present) << 9)
+            | (self.dst_mode.bits() << 10)
+            | (u16::from(self.version & 0b11) << 12)
+            | (self.src_mode.bits() << 14)
+    }
+
+    /// Decodes a wire value, rejecting anything the simulator never
+    /// emits (security, frame pending, reserved bits and addressing
+    /// modes, unknown frame types) with
+    /// [`FrameError::UnsupportedFcf`].
+    pub fn from_bits(raw: u16) -> Result<Self, FrameError> {
+        let frame_type = match raw & 0b111 {
+            0b000 => FrameType::Beacon,
+            0b001 => FrameType::Data,
+            0b010 => FrameType::Ack,
+            _ => return Err(FrameError::UnsupportedFcf(raw)),
+        };
+        // Security (3), frame pending (4) and the reserved bit (7) are
+        // never set on simulator frames.
+        if raw & 0b1001_1000 != 0 {
+            return Err(FrameError::UnsupportedFcf(raw));
+        }
+        Ok(Fcf {
+            frame_type,
+            ack_request: raw & (1 << 5) != 0,
+            pan_id_compression: raw & (1 << 6) != 0,
+            seq_suppressed: raw & (1 << 8) != 0,
+            ie_present: raw & (1 << 9) != 0,
+            dst_mode: AddrMode::from_bits((raw >> 10) & 0b11, raw)?,
+            version: ((raw >> 12) & 0b11) as u8,
+            src_mode: AddrMode::from_bits((raw >> 14) & 0b11, raw)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_bits() {
+        let fcf = Fcf {
+            frame_type: FrameType::Data,
+            ack_request: true,
+            pan_id_compression: true,
+            seq_suppressed: false,
+            ie_present: false,
+            dst_mode: AddrMode::Short,
+            version: 0b10,
+            src_mode: AddrMode::Short,
+        };
+        assert_eq!(Fcf::from_bits(fcf.bits()).unwrap(), fcf);
+    }
+
+    #[test]
+    fn rejects_security_and_reserved_bits() {
+        assert!(Fcf::from_bits(1 << 3).is_err()); // security
+        assert!(Fcf::from_bits(1 << 4).is_err()); // frame pending
+        assert!(Fcf::from_bits(1 << 7).is_err()); // reserved
+        assert!(Fcf::from_bits(0b111).is_err()); // reserved frame type
+        assert!(Fcf::from_bits(0b01 << 10).is_err()); // reserved dst mode
+        assert!(Fcf::from_bits(0b11 << 14).is_err()); // extended src addr
+    }
+}

@@ -1,0 +1,51 @@
+//! The 16-bit frame check sequence of IEEE 802.15.4 §7.2.10.
+//!
+//! The standard's FCS is the ITU-T CRC-16 with generator
+//! `x^16 + x^12 + x^5 + 1`, computed LSB-first with initial value 0 and
+//! no final complement — the parameter set catalogued as CRC-16/KERMIT —
+//! and transmitted little-endian after the MAC payload.
+
+/// Reflected ITU-T CRC-16 (polynomial `0x1021`, bit-reversed `0x8408`,
+/// init `0x0000`) over `bytes` — the exact FCS of §7.2.10.
+pub fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &b in bytes {
+        crc ^= u16::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x8408
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc16;
+
+    #[test]
+    fn kermit_check_value() {
+        // The canonical CRC catalogue check input.
+        assert_eq!(crc16(b"123456789"), 0x2189);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(crc16(b""), 0x0000);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_fcs() {
+        let base = crc16(&[0x61, 0x88, 0x07]);
+        for byte in 0..3 {
+            for bit in 0..8 {
+                let mut data = [0x61, 0x88, 0x07];
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc16(&data), base, "flip {byte}.{bit} undetected");
+            }
+        }
+    }
+}

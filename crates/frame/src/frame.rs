@@ -1,0 +1,480 @@
+//! Whole-frame encoding and the zero-copy reader.
+//!
+//! Three MPDU shapes cover everything the simulator puts on the air:
+//!
+//! ```text
+//! EB      FCF | dstPAN | dst=ffff | src | Sync IE | Timeslot IE | gtt IE | FCS
+//! data    FCF | [seq] | dstPAN | dst | src | tagged payload | FCS
+//! imm-ACK FCF | seq | FCS
+//! ```
+//!
+//! EBs and data frames are frame version 0b10 (802.15.4e) with short
+//! addressing and PAN ID compression (one PAN field, [`GTT_PAN_ID`]);
+//! the immediate ACK is the classic version 0b00 5-byte MPDU. Control
+//! frames (EB/DIO/DAO/6P) suppress the sequence number — they carry no
+//! per-origin counter in the engine — while application data carries
+//! the low byte of its origin-keyed packet id as DSN.
+//!
+//! Representation *is* the buffer: [`WireFrame::encode`] writes the
+//! canonical bytes into a caller-owned reusable `Vec<u8>`, and
+//! [`FrameView::parse`] borrows a received `&[u8]` without allocating.
+//! Decoding is strict (exactly one byte form per frame), so
+//! `encode(decode(bytes)) == bytes` for every accepted input, and no
+//! malformed input — truncation, bad FCS, reserved FCF bits, trailing
+//! garbage — ever panics.
+
+use crate::fcf::{AddrMode, Fcf, FrameType};
+use crate::fcs::crc16;
+use crate::ie::{HeaderIe, HeaderIeIter};
+use crate::payload::WirePayload;
+use crate::FrameError;
+
+/// The PAN ID every simulated network shares (ASCII "gT").
+pub const GTT_PAN_ID: u16 = 0x6754;
+/// The 16-bit broadcast short address.
+pub const BROADCAST: u16 = 0xffff;
+/// Timeslot template ID advertised in EBs: `1` = defined by the higher
+/// layer (the simulator's 15 ms template, see `gtt_mac::airtime`), not
+/// the standard's default 10 ms template `0`.
+pub const GTT_TIMESLOT_TEMPLATE: u8 = 1;
+
+/// The TSCH-mode fields of an enhanced beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EbFields {
+    /// ASN of the slot the beacon goes out in (low 40 bits are encoded).
+    pub asn: u64,
+    /// Join metric of the Synchronization IE.
+    pub join_metric: u8,
+    /// GT-TSCH piggyback: advertised Rx channel, if chosen.
+    pub rx_channel: Option<u8>,
+    /// GT-TSCH piggyback: advertised free Rx-cell count.
+    pub rx_free: u16,
+}
+
+/// One typed MAC frame — the decoded form of a full MPDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// An enhanced beacon (broadcast, sequence number suppressed).
+    Eb {
+        /// Transmitter short address.
+        src: u16,
+        /// Beacon contents.
+        eb: EbFields,
+    },
+    /// A data frame (application data or DIO/DAO/6P control plane).
+    Data {
+        /// Transmitter short address.
+        src: u16,
+        /// Destination short address ([`BROADCAST`] for broadcast).
+        dst: u16,
+        /// Sequence number; `None` = suppressed (control frames).
+        seq: Option<u8>,
+        /// Tagged MAC payload.
+        payload: WirePayload,
+    },
+    /// An immediate acknowledgement.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u8,
+    },
+}
+
+impl WireFrame {
+    /// Encodes the canonical MPDU (header through FCS) into `buf`,
+    /// replacing its contents. The buffer is reusable across calls —
+    /// steady-state encoding does not allocate once it has grown to the
+    /// largest frame seen.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        match self {
+            WireFrame::Eb { src, eb } => {
+                let fcf = Fcf {
+                    frame_type: FrameType::Beacon,
+                    ack_request: false,
+                    pan_id_compression: true,
+                    seq_suppressed: true,
+                    ie_present: true,
+                    dst_mode: AddrMode::Short,
+                    version: 0b10,
+                    src_mode: AddrMode::Short,
+                };
+                buf.extend_from_slice(&fcf.bits().to_le_bytes());
+                buf.extend_from_slice(&GTT_PAN_ID.to_le_bytes());
+                buf.extend_from_slice(&BROADCAST.to_le_bytes());
+                buf.extend_from_slice(&src.to_le_bytes());
+                HeaderIe::TschSync {
+                    asn: eb.asn & 0xff_ffff_ffff,
+                    join_metric: eb.join_metric,
+                }
+                .encode(buf);
+                HeaderIe::TschTimeslot {
+                    template_id: GTT_TIMESLOT_TEMPLATE,
+                }
+                .encode(buf);
+                HeaderIe::GttEbInfo {
+                    rx_channel: eb.rx_channel,
+                    rx_free: eb.rx_free,
+                }
+                .encode(buf);
+            }
+            WireFrame::Data {
+                src,
+                dst,
+                seq,
+                payload,
+            } => {
+                let fcf = Fcf {
+                    frame_type: FrameType::Data,
+                    ack_request: *dst != BROADCAST,
+                    pan_id_compression: true,
+                    seq_suppressed: seq.is_none(),
+                    ie_present: false,
+                    dst_mode: AddrMode::Short,
+                    version: 0b10,
+                    src_mode: AddrMode::Short,
+                };
+                buf.extend_from_slice(&fcf.bits().to_le_bytes());
+                if let Some(seq) = seq {
+                    buf.push(*seq);
+                }
+                buf.extend_from_slice(&GTT_PAN_ID.to_le_bytes());
+                buf.extend_from_slice(&dst.to_le_bytes());
+                buf.extend_from_slice(&src.to_le_bytes());
+                payload.encode(buf);
+            }
+            WireFrame::Ack { seq } => {
+                let fcf = Fcf {
+                    frame_type: FrameType::Ack,
+                    ack_request: false,
+                    pan_id_compression: false,
+                    seq_suppressed: false,
+                    ie_present: false,
+                    dst_mode: AddrMode::None,
+                    version: 0b00,
+                    src_mode: AddrMode::None,
+                };
+                buf.extend_from_slice(&fcf.bits().to_le_bytes());
+                buf.push(*seq);
+            }
+        }
+        let fcs = crc16(buf);
+        buf.extend_from_slice(&fcs.to_le_bytes());
+    }
+
+    /// Convenience: encode into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decodes a full MPDU. Equivalent to
+    /// `FrameView::parse(bytes)?.to_frame()`.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        FrameView::parse(bytes)?.to_frame()
+    }
+}
+
+/// A zero-copy reader over one received MPDU.
+///
+/// `parse` validates the FCS and the header structure and records
+/// field offsets; the accessors then read straight out of the borrowed
+/// buffer. Nothing is allocated.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    buf: &'a [u8],
+    fcf: Fcf,
+    /// Offset of the sequence number, if present.
+    seq_at: Option<usize>,
+    /// Offset of the destination PAN ID (addressed frames only).
+    addr_at: usize,
+    /// Offset of the first byte after the MAC header (IE list for
+    /// beacons, payload for data frames).
+    body_at: usize,
+}
+
+impl<'a> FrameView<'a> {
+    /// Parses and structurally validates `bytes` as one MPDU.
+    ///
+    /// Checks, in order: minimum length, FCS, FCF (rejecting anything
+    /// the simulator never emits), field presence against the FCF, and
+    /// — for ACKs — exact length. Never panics on malformed input.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, FrameError> {
+        // FCF + FCS is the absolute minimum.
+        if bytes.len() < 4 {
+            return Err(FrameError::Truncated);
+        }
+        let (body, fcs_bytes) = bytes.split_at(bytes.len() - 2);
+        let expected = crc16(body);
+        let found = u16::from_le_bytes([fcs_bytes[0], fcs_bytes[1]]);
+        if expected != found {
+            return Err(FrameError::BadFcs { expected, found });
+        }
+        let fcf = Fcf::from_bits(u16::from_le_bytes([bytes[0], bytes[1]]))?;
+        let mut at = 2;
+        let seq_at = match (fcf.frame_type, fcf.seq_suppressed) {
+            (FrameType::Ack, _) | (_, false) => {
+                if body.len() < at + 1 {
+                    return Err(FrameError::Truncated);
+                }
+                at += 1;
+                Some(at - 1)
+            }
+            (_, true) => None,
+        };
+        let addr_at = at;
+        match fcf.frame_type {
+            FrameType::Ack => {
+                if fcf.dst_mode != AddrMode::None
+                    || fcf.src_mode != AddrMode::None
+                    || fcf.version != 0b00
+                    || fcf.seq_suppressed
+                    || fcf.ack_request
+                    || fcf.pan_id_compression
+                    || fcf.ie_present
+                    || body.len() != 3
+                {
+                    return Err(FrameError::UnsupportedFcf(fcf.bits()));
+                }
+            }
+            FrameType::Beacon | FrameType::Data => {
+                if fcf.dst_mode != AddrMode::Short
+                    || fcf.src_mode != AddrMode::Short
+                    || !fcf.pan_id_compression
+                    || fcf.version != 0b10
+                {
+                    return Err(FrameError::UnsupportedFcf(fcf.bits()));
+                }
+                // dst PAN + dst + src, each 2 bytes.
+                if body.len() < at + 6 {
+                    return Err(FrameError::Truncated);
+                }
+                at += 6;
+            }
+        }
+        Ok(FrameView {
+            buf: bytes,
+            fcf,
+            seq_at,
+            addr_at,
+            body_at: at,
+        })
+    }
+
+    /// The decoded frame control field.
+    pub fn fcf(&self) -> Fcf {
+        self.fcf
+    }
+
+    /// The sequence number, unless suppressed.
+    pub fn seq(&self) -> Option<u8> {
+        self.seq_at.map(|i| self.buf[i])
+    }
+
+    /// The destination PAN ID (addressed frames; `None` for ACKs).
+    pub fn dst_pan(&self) -> Option<u16> {
+        (self.fcf.frame_type != FrameType::Ack)
+            .then(|| u16::from_le_bytes([self.buf[self.addr_at], self.buf[self.addr_at + 1]]))
+    }
+
+    /// The destination short address.
+    pub fn dst(&self) -> Option<u16> {
+        (self.fcf.frame_type != FrameType::Ack)
+            .then(|| u16::from_le_bytes([self.buf[self.addr_at + 2], self.buf[self.addr_at + 3]]))
+    }
+
+    /// The source short address.
+    pub fn src(&self) -> Option<u16> {
+        (self.fcf.frame_type != FrameType::Ack)
+            .then(|| u16::from_le_bytes([self.buf[self.addr_at + 4], self.buf[self.addr_at + 5]]))
+    }
+
+    /// Everything between the MAC header and the FCS — the header-IE
+    /// list for beacons, the tagged payload for data frames.
+    pub fn body(&self) -> &'a [u8] {
+        &self.buf[self.body_at..self.buf.len() - 2]
+    }
+
+    /// The received FCS (already verified by [`FrameView::parse`]).
+    pub fn fcs(&self) -> u16 {
+        let n = self.buf.len();
+        u16::from_le_bytes([self.buf[n - 2], self.buf[n - 1]])
+    }
+
+    /// Iterates the header IEs of a beacon (empty for other frames).
+    pub fn header_ies(&self) -> HeaderIeIter<'a> {
+        match self.fcf.frame_type {
+            FrameType::Beacon => HeaderIeIter::new(self.body()),
+            _ => HeaderIeIter::new(&[]),
+        }
+    }
+
+    /// Fully decodes into the typed [`WireFrame`], enforcing the
+    /// canonical shape (EBs carry exactly the Sync, Timeslot and gtt
+    /// IEs in that order; payloads are strict).
+    pub fn to_frame(&self) -> Result<WireFrame, FrameError> {
+        match self.fcf.frame_type {
+            FrameType::Ack => Ok(WireFrame::Ack {
+                seq: self.seq().ok_or(FrameError::Truncated)?,
+            }),
+            FrameType::Beacon => {
+                if self.dst() != Some(BROADCAST)
+                    || self.dst_pan() != Some(GTT_PAN_ID)
+                    || !self.fcf.seq_suppressed
+                    || !self.fcf.ie_present
+                    || self.fcf.ack_request
+                {
+                    return Err(FrameError::UnsupportedFcf(self.fcf.bits()));
+                }
+                let mut ies = self.header_ies();
+                let (asn, join_metric) = match ies.next() {
+                    Some(Ok(HeaderIe::TschSync { asn, join_metric })) => (asn, join_metric),
+                    Some(Err(e)) => return Err(e),
+                    _ => return Err(FrameError::BadIe),
+                };
+                match ies.next() {
+                    Some(Ok(HeaderIe::TschTimeslot { template_id }))
+                        if template_id == GTT_TIMESLOT_TEMPLATE => {}
+                    Some(Err(e)) => return Err(e),
+                    _ => return Err(FrameError::BadIe),
+                }
+                let (rx_channel, rx_free) = match ies.next() {
+                    Some(Ok(HeaderIe::GttEbInfo {
+                        rx_channel,
+                        rx_free,
+                    })) => (rx_channel, rx_free),
+                    Some(Err(e)) => return Err(e),
+                    _ => return Err(FrameError::BadIe),
+                };
+                if ies.next().is_some() {
+                    return Err(FrameError::BadIe);
+                }
+                Ok(WireFrame::Eb {
+                    src: self.src().ok_or(FrameError::Truncated)?,
+                    eb: EbFields {
+                        asn,
+                        join_metric,
+                        rx_channel,
+                        rx_free,
+                    },
+                })
+            }
+            FrameType::Data => {
+                let dst = self.dst().ok_or(FrameError::Truncated)?;
+                if self.dst_pan() != Some(GTT_PAN_ID)
+                    || self.fcf.ie_present
+                    || self.fcf.ack_request != (dst != BROADCAST)
+                {
+                    return Err(FrameError::UnsupportedFcf(self.fcf.bits()));
+                }
+                Ok(WireFrame::Data {
+                    src: self.src().ok_or(FrameError::Truncated)?,
+                    dst,
+                    seq: self.seq(),
+                    payload: WirePayload::decode(self.body())?,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<WireFrame> {
+        vec![
+            WireFrame::Eb {
+                src: 3,
+                eb: EbFields {
+                    asn: 123_456,
+                    join_metric: 0,
+                    rx_channel: Some(20),
+                    rx_free: 6,
+                },
+            },
+            WireFrame::Data {
+                src: 5,
+                dst: 1,
+                seq: Some(0x2a),
+                payload: WirePayload::App {
+                    id: (5 << 48) | 42,
+                    generated_us: 9_000_000,
+                    hops: 0,
+                },
+            },
+            WireFrame::Data {
+                src: 2,
+                dst: BROADCAST,
+                seq: None,
+                payload: WirePayload::Dio {
+                    dodag_root: 0,
+                    version: 1,
+                    rank: 512,
+                    rx_free: 3,
+                },
+            },
+            WireFrame::Ack { seq: 0x2a },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_byte_identically() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            let decoded = WireFrame::decode(&bytes).unwrap();
+            assert_eq!(decoded, frame);
+            assert_eq!(decoded.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WireFrame::decode(&bytes[..cut]).is_err(),
+                    "{frame:?} truncated to {cut} bytes was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_fcs_is_rejected() {
+        let mut bytes = sample_frames()[0].to_bytes();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        assert!(matches!(
+            WireFrame::decode(&bytes),
+            Err(FrameError::BadFcs { .. })
+        ));
+    }
+
+    #[test]
+    fn view_exposes_the_header_fields() {
+        let frame = WireFrame::Data {
+            src: 9,
+            dst: 4,
+            seq: Some(7),
+            payload: WirePayload::Dao {
+                child: 9,
+                no_path: false,
+            },
+        };
+        let bytes = frame.to_bytes();
+        let view = FrameView::parse(&bytes).unwrap();
+        assert_eq!(view.src(), Some(9));
+        assert_eq!(view.dst(), Some(4));
+        assert_eq!(view.dst_pan(), Some(GTT_PAN_ID));
+        assert_eq!(view.seq(), Some(7));
+        assert!(view.fcf().ack_request);
+        assert_eq!(view.fcs(), crc16(&bytes[..bytes.len() - 2]));
+    }
+
+    #[test]
+    fn ack_is_the_classic_five_byte_mpdu() {
+        assert_eq!(WireFrame::Ack { seq: 0 }.to_bytes().len(), 5);
+    }
+}

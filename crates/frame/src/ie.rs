@@ -1,0 +1,199 @@
+//! Header information elements (IEEE 802.15.4 §7.4.2).
+//!
+//! Each header IE starts with a 2-byte little-endian descriptor —
+//! length in bits 0–6, element ID in bits 7–14, type bit 15 = 0 — and
+//! the enhanced beacons here carry exactly three:
+//!
+//! * **TSCH Synchronization IE** (element `0x1a`): the 5-byte ASN of the
+//!   slot the beacon goes out in, plus a 1-byte join metric,
+//! * **TSCH Timeslot IE** (element `0x1c`), 1-byte form: a timeslot
+//!   template ID. The simulator's 15 ms template is not the standard's
+//!   default 10 ms template 0, so it advertises template `1`
+//!   ("defined by the higher layer" — see `gtt_mac::airtime`),
+//! * **Vendor Specific Header IE** (element `0x00`, OUI `67:74:74`,
+//!   ASCII "gtt"): the GT-TSCH EB piggyback of the paper's §V-B — the
+//!   advertised Rx channel and free Rx-cell count.
+
+use crate::FrameError;
+
+/// Element ID of the TSCH Synchronization IE.
+pub const ELEMENT_TSCH_SYNC: u16 = 0x1a;
+/// Element ID of the TSCH Timeslot IE.
+pub const ELEMENT_TSCH_TIMESLOT: u16 = 0x1c;
+/// Element ID of the Vendor Specific Header IE.
+pub const ELEMENT_VENDOR: u16 = 0x00;
+/// The vendor OUI under which the GT-TSCH EB piggyback travels.
+pub const OUI_GTT: [u8; 3] = *b"gtt";
+
+/// One decoded header IE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderIe {
+    /// TSCH Synchronization IE: ASN (low 40 bits) + join metric.
+    TschSync {
+        /// Absolute slot number, as carried in the 5-byte field.
+        asn: u64,
+        /// Join priority advertised alongside the ASN.
+        join_metric: u8,
+    },
+    /// TSCH Timeslot IE, short form: template ID only.
+    TschTimeslot {
+        /// Timeslot template identifier.
+        template_id: u8,
+    },
+    /// The GT-TSCH vendor IE (EB channel/capacity piggyback).
+    GttEbInfo {
+        /// Advertised Rx channel, when the scheduler has chosen one.
+        rx_channel: Option<u8>,
+        /// Advertised free Rx-cell capacity.
+        rx_free: u16,
+    },
+}
+
+fn descriptor(element_id: u16, len: usize) -> [u8; 2] {
+    debug_assert!(len <= 0x7f, "header IE content exceeds 127 bytes");
+    let word = (len as u16 & 0x7f) | ((element_id & 0xff) << 7);
+    word.to_le_bytes()
+}
+
+impl HeaderIe {
+    /// Appends the IE (descriptor + content) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match *self {
+            HeaderIe::TschSync { asn, join_metric } => {
+                buf.extend_from_slice(&descriptor(ELEMENT_TSCH_SYNC, 6));
+                buf.extend_from_slice(&asn.to_le_bytes()[..5]);
+                buf.push(join_metric);
+            }
+            HeaderIe::TschTimeslot { template_id } => {
+                buf.extend_from_slice(&descriptor(ELEMENT_TSCH_TIMESLOT, 1));
+                buf.push(template_id);
+            }
+            HeaderIe::GttEbInfo {
+                rx_channel,
+                rx_free,
+            } => {
+                buf.extend_from_slice(&descriptor(ELEMENT_VENDOR, 7));
+                buf.extend_from_slice(&OUI_GTT);
+                buf.push(u8::from(rx_channel.is_some()));
+                buf.push(rx_channel.unwrap_or(0));
+                buf.extend_from_slice(&rx_free.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(element_id: u16, content: &[u8]) -> Result<Self, FrameError> {
+        match (element_id, content.len()) {
+            (ELEMENT_TSCH_SYNC, 6) => {
+                let mut asn_bytes = [0u8; 8];
+                asn_bytes[..5].copy_from_slice(&content[..5]);
+                Ok(HeaderIe::TschSync {
+                    asn: u64::from_le_bytes(asn_bytes),
+                    join_metric: content[5],
+                })
+            }
+            (ELEMENT_TSCH_TIMESLOT, 1) => Ok(HeaderIe::TschTimeslot {
+                template_id: content[0],
+            }),
+            (ELEMENT_VENDOR, 7) if content[..3] == OUI_GTT => {
+                let rx_channel = match content[3] {
+                    0 if content[4] == 0 => None,
+                    1 => Some(content[4]),
+                    _ => return Err(FrameError::BadIe),
+                };
+                Ok(HeaderIe::GttEbInfo {
+                    rx_channel,
+                    rx_free: u16::from_le_bytes([content[5], content[6]]),
+                })
+            }
+            _ => Err(FrameError::BadIe),
+        }
+    }
+}
+
+/// Zero-copy iterator over the header IEs of a beacon, yielding
+/// decoded elements (or the error that stopped the walk).
+#[derive(Debug, Clone)]
+pub struct HeaderIeIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> HeaderIeIter<'a> {
+    /// Iterates the IE list occupying exactly `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        HeaderIeIter { rest: bytes }
+    }
+}
+
+impl Iterator for HeaderIeIter<'_> {
+    type Item = Result<HeaderIe, FrameError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        if self.rest.len() < 2 {
+            self.rest = &[];
+            return Some(Err(FrameError::Truncated));
+        }
+        let word = u16::from_le_bytes([self.rest[0], self.rest[1]]);
+        if word & 0x8000 != 0 {
+            // Type bit 1 would start the payload-IE list, which these
+            // frames never carry.
+            self.rest = &[];
+            return Some(Err(FrameError::BadIe));
+        }
+        let len = usize::from(word & 0x7f);
+        let element_id = (word >> 7) & 0xff;
+        if self.rest.len() < 2 + len {
+            self.rest = &[];
+            return Some(Err(FrameError::Truncated));
+        }
+        let content = &self.rest[2..2 + len];
+        self.rest = &self.rest[2 + len..];
+        Some(HeaderIe::decode(element_id, content))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_ie_round_trips() {
+        let ies = [
+            HeaderIe::TschSync {
+                asn: 0x12_3456_789a,
+                join_metric: 3,
+            },
+            HeaderIe::TschTimeslot { template_id: 1 },
+            HeaderIe::GttEbInfo {
+                rx_channel: Some(17),
+                rx_free: 42,
+            },
+            HeaderIe::GttEbInfo {
+                rx_channel: None,
+                rx_free: 0,
+            },
+        ];
+        let mut buf = Vec::new();
+        for ie in &ies {
+            ie.encode(&mut buf);
+        }
+        let decoded: Vec<HeaderIe> = HeaderIeIter::new(&buf).map(|r| r.unwrap()).collect();
+        assert_eq!(decoded, ies);
+    }
+
+    #[test]
+    fn truncated_ie_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        HeaderIe::TschSync {
+            asn: 7,
+            join_metric: 0,
+        }
+        .encode(&mut buf);
+        for cut in 1..buf.len() {
+            let items: Vec<_> = HeaderIeIter::new(&buf[..cut]).collect();
+            assert!(items.iter().any(|r| r.is_err()), "cut at {cut} accepted");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! # gtt-frame — wire-level IEEE 802.15.4 frames and trace export
+//!
+//! The engine's frames are abstract Rust structs; this crate gives each
+//! of them its real IEEE 802.15.4e byte form and turns the medium seam
+//! into a capture point:
+//!
+//! * **codec** — [`WireFrame`] (enhanced beacon / data / immediate ACK)
+//!   with the frame control field ([`Fcf`]), short addressing under one
+//!   PAN ([`GTT_PAN_ID`]), the TSCH header IEs of an EB ([`HeaderIe`]:
+//!   synchronization ASN + join metric, timeslot template, and the
+//!   GT-TSCH vendor IE carrying the paper's EB channel/capacity
+//!   piggyback), tagged payload encodings for DIO/DAO/6P/app data
+//!   ([`WirePayload`]) and the CRC-16 FCS ([`fcs::crc16`]).
+//!   Representation is the buffer: [`WireFrame::encode`] writes into a
+//!   reusable `Vec<u8>`, [`FrameView`] reads zero-copy from `&[u8]`,
+//!   and decoding is strict enough that `encode(decode(b)) == b` for
+//!   every accepted input while truncation and bad FCS never panic.
+//! * **trace export** — sinks for the engine's
+//!   [`FrameTap`](gtt_net::FrameTap) seam: [`PcapTap`] appends a
+//!   Wireshark-openable classic pcap (linktype 195, sim-time
+//!   timestamps, validated by [`pcap::validate`]), and [`AttemptLog`]
+//!   histograms per-packet transmission attempts for the
+//!   retransmission-cap assertions in `tests/paper_claims.rs`.
+//!
+//! Traces are pure functions of the experiment: records arrive in slot
+//! order, timestamps come from the ASN, and the tap never feeds back
+//! into the simulation (see `DETERMINISM.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use gtt_frame::{EbFields, FrameView, WireFrame};
+//!
+//! let eb = WireFrame::Eb {
+//!     src: 3,
+//!     eb: EbFields { asn: 1700, join_metric: 0, rx_channel: Some(20), rx_free: 6 },
+//! };
+//! let mut buf = Vec::new();
+//! eb.encode(&mut buf); // header + IEs + FCS, standard byte order
+//! let view = FrameView::parse(&buf).unwrap(); // zero-copy, FCS-checked
+//! assert_eq!(view.src(), Some(3));
+//! assert_eq!(view.to_frame().unwrap(), eb);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attempts;
+pub mod fcf;
+pub mod fcs;
+mod frame;
+pub mod ie;
+mod payload;
+pub mod pcap;
+
+pub use attempts::{AttemptCounts, AttemptLog};
+pub use fcf::{AddrMode, Fcf, FrameType};
+pub use frame::{EbFields, FrameView, WireFrame, BROADCAST, GTT_PAN_ID, GTT_TIMESLOT_TEMPLATE};
+pub use ie::{HeaderIe, HeaderIeIter};
+pub use payload::WirePayload;
+pub use pcap::{PcapError, PcapSummary, PcapTap};
+
+use gtt_sixtop::SixpDecodeError;
+
+/// Why a byte buffer is not a valid frame of this simulator.
+///
+/// Decoding never panics: every malformed input — truncated buffer,
+/// corrupt FCS, reserved FCF bits, unknown IEs or payload kinds,
+/// trailing bytes — maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before a required field.
+    Truncated,
+    /// The frame check sequence does not match the received bytes.
+    BadFcs {
+        /// FCS computed over the received header + payload.
+        expected: u16,
+        /// FCS carried in the last two bytes.
+        found: u16,
+    },
+    /// The frame control field uses features the simulator never emits
+    /// (security, extended addressing, reserved bits/versions, …).
+    UnsupportedFcf(u16),
+    /// A header IE is unknown, malformed, or out of canonical order.
+    BadIe,
+    /// The MAC payload has an unknown kind tag, a wrong length, or a
+    /// non-canonical encoding.
+    BadPayload,
+    /// The 6P payload bytes were rejected by the 6top codec.
+    BadSixp(SixpDecodeError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => f.write_str("truncated frame"),
+            FrameError::BadFcs { expected, found } => {
+                write!(
+                    f,
+                    "FCS mismatch: computed {expected:#06x}, frame carries {found:#06x}"
+                )
+            }
+            FrameError::UnsupportedFcf(bits) => write!(f, "unsupported FCF {bits:#06x}"),
+            FrameError::BadIe => f.write_str("malformed header IE list"),
+            FrameError::BadPayload => f.write_str("malformed MAC payload"),
+            FrameError::BadSixp(e) => write!(f, "malformed 6P payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::BadSixp(e) => Some(e),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! A classic-pcap sink for [`FrameTap`] records, plus the structural
+//! validator the CI trace-smoke step uses.
+//!
+//! The capture is LINKTYPE 195 (`DLT_IEEE802_15_4`, FCS included — the
+//! codec always appends and verifies the FCS). Timestamps are pure sim
+//! time: the start of the transmission's slot (`ASN × slot length`),
+//! never the wall clock, so a trace is a deterministic byte-level
+//! function of the experiment that produced it — two runs of the same
+//! `Experiment` yield byte-identical files (see `DETERMINISM.md`).
+
+use std::sync::{Arc, Mutex};
+
+use gtt_net::{FrameTap, TapRecord};
+
+/// pcap linktype for IEEE 802.15.4 with FCS (`DLT_IEEE802_15_4`).
+pub const LINKTYPE_IEEE802_15_4: u32 = 195;
+/// Magic number of a little-endian classic pcap file.
+pub const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+/// Length of the pcap global header.
+pub const GLOBAL_HEADER_LEN: usize = 24;
+/// Length of each per-packet record header.
+pub const RECORD_HEADER_LEN: usize = 16;
+
+/// Appends the 24-byte little-endian global header to `out`.
+pub fn write_global_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(&PCAP_MAGIC.to_le_bytes());
+    out.extend_from_slice(&2u16.to_le_bytes()); // version major
+    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&65_535u32.to_le_bytes()); // snaplen
+    out.extend_from_slice(&LINKTYPE_IEEE802_15_4.to_le_bytes());
+}
+
+/// Appends one packet record (header + frame bytes) to `out`, with the
+/// timestamp split from `time_us` microseconds of sim time.
+pub fn write_record(out: &mut Vec<u8>, time_us: u64, frame: &[u8]) {
+    let len = frame.len() as u32;
+    out.extend_from_slice(&((time_us / 1_000_000) as u32).to_le_bytes());
+    out.extend_from_slice(&((time_us % 1_000_000) as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes()); // incl_len
+    out.extend_from_slice(&len.to_le_bytes()); // orig_len
+    out.extend_from_slice(frame);
+}
+
+/// A [`FrameTap`] that appends each record to a shared pcap byte
+/// buffer.
+///
+/// [`PcapTap::new`] returns the tap and the buffer it writes into
+/// (already seeded with the global header); the caller keeps the
+/// second `Arc` and reclaims the bytes once the tap is dropped — see
+/// `Experiment::run_traced` in `gtt-workload` for the canonical flow.
+#[derive(Debug)]
+pub struct PcapTap {
+    out: Arc<Mutex<Vec<u8>>>,
+}
+
+impl PcapTap {
+    /// Creates a tap and the shared buffer it appends to.
+    pub fn new() -> (PcapTap, Arc<Mutex<Vec<u8>>>) {
+        let mut bytes = Vec::new();
+        write_global_header(&mut bytes);
+        let out = Arc::new(Mutex::new(bytes));
+        (PcapTap { out: out.clone() }, out)
+    }
+}
+
+impl FrameTap for PcapTap {
+    fn on_transmission(&mut self, record: &TapRecord<'_>) {
+        let mut out = self.out.lock().expect("pcap buffer poisoned");
+        write_record(&mut out, record.time.as_micros(), record.bytes);
+    }
+}
+
+/// What [`validate`] learned about a structurally valid capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcapSummary {
+    /// Number of packet records.
+    pub packets: usize,
+    /// Total frame bytes across records (headers excluded).
+    pub frame_bytes: usize,
+}
+
+/// Why a byte buffer is not a valid capture of this simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// Shorter than a global header, or a record header overruns.
+    Truncated,
+    /// Wrong magic/version/linktype for this writer.
+    BadHeader,
+    /// A record's lengths are inconsistent or exceed the snap length.
+    BadRecord {
+        /// Zero-based index of the offending record.
+        index: usize,
+    },
+    /// A record's frame bytes fail [`crate::FrameView::parse`].
+    BadFrame {
+        /// Zero-based index of the offending record.
+        index: usize,
+        /// The codec's rejection.
+        error: crate::FrameError,
+    },
+    /// Record timestamps went backwards (traces are slot-ordered).
+    TimeRegression {
+        /// Zero-based index of the offending record.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::Truncated => f.write_str("truncated pcap"),
+            PcapError::BadHeader => f.write_str("bad pcap global header"),
+            PcapError::BadRecord { index } => write!(f, "bad record header at #{index}"),
+            PcapError::BadFrame { index, error } => {
+                write!(f, "record #{index} is not a valid frame: {error}")
+            }
+            PcapError::TimeRegression { index } => {
+                write!(f, "timestamp regression at record #{index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+/// Structurally validates a capture produced by this module: global
+/// header, record framing, monotone timestamps, and every frame
+/// re-parsed (FCS included) by the codec.
+pub fn validate(bytes: &[u8]) -> Result<PcapSummary, PcapError> {
+    if bytes.len() < GLOBAL_HEADER_LEN {
+        return Err(PcapError::Truncated);
+    }
+    let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("in bounds"));
+    if u32_at(0) != PCAP_MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != 2
+        || u16::from_le_bytes([bytes[6], bytes[7]]) != 4
+        || u32_at(20) != LINKTYPE_IEEE802_15_4
+    {
+        return Err(PcapError::BadHeader);
+    }
+    let mut at = GLOBAL_HEADER_LEN;
+    let mut packets = 0usize;
+    let mut frame_bytes = 0usize;
+    let mut last_ts = 0u64;
+    while at < bytes.len() {
+        if bytes.len() - at < RECORD_HEADER_LEN {
+            return Err(PcapError::Truncated);
+        }
+        let ts = u64::from(u32_at(at)) * 1_000_000 + u64::from(u32_at(at + 4));
+        let incl = u32_at(at + 8) as usize;
+        let orig = u32_at(at + 12) as usize;
+        if incl != orig || incl > 65_535 {
+            return Err(PcapError::BadRecord { index: packets });
+        }
+        if bytes.len() - at - RECORD_HEADER_LEN < incl {
+            return Err(PcapError::Truncated);
+        }
+        if ts < last_ts {
+            return Err(PcapError::TimeRegression { index: packets });
+        }
+        last_ts = ts;
+        let frame = &bytes[at + RECORD_HEADER_LEN..at + RECORD_HEADER_LEN + incl];
+        crate::FrameView::parse(frame).map_err(|error| PcapError::BadFrame {
+            index: packets,
+            error,
+        })?;
+        packets += 1;
+        frame_bytes += incl;
+        at += RECORD_HEADER_LEN + incl;
+    }
+    Ok(PcapSummary {
+        packets,
+        frame_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EbFields, WireFrame};
+    use gtt_net::{Dest, NodeId, PacketId, PhysicalChannel};
+    use gtt_sim::SimTime;
+
+    fn record(tap: &mut PcapTap, time_us: u64, bytes: &[u8]) {
+        tap.on_transmission(&TapRecord {
+            asn: time_us / 15_000,
+            time: SimTime::from_micros(time_us),
+            channel: PhysicalChannel::new(20),
+            src: NodeId::new(1),
+            dst: Dest::Broadcast,
+            packet: PacketId::new(u64::MAX),
+            acked: None,
+            bytes,
+        });
+    }
+
+    #[test]
+    fn empty_capture_validates() {
+        let (_tap, out) = PcapTap::new();
+        let bytes = out.lock().unwrap().clone();
+        assert_eq!(bytes.len(), GLOBAL_HEADER_LEN);
+        assert_eq!(
+            validate(&bytes).unwrap(),
+            PcapSummary {
+                packets: 0,
+                frame_bytes: 0
+            }
+        );
+    }
+
+    #[test]
+    fn records_validate_and_count() {
+        let frame = WireFrame::Eb {
+            src: 1,
+            eb: EbFields {
+                asn: 40,
+                join_metric: 0,
+                rx_channel: None,
+                rx_free: 0,
+            },
+        }
+        .to_bytes();
+        let (mut tap, out) = PcapTap::new();
+        record(&mut tap, 600_000, &frame);
+        record(&mut tap, 1_500_000, &frame);
+        let bytes = out.lock().unwrap().clone();
+        let summary = validate(&bytes).unwrap();
+        assert_eq!(summary.packets, 2);
+        assert_eq!(summary.frame_bytes, 2 * frame.len());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let frame = WireFrame::Ack { seq: 9 }.to_bytes();
+        let (mut tap, out) = PcapTap::new();
+        record(&mut tap, 15_000, &frame);
+        let good = out.lock().unwrap().clone();
+
+        assert_eq!(validate(&good[..10]), Err(PcapError::Truncated));
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(validate(&bad_magic), Err(PcapError::BadHeader));
+        let mut bad_frame = good.clone();
+        let n = bad_frame.len();
+        bad_frame[n - 1] ^= 0x40; // breaks the frame's FCS
+        assert!(matches!(
+            validate(&bad_frame),
+            Err(PcapError::BadFrame { index: 0, .. })
+        ));
+        let mut truncated_record = good;
+        truncated_record.pop();
+        assert_eq!(validate(&truncated_record), Err(PcapError::Truncated));
+    }
+}

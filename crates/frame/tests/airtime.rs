@@ -1,0 +1,121 @@
+//! Cross-crate validation of `gtt_mac::airtime` against what the codec
+//! actually encodes: the MAC's standard-derived byte counts must agree
+//! with real encoded lengths, not just with the standard's tables.
+
+use gtt_frame::{EbFields, WireFrame, WirePayload, BROADCAST};
+use gtt_mac::airtime::{airtime_us, ACK_MPDU_BYTES, MAX_MPDU_BYTES, TS_MAX_ACK_US, TS_MAX_TX_US};
+use gtt_sixtop::{CellSpec, SixpBody, SixpCellKind, SixpMessage};
+
+fn encoded_len(frame: &WireFrame) -> u32 {
+    u32::try_from(frame.to_bytes().len()).unwrap()
+}
+
+#[test]
+fn ack_constant_matches_the_encoder() {
+    assert_eq!(encoded_len(&WireFrame::Ack { seq: 0 }), ACK_MPDU_BYTES);
+    assert_eq!(airtime_us(ACK_MPDU_BYTES), 352);
+    assert!(airtime_us(ACK_MPDU_BYTES) <= TS_MAX_ACK_US);
+}
+
+#[test]
+fn every_frame_kind_fits_the_mpdu_and_airtime_budget() {
+    // The largest 6P message the scheduler emits: an ADD request
+    // proposing a full candidate list. GT-TSCH proposes at most a
+    // handful of cells; 16 is a generous ceiling.
+    let big_sixp = SixpMessage::new(
+        255,
+        SixpBody::AddRequest {
+            kind: SixpCellKind::Data,
+            num_cells: u16::MAX,
+            cells: (0..16).map(|i| CellSpec::new(i, 15)).collect(),
+        },
+    );
+    let frames = [
+        WireFrame::Eb {
+            src: u16::MAX - 1,
+            eb: EbFields {
+                asn: (1 << 40) - 1,
+                join_metric: u8::MAX,
+                rx_channel: Some(26),
+                rx_free: u16::MAX,
+            },
+        },
+        WireFrame::Data {
+            src: 1,
+            dst: 2,
+            seq: Some(u8::MAX),
+            payload: WirePayload::App {
+                id: u64::MAX - 1,
+                generated_us: u64::MAX,
+                hops: u8::MAX,
+            },
+        },
+        WireFrame::Data {
+            src: 1,
+            dst: BROADCAST,
+            seq: None,
+            payload: WirePayload::Dio {
+                dodag_root: u16::MAX - 1,
+                version: u8::MAX,
+                rank: u16::MAX,
+                rx_free: u16::MAX,
+            },
+        },
+        WireFrame::Data {
+            src: 1,
+            dst: 2,
+            seq: None,
+            payload: WirePayload::Dao {
+                child: 1,
+                no_path: true,
+            },
+        },
+        WireFrame::Data {
+            src: 1,
+            dst: 2,
+            seq: None,
+            payload: WirePayload::SixP(big_sixp),
+        },
+    ];
+    for frame in &frames {
+        let len = encoded_len(frame);
+        assert!(
+            len <= MAX_MPDU_BYTES,
+            "{frame:?} encodes to {len} bytes > aMaxPhyPacketSize"
+        );
+        assert!(
+            airtime_us(len) <= TS_MAX_TX_US,
+            "{frame:?} airtime {} µs > macTsMaxTx",
+            airtime_us(len)
+        );
+    }
+}
+
+#[test]
+fn header_sizes_are_the_derived_constants() {
+    // Data frame header: FCF 2 + seq 1 + dst PAN 2 + dst 2 + src 2;
+    // 18-byte app payload; FCS 2.
+    let data = WireFrame::Data {
+        src: 1,
+        dst: 2,
+        seq: Some(0),
+        payload: WirePayload::App {
+            id: 0,
+            generated_us: 0,
+            hops: 0,
+        },
+    };
+    assert_eq!(encoded_len(&data), 9 + 18 + 2);
+    // EB: FCF 2 + dst PAN 2 + dst 2 + src 2, then the three IEs
+    // (2+6, 2+1, 2+7) and the FCS.
+    let eb = WireFrame::Eb {
+        src: 1,
+        eb: EbFields {
+            asn: 0,
+            join_metric: 0,
+            rx_channel: None,
+            rx_free: 0,
+        },
+    };
+    assert_eq!(encoded_len(&eb), 8 + 8 + 3 + 9 + 2);
+}

@@ -1,0 +1,145 @@
+//! Property tests pinning the codec's central contract: every frame
+//! kind round-trips `encode → decode → re-encode` byte-identically,
+//! and no malformed input — truncation, bit flips, byte soup — ever
+//! panics the decoder.
+
+use proptest::prelude::*;
+
+use gtt_frame::{EbFields, FrameView, WireFrame, WirePayload, BROADCAST};
+use gtt_sixtop::{CellSpec, ReturnCode, SixpBody, SixpCellKind, SixpMessage};
+
+fn arb_addr() -> impl Strategy<Value = u16> {
+    0u16..2048
+}
+
+fn arb_eb() -> impl Strategy<Value = WireFrame> {
+    (
+        arb_addr(),
+        0u64..(1 << 40),
+        any::<u8>(),
+        prop_oneof![Just(None), (11u8..27).prop_map(Some)],
+        any::<u16>(),
+    )
+        .prop_map(
+            |(src, asn, join_metric, rx_channel, rx_free)| WireFrame::Eb {
+                src,
+                eb: EbFields {
+                    asn,
+                    join_metric,
+                    rx_channel,
+                    rx_free,
+                },
+            },
+        )
+}
+
+fn arb_sixp() -> impl Strategy<Value = SixpMessage> {
+    let cells = prop::collection::vec((0u16..128, 0u8..16), 0..6)
+        .prop_map(|v| v.into_iter().map(|(s, c)| CellSpec::new(s, c)).collect());
+    let kind = prop_oneof![Just(SixpCellKind::Data), Just(SixpCellKind::SixP)];
+    let code = prop_oneof![
+        Just(ReturnCode::Success),
+        Just(ReturnCode::Err),
+        Just(ReturnCode::ErrNoCells),
+    ];
+    let body = prop_oneof![
+        (kind, 0u16..32, cells).prop_map(|(kind, num_cells, cells)| SixpBody::AddRequest {
+            kind,
+            num_cells,
+            cells,
+        }),
+        Just(SixpBody::ClearRequest),
+        Just(SixpBody::AskChannelRequest),
+        (code, 0u8..16).prop_map(|(code, channel_offset)| SixpBody::AskChannelResponse {
+            code,
+            channel_offset,
+        }),
+    ];
+    (any::<u8>(), body).prop_map(|(seqnum, body)| SixpMessage::new(seqnum, body))
+}
+
+fn arb_payload() -> impl Strategy<Value = WirePayload> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), any::<u8>()).prop_map(|(id, generated_us, hops)| {
+            WirePayload::App {
+                id,
+                generated_us,
+                hops,
+            }
+        }),
+        (arb_addr(), any::<u8>(), any::<u16>(), any::<u16>()).prop_map(
+            |(dodag_root, version, rank, rx_free)| WirePayload::Dio {
+                dodag_root,
+                version,
+                rank,
+                rx_free,
+            }
+        ),
+        (arb_addr(), any::<bool>())
+            .prop_map(|(child, no_path)| WirePayload::Dao { child, no_path }),
+        arb_sixp().prop_map(WirePayload::SixP),
+    ]
+}
+
+fn arb_data() -> impl Strategy<Value = WireFrame> {
+    (
+        arb_addr(),
+        prop_oneof![arb_addr(), Just(BROADCAST)],
+        prop_oneof![Just(None), any::<u8>().prop_map(Some)],
+        arb_payload(),
+    )
+        .prop_map(|(src, dst, seq, payload)| WireFrame::Data {
+            src,
+            dst,
+            seq,
+            payload,
+        })
+}
+
+fn arb_frame() -> impl Strategy<Value = WireFrame> {
+    prop_oneof![
+        arb_eb(),
+        arb_data(),
+        any::<u8>().prop_map(|seq| WireFrame::Ack { seq }),
+    ]
+}
+
+proptest! {
+    /// encode → decode → re-encode is byte-identical for every frame
+    /// kind (the canonical-form guarantee every trace diff relies on).
+    #[test]
+    fn every_frame_kind_round_trips(frame in arb_frame()) {
+        let bytes = frame.to_bytes();
+        let decoded = WireFrame::decode(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// Truncating a valid frame anywhere yields an error, not a panic
+    /// and not a bogus success.
+    #[test]
+    fn truncations_are_rejected(frame in arb_frame(), cut in any::<u16>()) {
+        let bytes = frame.to_bytes();
+        let cut = usize::from(cut) % bytes.len();
+        prop_assert!(WireFrame::decode(&bytes[..cut]).is_err());
+    }
+
+    /// A single flipped bit is caught (FCS or structural checks) —
+    /// decoding either errors or, in the astronomically unlikely CRC
+    /// collision, still never panics.
+    #[test]
+    fn bit_flips_never_panic(frame in arb_frame(), at in any::<u16>(), bit in 0u8..8) {
+        let mut bytes = frame.to_bytes();
+        let at = usize::from(at) % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let _ = WireFrame::decode(&bytes);
+        let _ = FrameView::parse(&bytes);
+    }
+
+    /// Arbitrary byte soup never panics the zero-copy parser.
+    #[test]
+    fn parser_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..160)) {
+        let _ = FrameView::parse(&bytes);
+        let _ = WireFrame::decode(&bytes);
+    }
+}

@@ -44,6 +44,7 @@ pub mod id;
 pub mod medium;
 pub mod queue;
 mod spatial;
+pub mod tap;
 pub mod topology;
 
 pub use channel::PhysicalChannel;
@@ -52,4 +53,5 @@ pub use geometry::Position;
 pub use id::NodeId;
 pub use medium::{DrawStreams, Listener, RadioMedium, RxOutcome, SlotOutcomes, Transmission};
 pub use queue::{PacketQueue, QueueStats};
+pub use tap::{FrameTap, TapRecord};
 pub use topology::{LinkModel, Topology, TopologyBuilder};

@@ -1,0 +1,62 @@
+//! The frame-tap seam: observe every resolved transmission as wire bytes.
+//!
+//! A [`FrameTap`] is the radio-tap analogue for the simulated medium: the
+//! engine drives it once per transmission, *after* the medium has resolved
+//! the slot, with the frame's encoded IEEE 802.15.4 bytes plus the slot
+//! metadata a capture tool would timestamp it with (ASN, channel, ACK
+//! outcome). Sinks live in `gtt-frame` (the pcap writer, the
+//! retry-histogram used by the paper-claims tests); this crate only owns
+//! the seam so the medium layer stays the single point where "what went
+//! over the air" is defined.
+//!
+//! # Determinism contract (see `DETERMINISM.md`)
+//!
+//! Taps are observers, never participants: the engine must produce
+//! byte-identical network reports with a tap installed, absent, or
+//! swapped — a tap receives `&TapRecord` and has no channel back into
+//! the simulation. Records arrive in deterministic order (ascending
+//! ASN; within a slot, ascending transmitter node id), so a trace is a pure
+//! function of the experiment that produced it.
+
+use crate::channel::PhysicalChannel;
+use crate::frame::{Dest, PacketId};
+use crate::id::NodeId;
+use gtt_sim::SimTime;
+
+/// Everything a sink sees about one resolved transmission.
+///
+/// `bytes` is the full MPDU — MAC header through FCS — encoded into the
+/// engine's reusable tap buffer; it is only valid for the duration of the
+/// [`FrameTap::on_transmission`] call (copy it out to keep it).
+#[derive(Debug)]
+pub struct TapRecord<'a> {
+    /// Absolute slot number of the slot the frame was transmitted in.
+    pub asn: u64,
+    /// Start time of that slot (what a capture timestamps the frame with).
+    pub time: SimTime,
+    /// Physical channel the transmission went out on.
+    pub channel: PhysicalChannel,
+    /// Transmitting node (the per-hop source, not the packet origin).
+    pub src: NodeId,
+    /// Link-layer destination.
+    pub dst: Dest,
+    /// Engine packet id (`u64::MAX` for untracked control frames).
+    pub packet: PacketId,
+    /// Slot outcome: `Some(true)` acknowledged, `Some(false)` unicast
+    /// not acknowledged, `None` broadcast (no ACK expected).
+    pub acked: Option<bool>,
+    /// The encoded MPDU (header + payload + FCS), standard byte order.
+    pub bytes: &'a [u8],
+}
+
+/// A sink for resolved transmissions (pcap writer, histogram, …).
+///
+/// Implementations must be pure observers: the engine guarantees the
+/// simulation is byte-identical with or without a tap installed, and that
+/// guarantee only composes if the tap itself never reaches back into
+/// shared state the simulation reads.
+pub trait FrameTap: Send {
+    /// Called once per transmission, in deterministic order (ascending
+    /// ASN, then ascending transmitter node id within the slot).
+    fn on_transmission(&mut self, record: &TapRecord<'_>);
+}

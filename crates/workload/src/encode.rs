@@ -568,6 +568,9 @@ impl Experiment {
             scheduler,
             run,
             overlays,
+            // Trace output is an observer concern, not part of the
+            // experiment identity — never encoded, always None here.
+            trace: None,
         })
     }
 
@@ -654,6 +657,7 @@ mod tests {
                     max_duty_percent: 2.5,
                 }),
             ],
+            trace: None,
         }
     }
 

@@ -447,6 +447,7 @@ mod tests {
                 ..RunSpec::default()
             },
             overlays,
+            trace: None,
         }
     }
 

@@ -3,7 +3,7 @@
 //! The full-size sweeps live in the `fig8`/`fig9`/`fig10` binaries.
 
 use gtt_metrics::FigureRow;
-use gtt_workload::{Experiment, RunSpec, ScenarioSpec, SchedulerKind};
+use gtt_workload::{Experiment, NoiseBurst, Overlay, RunSpec, ScenarioSpec, SchedulerKind};
 
 fn spec(ppm: f64, seed: u64) -> RunSpec {
     RunSpec {
@@ -124,6 +124,43 @@ fn gt_tsch_scales_with_dodag_size_where_orchestra_does_not() {
         "Orchestra at 8/DODAG: {:.1}% vs GT {:.1}%",
         orch.pdr_percent,
         gt.pdr_percent
+    );
+}
+
+#[test]
+fn retransmissions_are_capped_at_four() {
+    // Table II: macMaxFrameRetries = 4 — every frame is transmitted at
+    // most 5 times, then dropped. Asserted on the wire, not on internal
+    // counters: a frame tap builds a per-(transmitter, packet) attempt
+    // histogram from the resolved transmissions themselves. A 2-node
+    // line keeps every data frame single-hop (one transmitter per
+    // packet id, so the histogram is exactly the MAC's retry count) and
+    // the Wi-Fi-like noise bursts force real retransmissions.
+    let exp = Experiment::new(
+        ScenarioSpec::line(2, 30.0),
+        SchedulerKind::gt_tsch_default(),
+    )
+    .with_run(spec(120.0, 7))
+    .with_overlay(Overlay::Noise(NoiseBurst::wifi_like()));
+    let mut net = exp.build_network();
+    let (tap, counts) = gtt_frame::AttemptLog::new();
+    net.set_frame_tap(Some(Box::new(tap)));
+    exp.run_on(&mut net);
+    net.set_frame_tap(None); // drop the tap's handle on the histogram
+    let counts = std::sync::Arc::try_unwrap(counts)
+        .expect("tap dropped")
+        .into_inner()
+        .expect("attempt histogram poisoned");
+
+    assert!(!counts.is_empty(), "no unicast data frames were captured");
+    let max = counts.values().copied().max().unwrap_or(0);
+    assert!(
+        counts.values().all(|&c| (1..=5).contains(&c)),
+        "a frame was transmitted {max} times — the cap is max_retries + 1 = 5"
+    );
+    assert!(
+        counts.values().any(|&c| c > 1),
+        "noise bursts must force at least one retransmission for the cap to bite"
     );
 }
 

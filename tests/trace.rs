@@ -1,0 +1,122 @@
+//! Trace-export invariants: the frame tap is a pure observer.
+//!
+//! The pcap capture a traced run produces must be (a) **inert** — the
+//! [`gtt_engine::NetworkReport`] is identical with and without the tap
+//! installed, on the event core and on the `naive-step` oracle — and
+//! (b) **pure** — the capture bytes are a deterministic function of the
+//! [`Experiment`] alone: two runs, two processes, two machines, same
+//! bytes. A committed FNV-1a hash pins the whole wire codec + tap +
+//! pcap pipeline; if it moves, either the codec changed (bump the
+//! golden deliberately) or determinism broke (fix the engine).
+
+use gtt_workload::{Experiment, NoiseBurst, Overlay, RunSpec, ScenarioSpec, SchedulerKind};
+
+/// The reference experiment of this suite: the fig8 topology family at
+/// light load with a noise overlay (so retransmissions, queue churn and
+/// link flaps all appear in the capture), shrunk to test-sized windows.
+fn traced_experiment() -> Experiment {
+    Experiment::new(ScenarioSpec::two_dodag(6), SchedulerKind::gt_tsch_default())
+        .with_run(RunSpec {
+            traffic_ppm: 30.0,
+            warmup_secs: 30,
+            measure_secs: 60,
+            seed: 1,
+            ..RunSpec::default()
+        })
+        .with_overlay(Overlay::Noise(NoiseBurst::wifi_like()))
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms;
+/// exactly what a golden-trace fingerprint needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn tap_is_inert_reports_identical_with_and_without() {
+    let exp = traced_experiment();
+    let plain = exp.run();
+    let (traced, capture) = exp.run_traced();
+    assert_eq!(
+        plain, traced,
+        "installing a frame tap changed the NetworkReport — taps must be observers"
+    );
+    assert!(!capture.is_empty(), "traced run produced no capture");
+}
+
+#[test]
+fn traces_are_byte_identical_across_runs() {
+    let exp = traced_experiment();
+    let (_, first) = exp.run_traced();
+    let (_, second) = exp.run_traced();
+    assert_eq!(
+        first, second,
+        "same Experiment, different trace bytes — trace purity broken"
+    );
+}
+
+#[test]
+fn trace_is_a_structurally_valid_pcap() {
+    let (_, capture) = traced_experiment().run_traced();
+    let summary = gtt_frame::pcap::validate(&capture).expect("capture must validate");
+    assert!(summary.packets > 0, "empty capture");
+    assert_eq!(
+        capture.len(),
+        gtt_frame::pcap::GLOBAL_HEADER_LEN
+            + summary.packets * gtt_frame::pcap::RECORD_HEADER_LEN
+            + summary.frame_bytes,
+        "pcap accounting must cover every byte"
+    );
+}
+
+/// The committed golden fingerprint of [`traced_experiment`]'s capture.
+///
+/// This hash is a deliberate ratchet: it moves **only** when the wire
+/// codec, the tap seam, or the engine's transmission schedule changes.
+/// If you changed the 802.15.4 encoding on purpose, re-run with
+/// `BLESS=1 cargo test -p gtt-tests --test trace -- golden` and commit
+/// the printed value; if you didn't, a moved hash means a determinism
+/// regression.
+const GOLDEN_TRACE_FNV1A: u64 = 0xd1e0_0f4f_6f79_f1c2;
+
+#[test]
+fn golden_trace_fingerprint() {
+    let (_, capture) = traced_experiment().run_traced();
+    let hash = fnv1a(&capture);
+    if std::env::var_os("BLESS").is_some() {
+        println!(
+            "GOLDEN_TRACE_FNV1A: 0x{hash:016x} ({} bytes)",
+            capture.len()
+        );
+        return;
+    }
+    assert_eq!(
+        hash,
+        GOLDEN_TRACE_FNV1A,
+        "golden trace fingerprint moved (got 0x{hash:016x}, {} bytes) — \
+         see the constant's doc comment for whether to bless or bisect",
+        capture.len()
+    );
+}
+
+/// With the `naive-step` oracle enabled, the exhaustive per-slot loop
+/// must emit the byte-identical capture: both cores share the same
+/// `process_slot` tap seam, and this pins that they keep doing so.
+#[cfg(feature = "naive-step")]
+#[test]
+fn oracle_core_emits_the_identical_trace() {
+    let exp = traced_experiment();
+    let (event_report, event_trace) = exp.run_traced();
+    let mut oracle_net = exp.network_builder().naive_stepping().build();
+    let (oracle_report, oracle_trace) = exp.run_traced_on(&mut oracle_net);
+    assert_eq!(event_report, oracle_report, "reports diverge under tracing");
+    assert_eq!(
+        event_trace, oracle_trace,
+        "event core and naive-step oracle captured different traces"
+    );
+}

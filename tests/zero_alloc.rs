@@ -149,6 +149,10 @@ fn steady_state_slot_path_performs_zero_allocations() {
         .root(NodeId::new(0))
         .scheduler_factory(|_, _| Box::new(MinimalSchedule::new(8)))
         .build();
+    // The frame-tap seam ships disabled; this leg doubles as the proof
+    // that a disabled tap costs nothing — with no tap installed the
+    // slot path performs zero allocations, wire-encoding included.
+    assert!(!net.frame_tap_installed(), "taps are opt-in");
     // Long warm-up: the DODAG converges, Trickle stretches, every queue,
     // heap and scratch buffer reaches its steady-state capacity.
     net.run_for(SimDuration::from_secs(180));
